@@ -1,0 +1,93 @@
+// E16 -- backbone-lite ledger: <=_{neg,pt} with the confirmation depth
+// as the security parameter (Def 4.12 on the paper's blockchain target).
+//
+// For every confirmation depth d, the implementation distance between
+// the real ledger (confirmation race against a beta-power adversary)
+// and the ideal ledger is the exact fork probability. The experiment
+// regenerates the backbone *shape*: geometric decay in d for every
+// minority adversary (steeper for weaker ones), and no decay at all at
+// beta = 1/2 -- the common-prefix threshold.
+
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "impl/balance.hpp"
+#include "protocols/backbone.hpp"
+#include "sched/cone_measure.hpp"
+#include "sched/schedulers.hpp"
+#include "util/poly.hpp"
+
+namespace cdse {
+namespace {
+
+SchedulerPtr race_driver(const std::string& tag, std::size_t bound) {
+  return std::make_shared<PriorityScheduler>(
+      std::vector<ActionId>{act("submit_" + tag), act("mine_" + tag),
+                            act("confirmed_" + tag),
+                            act("forked_" + tag)},
+      bound, /*local_only=*/false);
+}
+
+int run() {
+  bench::print_header(
+      "E16: backbone-lite ledger, eps(depth) = fork probability "
+      "(Def 4.12 on [8]'s setting)",
+      "geometric decay for minority adversaries, no decay at beta = 1/2");
+  const std::vector<Rational> betas{Rational(1, 8), Rational(1, 4),
+                                    Rational(3, 8), Rational(1, 2)};
+  bench::print_row({"depth", "b=1/8", "b=1/4", "b=3/8", "b=1/2"}, 16);
+  bool ok = true;
+  std::vector<std::uint32_t> ds;
+  std::vector<std::vector<double>> series(betas.size());
+  for (std::uint32_t depth = 1; depth <= 8; ++depth) {
+    ds.push_back(depth);
+    std::vector<std::string> row{std::to_string(depth)};
+    for (std::size_t bi = 0; bi < betas.size(); ++bi) {
+      const Rational p = exact_fork_probability(depth, betas[bi]);
+      series[bi].push_back(p.to_double());
+      row.push_back(p.to_string());
+    }
+    bench::print_row(row, 16);
+  }
+  // Minority adversaries: negligible-looking decay; the equal-power
+  // adversary defeats confirmation entirely.
+  for (std::size_t bi = 0; bi + 1 < betas.size(); ++bi) {
+    const bool neg = looks_negligible(ds, series[bi], 0.95);
+    ok = ok && neg;
+    std::printf("beta=%s: negligible-looking decay: %s (fitted 2^-ck, "
+                "c=%.3f)\n",
+                betas[bi].to_string().c_str(), neg ? "yes" : "NO",
+                fitted_decay_exponent(ds, series[bi]));
+  }
+  ok = ok && !looks_negligible(ds, series.back(), 0.95);
+  std::printf("beta=1/2: decays: no (flat at 1/2, as the threshold "
+              "predicts)\n\n");
+
+  // Cross-check the automaton against the closed form at one point and
+  // record the exact implementation epsilon.
+  {
+    const std::uint32_t depth = 4;
+    const std::string rt = "e16r";
+    auto real = make_confirmation_race(rt, depth, Rational(1, 4));
+    auto ideal = make_ideal_ledger("e16i");
+    auto sr = race_driver(rt, 3 * depth + 4);
+    auto si = race_driver("e16i", 4);
+    AcceptInsight fr(act("confirmed_" + rt));
+    AcceptInsight fi(act("confirmed_e16i"));
+    const auto dr = exact_fdist(*real, *sr, fr, 3 * depth + 6);
+    const auto di = exact_fdist(*ideal, *si, fi, 8);
+    const Rational eps = balance_distance(dr, di);
+    const Rational closed = exact_fork_probability(depth, Rational(1, 4));
+    ok = ok && eps == closed;
+    std::printf("automaton cross-check (depth 4, beta 1/4): "
+                "enumerated eps = %s, closed form = %s\n",
+                eps.to_string().c_str(), closed.to_string().c_str());
+  }
+  return bench::verdict(
+      ok, "E16: backbone common-prefix shape reproduced exactly");
+}
+
+}  // namespace
+}  // namespace cdse
+
+int main() { return cdse::run(); }

@@ -1,0 +1,68 @@
+// E5 -- Lemmas 4.13/4.14, Theorem 4.15: implementation is composable.
+// Composing any (p3-bounded) context A3 onto both sides of A1 <= A2
+// cannot increase the distinguishing epsilon, across contexts of growing
+// description size.
+
+#include "bench_util.hpp"
+#include "bounded/cost.hpp"
+#include "impl/implementation.hpp"
+#include "protocols/channel.hpp"
+#include "protocols/coinflip.hpp"
+#include "protocols/environment.hpp"
+#include "sched/schedulers.hpp"
+#include "test_util_bench.hpp"
+
+namespace cdse {
+namespace {
+
+/// Context of `width` independent coins: description grows linearly.
+PsioaPtr make_context(const std::string& tag, std::size_t width) {
+  std::vector<PsioaPtr> parts;
+  for (std::size_t i = 0; i < width; ++i) {
+    parts.push_back(
+        make_coin(tag + "_c" + std::to_string(i), Rational(1, 2)));
+  }
+  if (parts.size() == 1) return parts[0];
+  return compose(std::move(parts));
+}
+
+int run() {
+  bench::print_header(
+      "E5: composability of implementation (Lemma 4.13 / Theorem 4.15)",
+      "eps(E||A3||A1 vs E||A3||A2) <= eps(E||A1 vs E||A2) for all A3");
+  const std::string tag = "e5";
+  auto a1 = bench_bern("e5_a1", tag, Rational(1, 8));
+  auto a2 = bench_bern("e5_a2", tag, Rational(7, 8));
+  auto mk_env = [&] {
+    return make_probe_env_matching("env_" + tag, {act("go_" + tag)},
+                                   acts({"no_" + tag}), act("yes_" + tag),
+                                   act("acc_" + tag));
+  };
+  const std::vector<LabeledPsioa> envs{{"probe", mk_env()}};
+  const std::vector<LabeledScheduler> scheds{
+      {"uniform", std::make_shared<UniformScheduler>(8, true)}};
+  AcceptInsight f(act("acc_" + tag));
+  const auto base = check_implementation(a1, a2, envs, scheds,
+                                         same_scheduler(), f, 12);
+  std::printf("context-free epsilon: %s\n\n",
+              base.max_eps.to_string().c_str());
+  bench::print_row({"ctx_width", "b(A3)", "eps_with_ctx", "<=base?"});
+  bool ok = true;
+  for (std::size_t width = 1; width <= 4; ++width) {
+    auto ctx = make_context("e5w" + std::to_string(width), width);
+    const std::uint64_t b3 = profile_psioa(*ctx, 3).b();
+    const auto with_ctx =
+        check_implementation(compose(ctx, a1), compose(ctx, a2), envs,
+                             scheds, same_scheduler(), f, 12);
+    const bool leq = with_ctx.max_eps <= base.max_eps;
+    ok = ok && leq;
+    bench::print_row({std::to_string(width), std::to_string(b3),
+                      with_ctx.max_eps.to_string(), leq ? "yes" : "NO"});
+  }
+  return bench::verdict(ok, "E5: no context amplifies epsilon");
+}
+
+}  // namespace
+}  // namespace cdse
+
+int main() { return cdse::run(); }

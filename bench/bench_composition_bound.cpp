@@ -1,0 +1,127 @@
+// E1/E2 -- Lemma 4.3 (B.1) and Lemma B.2: composition of b1-, b2-bounded
+// automata is c_comp*(b1+b2)-bounded.
+//
+// We build explicit "counter" automata whose description size grows with
+// a size parameter (longer state labels, more states), measure the
+// empirical bound b(.) of each part and of their composition with the
+// instrumented machines of Def 4.1/4.2, and fit b(A1||A2) ~ c*(b1+b2).
+// The lemma predicts a line through the origin with modest constant c;
+// we report the fitted c_comp and R^2 and check the pointwise bound with
+// c = 4 (the pairing scheme doubles representation lengths once plus
+// separator overhead).
+
+#include <cstdint>
+
+#include "bench_util.hpp"
+#include "bounded/cost.hpp"
+#include "pca/dynamic_pca.hpp"
+#include "pca/pca_compose.hpp"
+#include "psioa/compose.hpp"
+#include "psioa/explicit_psioa.hpp"
+#include "util/stats.hpp"
+
+namespace cdse {
+namespace {
+
+/// Cyclic counter automaton with `n` states and label padding `pad`.
+PsioaPtr make_counter(const std::string& tag, std::size_t n,
+                      std::size_t pad) {
+  auto a = std::make_shared<ExplicitPsioa>("counter_" + tag);
+  const ActionId inc = act("inc_" + tag);
+  const ActionId obs = act("obs_" + tag);
+  std::vector<State> states;
+  const std::string padding(pad, 'x');
+  for (std::size_t i = 0; i < n; ++i) {
+    states.push_back(a->add_state("c" + std::to_string(i) + padding));
+  }
+  a->set_start(states[0]);
+  for (std::size_t i = 0; i < n; ++i) {
+    Signature sig;
+    sig.in = {inc};
+    sig.out = {obs};
+    a->set_signature(states[i], sig);
+    a->add_step(states[i], inc, states[(i + 1) % n]);
+    a->add_step(states[i], obs, states[i]);
+  }
+  a->validate();
+  return a;
+}
+
+int run_psioa_table() {
+  bench::print_header(
+      "E1: composition bound for PSIOA (Lemma 4.3 / B.1)",
+      "b(A1||A2) <= c_comp * (b(A1) + b(A2)), c_comp modest constant");
+  bench::print_row({"size", "b(A1)", "b(A2)", "b1+b2", "b(A1||A2)",
+                    "ratio"});
+  std::vector<double> xs;
+  std::vector<double> ys;
+  bool ok = true;
+  for (std::size_t size = 2; size <= 20; size += 3) {
+    auto a1 = make_counter("e1a" + std::to_string(size), size, size);
+    auto a2 = make_counter("e1b" + std::to_string(size), size + 1,
+                           2 * size);
+    const std::uint64_t b1 = profile_psioa(*a1, 4).b();
+    const std::uint64_t b2 = profile_psioa(*a2, 4).b();
+    auto comp = compose(a1, a2);
+    const std::uint64_t bc = profile_psioa(*comp, 4).b();
+    const double ratio =
+        static_cast<double>(bc) / static_cast<double>(b1 + b2);
+    xs.push_back(static_cast<double>(b1 + b2));
+    ys.push_back(static_cast<double>(bc));
+    ok = ok && ratio <= 4.0;
+    bench::print_row({std::to_string(size), std::to_string(b1),
+                      std::to_string(b2), std::to_string(b1 + b2),
+                      std::to_string(bc), std::to_string(ratio)});
+  }
+  const LinearFit fit = fit_line(xs, ys);
+  std::printf("fitted c_comp = %.3f (intercept %.1f, R^2 = %.4f)\n",
+              fit.slope, fit.intercept, fit.r2);
+  ok = ok && fit.r2 > 0.95 && fit.slope <= 4.0;
+  return bench::verdict(ok, "E1: linear in (b1+b2) with c_comp <= 4");
+}
+
+int run_pca_table() {
+  bench::print_header(
+      "E2: composition bound for PCA (Lemma B.2)",
+      "b(X1||X2) <= c'_comp * (b(X1) + b(X2)) including config machines");
+  bench::print_row({"size", "b(X1)", "b(X2)", "b1+b2", "b(X1||X2)",
+                    "ratio"});
+  std::vector<double> xs;
+  std::vector<double> ys;
+  bool ok = true;
+  for (std::size_t size = 2; size <= 14; size += 3) {
+    auto reg = std::make_shared<AutomatonRegistry>();
+    const std::string t1 = "e2a" + std::to_string(size);
+    const std::string t2 = "e2b" + std::to_string(size);
+    const Aid a1 = reg->add(make_counter(t1, size, size));
+    const Aid a2 = reg->add(make_counter(t2, size, 2 * size));
+    auto x1 = std::make_shared<DynamicPca>("x_" + t1, reg,
+                                           std::vector<Aid>{a1});
+    auto x2 = std::make_shared<DynamicPca>("x_" + t2, reg,
+                                           std::vector<Aid>{a2});
+    const std::uint64_t b1 = profile_pca(*x1, 3).b();
+    const std::uint64_t b2 = profile_pca(*x2, 3).b();
+    auto comp = compose_pca(x1, x2);
+    const std::uint64_t bc = profile_pca(*comp, 3).b();
+    const double ratio =
+        static_cast<double>(bc) / static_cast<double>(b1 + b2);
+    xs.push_back(static_cast<double>(b1 + b2));
+    ys.push_back(static_cast<double>(bc));
+    ok = ok && ratio <= 4.0;
+    bench::print_row({std::to_string(size), std::to_string(b1),
+                      std::to_string(b2), std::to_string(b1 + b2),
+                      std::to_string(bc), std::to_string(ratio)});
+  }
+  const LinearFit fit = fit_line(xs, ys);
+  std::printf("fitted c'_comp = %.3f (intercept %.1f, R^2 = %.4f)\n",
+              fit.slope, fit.intercept, fit.r2);
+  ok = ok && fit.r2 > 0.9 && fit.slope <= 4.0;
+  return bench::verdict(ok, "E2: linear in (b1+b2) with c'_comp <= 4");
+}
+
+}  // namespace
+}  // namespace cdse
+
+int main() {
+  return cdse::run_psioa_table() + cdse::run_pca_table();
+}

@@ -1,0 +1,103 @@
+// E11 -- monotonicity of implementation w.r.t. automaton creation
+// (Section 4.4: the creation-oblivious scheduler property the paper
+// imports from [7] and plans to lift to secure emulation).
+//
+// Two PCA X_A and X_B differ only in which automaton they create at run
+// time: X_A spawns A (a p-biased responder), X_B spawns B (a q-biased
+// one). Under creation-oblivious (fully off-line) schedulers,
+// eps(E||X_A, E||X_B) must not exceed eps(E||A, E||B) = |p - q| -- the
+// wrapping PCA cannot amplify the difference of what it creates.
+
+#include "bench_util.hpp"
+#include "impl/balance.hpp"
+#include "pca/dynamic_pca.hpp"
+#include "protocols/environment.hpp"
+#include "sched/schedulers.hpp"
+#include "test_util_bench.hpp"
+
+namespace cdse {
+namespace {
+
+/// PCA that spawns the given automaton on `spawn_<tag>` (driven by the
+/// environment), then lets it run.
+std::shared_ptr<DynamicPca> make_spawner(const std::string& name,
+                                         const std::string& tag,
+                                         PsioaPtr payload) {
+  auto reg = std::make_shared<AutomatonRegistry>();
+  auto hub = std::make_shared<ExplicitPsioa>("hub_" + name);
+  const ActionId a_spawn = act("spawn_" + tag);
+  const State q = hub->add_state("hub");
+  hub->set_start(q);
+  Signature sig;
+  sig.in = {a_spawn};
+  hub->set_signature(q, sig);
+  hub->add_step(q, a_spawn, q);
+  hub->validate();
+  const Aid hub_id = reg->add(hub);
+  const Aid payload_id = reg->add(std::move(payload));
+  CreationPolicy cp = [payload_id, a_spawn](const Configuration& cfg,
+                                            ActionId a) {
+    std::vector<Aid> phi;
+    if (a == a_spawn && !cfg.contains(payload_id)) phi.push_back(payload_id);
+    return phi;
+  };
+  return std::make_shared<DynamicPca>(name, std::move(reg),
+                                      std::vector<Aid>{hub_id}, cp,
+                                      no_hiding());
+}
+
+int run() {
+  bench::print_header(
+      "E11: monotonicity of implementation w.r.t. creation (Section 4.4)",
+      "A <= B with eps  ==>  X_A <= X_B with at most eps, X_* creating "
+      "A/B at run time");
+  bench::print_row({"p", "q", "eps(A,B)", "eps(X_A,X_B)", "<=?"}, 14);
+  bool ok = true;
+  for (int ip = 0; ip <= 8; ip += 2) {
+    for (int iq = ip; iq <= 8; iq += 3) {
+      const Rational p(ip, 8);
+      const Rational q(iq, 8);
+      const std::string tag =
+          "e11_" + std::to_string(ip) + "_" + std::to_string(iq);
+      auto env = make_probe_env_matching(
+          "env_" + tag, {act("spawn_" + tag), act("go_" + tag)},
+          acts({"no_" + tag}), act("yes_" + tag), act("acc_" + tag));
+      // Direct pair: E || A vs E || B (no spawn step in the script).
+      auto env_direct = make_probe_env_matching(
+          "envd_" + tag, {act("go_" + tag)}, acts({"no_" + tag}),
+          act("yes_" + tag), act("acc_" + tag));
+      auto a = bench_bern(tag + "_A", tag, p);
+      auto b = bench_bern(tag + "_B", tag, q);
+      UniformScheduler sched(10, true);
+      AcceptInsight f(act("acc_" + tag));
+      auto da = compose(env_direct, a);
+      auto db = compose(env_direct, b);
+      const Rational eps_direct =
+          exact_balance_epsilon(*da, sched, *db, sched, f, 12);
+
+      // Dynamic pair: E || X_A vs E || X_B.
+      auto xa = make_spawner("XA_" + tag, tag,
+                             bench_bern(tag + "_A2", tag, p));
+      auto xb = make_spawner("XB_" + tag, tag,
+                             bench_bern(tag + "_B2", tag, q));
+      auto la = compose(env, PsioaPtr(xa));
+      auto lb = compose(env, PsioaPtr(xb));
+      const Rational eps_dynamic =
+          exact_balance_epsilon(*la, sched, *lb, sched, f, 12);
+
+      const bool leq = eps_dynamic <= eps_direct;
+      ok = ok && leq;
+      bench::print_row({p.to_string(), q.to_string(),
+                        eps_direct.to_string(), eps_dynamic.to_string(),
+                        leq ? "yes" : "NO"},
+                       14);
+    }
+  }
+  return bench::verdict(
+      ok, "E11: run-time creation never amplifies the implemented gap");
+}
+
+}  // namespace
+}  // namespace cdse
+
+int main() { return cdse::run(); }

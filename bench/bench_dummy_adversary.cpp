@@ -1,0 +1,110 @@
+// E6 -- Lemma 4.29 / D.1: dummy-adversary insertion is exactly
+// undetectable (epsilon = 0) under the Forward^s scheduler construction,
+// with schedule length at most doubled (q2 = 2*q1).
+
+#include "bench_util.hpp"
+#include "crypto/pairs.hpp"
+#include "crypto/relay.hpp"
+#include "impl/balance.hpp"
+#include "protocols/environment.hpp"
+#include "sched/schedulers.hpp"
+#include "secure/adversary.hpp"
+#include "secure/forward.hpp"
+
+namespace cdse {
+namespace {
+
+struct Case {
+  std::string label;
+  Rational eps_trace;
+  Rational eps_accept;
+  std::size_t q1 = 0;
+  std::size_t q2 = 0;
+};
+
+Case run_otp_case(std::uint32_t k, std::size_t sched_bound) {
+  const std::string tag = "e6o" + std::to_string(k) + "_" +
+                          std::to_string(sched_bound);
+  const RealIdealPair pair = make_otp_pair(k, tag);
+  auto env = make_probe_env_matching(
+      "env_" + tag, {act("send0_" + tag)}, acts({"tell0_" + tag}),
+      act("tell1_" + tag), act("acc_" + tag));
+  auto adv = make_relay_adversary(
+      "relay_" + tag,
+      {{act("cipher0_" + tag + "#r"), act("tell0_" + tag)},
+       {act("cipher1_" + tag + "#r"), act("tell1_" + tag)}});
+  DummyInsertion ins(pair.real, env, adv, "#r");
+  auto sigma = std::make_shared<UniformScheduler>(sched_bound, true);
+  const SchedulerPtr sigma2 = ins.forward_scheduler(sigma);
+  Case c;
+  c.label = "otp(k=" + std::to_string(k) + ",q1=" +
+            std::to_string(sched_bound) + ")";
+  TraceInsight ft;
+  c.eps_trace = exact_balance_epsilon(ins.left(), *sigma, ins.right(),
+                                      *sigma2, ft, 3 * sched_bound);
+  AcceptInsight fa(act("acc_" + tag));
+  c.eps_accept = exact_balance_epsilon(ins.left(), *sigma, ins.right(),
+                                       *sigma2, fa, 3 * sched_bound);
+  c.q1 = max_schedule_length(ins.left(), *sigma, 3 * sched_bound);
+  c.q2 = max_schedule_length(ins.right(), *sigma2, 3 * sched_bound);
+  return c;
+}
+
+Case run_mac_case(std::uint32_t k, std::size_t sched_bound) {
+  const std::string tag = "e6m" + std::to_string(k) + "_" +
+                          std::to_string(sched_bound);
+  const RealIdealPair pair = make_otmac_pair(k, tag);
+  auto env = make_probe_env_matching(
+      "env_" + tag, {act("auth_" + tag)}, acts({"rejected_" + tag}),
+      act("forged_" + tag), act("acc_" + tag));
+  auto adv = make_sink_adversary("adv_" + tag, {},
+                                 acts({"forge_" + tag + "#r"}));
+  DummyInsertion ins(pair.real, env, adv, "#r");
+  auto sigma = std::make_shared<UniformScheduler>(sched_bound, true);
+  const SchedulerPtr sigma2 = ins.forward_scheduler(sigma);
+  Case c;
+  c.label = "mac(k=" + std::to_string(k) + ",q1=" +
+            std::to_string(sched_bound) + ")";
+  TraceInsight ft;
+  c.eps_trace = exact_balance_epsilon(ins.left(), *sigma, ins.right(),
+                                      *sigma2, ft, 3 * sched_bound);
+  AcceptInsight fa(act("acc_" + tag));
+  c.eps_accept = exact_balance_epsilon(ins.left(), *sigma, ins.right(),
+                                       *sigma2, fa, 3 * sched_bound);
+  c.q1 = max_schedule_length(ins.left(), *sigma, 3 * sched_bound);
+  c.q2 = max_schedule_length(ins.right(), *sigma2, 3 * sched_bound);
+  return c;
+}
+
+int run() {
+  bench::print_header(
+      "E6: dummy adversary insertion (Lemma 4.29 / D.1)",
+      "g(A)||Adv vs hide(A||Dummy(A,g),AAct)||Adv: eps == 0, q2 <= 2*q1");
+  bench::print_row({"case", "eps(trace)", "eps(accept)", "q1", "q2",
+                    "q2<=2q1?"},
+                   18);
+  bool ok = true;
+  std::vector<Case> cases;
+  for (std::uint32_t k : {1u, 2u, 3u}) {
+    cases.push_back(run_otp_case(k, 6));
+    cases.push_back(run_mac_case(k, 6));
+  }
+  cases.push_back(run_otp_case(2, 8));
+  cases.push_back(run_mac_case(2, 8));
+  for (const auto& c : cases) {
+    const bool zero = c.eps_trace == Rational(0) &&
+                      c.eps_accept == Rational(0);
+    const bool bounded = c.q2 <= 2 * c.q1;
+    ok = ok && zero && bounded;
+    bench::print_row({c.label, c.eps_trace.to_string(),
+                      c.eps_accept.to_string(), std::to_string(c.q1),
+                      std::to_string(c.q2), bounded ? "yes" : "NO"},
+                     18);
+  }
+  return bench::verdict(ok, "E6: insertion invisible with doubled budget");
+}
+
+}  // namespace
+}  // namespace cdse
+
+int main() { return cdse::run(); }

@@ -1,0 +1,103 @@
+// E10 -- engineering baseline: throughput of the execution engines that
+// every other experiment stands on. google-benchmark microbenchmarks:
+//   - single-thread execution sampling (coin, composed system),
+//   - parallel Monte-Carlo f-dist estimation across thread counts,
+//   - exact cone enumeration,
+//   - composite transition evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/pairs.hpp"
+#include "pca/check.hpp"
+#include "protocols/coinflip.hpp"
+#include "protocols/environment.hpp"
+#include "protocols/ledger.hpp"
+#include "sched/cone_measure.hpp"
+#include "sched/sampler.hpp"
+#include "sched/schedulers.hpp"
+#include "secure/adversary.hpp"
+
+namespace cdse {
+namespace {
+
+void BM_SampleCoinExecution(benchmark::State& state) {
+  auto coin = make_coin("e10_a", Rational(1, 2));
+  UniformScheduler sched(16);
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample_execution(*coin, sched, rng, 16));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SampleCoinExecution);
+
+void BM_SampleComposedExecution(benchmark::State& state) {
+  const std::string tag = "e10_b";
+  const RealIdealPair mac = make_otmac_pair(8, tag);
+  auto env = make_probe_env_matching(
+      "env_" + tag, {act("auth_" + tag)}, acts({"rejected_" + tag}),
+      act("forged_" + tag), act("acc_" + tag));
+  auto adv =
+      make_sink_adversary("adv_" + tag, {}, acts({"forge_" + tag}));
+  auto sys = compose(env, compose(mac.real.ptr(), adv));
+  UniformScheduler sched(12, true);
+  Xoshiro256 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample_execution(*sys, sched, rng, 12));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SampleComposedExecution);
+
+void BM_ParallelFdist(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t trials = 20000;
+  ThreadPool pool(threads);
+  TraceInsight f;
+  std::uint64_t seed = 3;
+  for (auto _ : state) {
+    auto dist = parallel_sample_fdist(
+        [] { return make_coin("e10_c", Rational(1, 3)); },
+        [] { return std::make_shared<UniformScheduler>(8); }, f, trials,
+        seed++, 8, pool);
+    benchmark::DoNotOptimize(dist);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * trials));
+}
+BENCHMARK(BM_ParallelFdist)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_ExactConeEnumeration(benchmark::State& state) {
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  auto coin = make_coin("e10_d", Rational(1, 2));
+  UniformScheduler sched(depth);
+  TraceInsight f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact_fdist(*coin, sched, f, depth));
+  }
+}
+BENCHMARK(BM_ExactConeEnumeration)->Arg(6)->Arg(9)->Arg(12);
+
+void BM_CompositeTransition(benchmark::State& state) {
+  const LedgerSystem sys = make_ledger_system(3, "e10_e");
+  const State q0 = sys.dynamic->start_state();
+  const ActionId open1 = act("open1_e10_e");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.dynamic->transition(q0, open1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CompositeTransition);
+
+void BM_PcaConstraintCheck(benchmark::State& state) {
+  for (auto _ : state) {
+    const LedgerSystem sys = make_ledger_system(2, "e10_f");
+    benchmark::DoNotOptimize(check_pca_constraints(*sys.dynamic, 5));
+  }
+}
+BENCHMARK(BM_PcaConstraintCheck);
+
+}  // namespace
+}  // namespace cdse
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// E3 -- Lemma 4.5 (B.3): hiding a b'-time-recognizable action set of a
+// b-time-bounded automaton yields a c_hide*(b+b')-bounded automaton.
+//
+// We grow both the automaton (more/larger states, more output actions)
+// and the hidden set; b' is the total encoded length of the hidden set's
+// recognizer table. The lemma predicts a line in (b + b').
+
+#include "bench_util.hpp"
+#include "bounded/cost.hpp"
+#include "psioa/explicit_psioa.hpp"
+#include "psioa/hide.hpp"
+#include "util/stats.hpp"
+
+namespace cdse {
+namespace {
+
+/// Emitter with `n` distinct output actions, cycling through them.
+PsioaPtr make_multi_emitter(const std::string& tag, std::size_t n,
+                            std::size_t pad) {
+  auto a = std::make_shared<ExplicitPsioa>("memit_" + tag);
+  const std::string padding(pad, 'y');
+  std::vector<ActionId> outs;
+  for (std::size_t i = 0; i < n; ++i) {
+    outs.push_back(act("out" + std::to_string(i) + "_" + tag));
+  }
+  std::vector<State> states;
+  for (std::size_t i = 0; i < n; ++i) {
+    states.push_back(a->add_state("m" + std::to_string(i) + padding));
+  }
+  a->set_start(states[0]);
+  for (std::size_t i = 0; i < n; ++i) {
+    Signature sig;
+    sig.out = {outs[i]};
+    a->set_signature(states[i], sig);
+    a->add_step(states[i], outs[i], states[(i + 1) % n]);
+  }
+  a->validate();
+  return a;
+}
+
+int run() {
+  bench::print_header(
+      "E3: hiding bound (Lemma 4.5 / B.3)",
+      "b(hide(A, S)) <= c_hide * (b(A) + b'), b' = recognizer size of S");
+  bench::print_row({"n_actions", "b(A)", "b'(S)", "b+b'", "b(hide)",
+                    "ratio"});
+  std::vector<double> xs;
+  std::vector<double> ys;
+  bool ok = true;
+  for (std::size_t n = 2; n <= 20; n += 3) {
+    const std::string tag = "e3_" + std::to_string(n);
+    auto a = make_multi_emitter(tag, n, n);
+    const std::uint64_t b = profile_psioa(*a, 4).b();
+    // Hide half of the outputs; the recognizer's cost is the total
+    // encoded length of the hidden set.
+    ActionSet hidden;
+    std::uint64_t b_prime = 0;
+    for (std::size_t i = 0; i < n; i += 2) {
+      const ActionId h = act("out" + std::to_string(i) + "_" + tag);
+      set::insert(hidden, h);
+      b_prime += encode_action(h).length();
+    }
+    auto hid = hide_actions(a, hidden);
+    const std::uint64_t bh = profile_psioa(*hid, 4).b();
+    const double ratio =
+        static_cast<double>(bh) / static_cast<double>(b + b_prime);
+    xs.push_back(static_cast<double>(b + b_prime));
+    ys.push_back(static_cast<double>(bh));
+    ok = ok && ratio <= 2.0;
+    bench::print_row({std::to_string(n), std::to_string(b),
+                      std::to_string(b_prime),
+                      std::to_string(b + b_prime), std::to_string(bh),
+                      std::to_string(ratio)});
+  }
+  const LinearFit fit = fit_line(xs, ys);
+  std::printf("fitted c_hide = %.3f (intercept %.1f, R^2 = %.4f)\n",
+              fit.slope, fit.intercept, fit.r2);
+  ok = ok && fit.slope <= 2.0;
+  return bench::verdict(ok, "E3: b(hide(A,S)) within c_hide*(b+b')");
+}
+
+}  // namespace
+}  // namespace cdse
+
+int main() { return cdse::run(); }

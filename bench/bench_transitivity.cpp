@@ -1,0 +1,65 @@
+// E4 -- Def 3.6 balance + Theorem 4.16 transitivity:
+// eps13 <= eps12 + eps23 on every chain A1 <= A2 <= A3, with equality on
+// monotone chains (the paper's additive epsilon accounting is tight).
+
+#include "bench_util.hpp"
+#include "impl/implementation.hpp"
+#include "protocols/environment.hpp"
+#include "sched/schedulers.hpp"
+#include "test_util_bench.hpp"
+
+namespace cdse {
+namespace {
+
+int run() {
+  bench::print_header(
+      "E4: transitivity of approximate implementation (Theorem 4.16)",
+      "eps(A1,A3) <= eps(A1,A2) + eps(A2,A3); equality on monotone chains");
+  bench::print_row({"p1", "p2", "p3", "eps12", "eps23", "eps13",
+                    "sum", "tight?"});
+  bool ok = true;
+  int tight = 0;
+  int total = 0;
+  for (int i1 = 0; i1 <= 8; i1 += 2) {
+    for (int i2 = 0; i2 <= 8; i2 += 2) {
+      for (int i3 = 0; i3 <= 8; i3 += 4) {
+        const Rational p1(i1, 8);
+        const Rational p2(i2, 8);
+        const Rational p3(i3, 8);
+        const std::string tag = "e4_" + std::to_string(i1) + "_" +
+                                std::to_string(i2) + "_" +
+                                std::to_string(i3);
+        auto env = make_probe_env_matching(
+            "env_" + tag, {act("go_" + tag)}, acts({"no_" + tag}),
+            act("yes_" + tag), act("acc_" + tag));
+        auto s1 = compose(env, bench_bern(tag + "_1", tag, p1));
+        auto s2 = compose(env, bench_bern(tag + "_2", tag, p2));
+        auto s3 = compose(env, bench_bern(tag + "_3", tag, p3));
+        UniformScheduler sched(8, true);
+        const TransitivityRow row = check_transitivity_case(
+            *s1, *s2, *s3, sched, AcceptInsight(act("acc_" + tag)), 12);
+        ok = ok && row.triangle_holds;
+        const bool is_tight = row.eps13 == row.eps12 + row.eps23;
+        const bool monotone = (p1 <= p2 && p2 <= p3) ||
+                              (p3 <= p2 && p2 <= p1);
+        if (monotone) ok = ok && is_tight;
+        tight += is_tight ? 1 : 0;
+        ++total;
+        bench::print_row({p1.to_string(), p2.to_string(), p3.to_string(),
+                          row.eps12.to_string(), row.eps23.to_string(),
+                          row.eps13.to_string(),
+                          (row.eps12 + row.eps23).to_string(),
+                          is_tight ? "yes" : "no"},
+                         9);
+      }
+    }
+  }
+  std::printf("triangle tight on %d / %d chains\n", tight, total);
+  return bench::verdict(
+      ok, "E4: triangle inequality on all chains, tight on monotone ones");
+}
+
+}  // namespace
+}  // namespace cdse
+
+int main() { return cdse::run(); }

@@ -1,0 +1,46 @@
+#pragma once
+// Shared helpers for the experiment harnesses: fixed-width table printing
+// and a monotonic timer. Each harness prints the rows recorded in
+// EXPERIMENTS.md and exits non-zero if its claim check fails, so the
+// bench run doubles as an end-to-end verification pass.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cdse::bench {
+
+inline void print_header(const std::string& experiment,
+                         const std::string& claim) {
+  std::printf("==================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("claim: %s\n", claim.c_str());
+  std::printf("==================================================\n");
+}
+
+inline void print_row(const std::vector<std::string>& cells,
+                      int width = 14) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline int verdict(bool ok, const std::string& what) {
+  std::printf("[%s] %s\n\n", ok ? "PASS" : "FAIL", what.c_str());
+  return ok ? 0 : 1;
+}
+
+}  // namespace cdse::bench

@@ -1,0 +1,45 @@
+#pragma once
+// Shared builders for the experiment harnesses (mirrors tests/test_util.hpp
+// without depending on the test tree).
+
+#include <memory>
+#include <string>
+
+#include "psioa/compose.hpp"
+#include "psioa/explicit_psioa.hpp"
+
+namespace cdse {
+
+/// Bernoulli automaton over the vocabulary go_/yes_/no_<tag>.
+inline PsioaPtr bench_bern(const std::string& inst, const std::string& tag,
+                           const Rational& p) {
+  auto b = std::make_shared<ExplicitPsioa>(inst);
+  const ActionId a_t = act("go_" + tag);
+  const ActionId a_y = act("yes_" + tag);
+  const ActionId a_n = act("no_" + tag);
+  const State s0 = b->add_state("idle");
+  const State sy = b->add_state("yes");
+  const State sn = b->add_state("no");
+  const State sd = b->add_state("done");
+  b->set_start(s0);
+  Signature sig0;
+  sig0.in = {a_t};
+  b->set_signature(s0, sig0);
+  Signature sigy;
+  sigy.out = {a_y};
+  b->set_signature(sy, sigy);
+  Signature sign;
+  sign.out = {a_n};
+  b->set_signature(sn, sign);
+  b->set_signature(sd, Signature{});
+  StateDist d;
+  d.add(sy, p);
+  d.add(sn, Rational(1) - p);
+  b->add_transition(s0, a_t, d);
+  b->add_step(sy, a_y, sd);
+  b->add_step(sn, a_n, sd);
+  b->validate();
+  return b;
+}
+
+}  // namespace cdse

@@ -1,0 +1,201 @@
+#include "bounded/cost.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace cdse {
+
+BitString encode_action(ActionId a) {
+  return BitString::from_bytes(ActionTable::instance().name(a));
+}
+
+bool machine_is_start(Psioa& automaton, State q, CostMeter& meter) {
+  const BitString qe = automaton.encode_state(q);
+  const BitString se = automaton.encode_state(automaton.start_state());
+  meter.charge(qe.length() + se.length());
+  return qe == se;
+}
+
+bool machine_in_sig_class(Psioa& automaton, State q, ActionId a,
+                          SigClass which, CostMeter& meter) {
+  const BitString qe = automaton.encode_state(q);
+  const BitString ae = encode_action(a);
+  meter.charge(qe.length() + ae.length());
+  const Signature sig = automaton.signature(q);
+  const ActionSet* cls = nullptr;
+  switch (which) {
+    case SigClass::kInput:
+      cls = &sig.in;
+      break;
+    case SigClass::kOutput:
+      cls = &sig.out;
+      break;
+    case SigClass::kInternal:
+      cls = &sig.internal;
+      break;
+  }
+  bool found = false;
+  for (ActionId b : *cls) {
+    const BitString be = encode_action(b);
+    meter.charge(be.length());
+    if (b == a) found = true;
+  }
+  return found;
+}
+
+bool machine_is_step(Psioa& automaton, State q, ActionId a, State q2,
+                     CostMeter& meter) {
+  const BitString qe = automaton.encode_state(q);
+  const BitString ae = encode_action(a);
+  meter.charge(qe.length() + ae.length());
+  if (!automaton.signature(q).contains(a)) return false;
+  const StateDist eta = automaton.transition(q, a);
+  bool found = false;
+  for (const auto& [target, w] : eta.entries()) {
+    (void)w;
+    const BitString te = automaton.encode_state(target);
+    meter.charge(te.length());
+    if (target == q2) found = true;
+  }
+  return found;
+}
+
+State machine_next_state(Psioa& automaton, State q, ActionId a, double u,
+                         CostMeter& meter) {
+  const BitString qe = automaton.encode_state(q);
+  const BitString ae = encode_action(a);
+  meter.charge(qe.length() + ae.length());
+  const StateDist eta = automaton.transition(q, a);
+  double acc = 0.0;
+  State chosen = eta.entries().back().first;
+  for (const auto& [target, w] : eta.entries()) {
+    acc += w.to_double();
+    if (u < acc) {
+      chosen = target;
+      break;
+    }
+  }
+  meter.charge(automaton.encode_state(chosen).length());
+  return chosen;
+}
+
+BitString machine_config(Pca& x, State q, CostMeter& meter) {
+  const BitString qe = x.encode_state(q);
+  const Configuration c = x.config(q);
+  std::vector<BitString> parts;
+  parts.push_back(BitString::from_uint(c.items().size()));
+  for (const auto& [aid, sub_state] : c.items()) {
+    parts.push_back(
+        BitString::pair(BitString::from_uint(aid),
+                        x.registry().aut(aid).encode_state(sub_state)));
+  }
+  const BitString ce = BitString::pack(parts);
+  meter.charge(qe.length() + ce.length());
+  return ce;
+}
+
+BitString machine_created(Pca& x, State q, ActionId a, CostMeter& meter) {
+  const BitString qe = x.encode_state(q);
+  const BitString ae = encode_action(a);
+  std::vector<BitString> parts;
+  for (Aid created : x.created(q, a)) {
+    parts.push_back(BitString::from_uint(created));
+  }
+  const BitString pe =
+      parts.empty() ? BitString::from_uint(0) : BitString::pack(parts);
+  meter.charge(qe.length() + ae.length() + pe.length());
+  return pe;
+}
+
+BitString machine_hidden(Pca& x, State q, CostMeter& meter) {
+  const BitString qe = x.encode_state(q);
+  std::vector<BitString> parts;
+  for (ActionId a : x.hidden_actions(q)) parts.push_back(encode_action(a));
+  const BitString he =
+      parts.empty() ? BitString::from_uint(0) : BitString::pack(parts);
+  meter.charge(qe.length() + he.length());
+  return he;
+}
+
+std::uint64_t BoundedProfile::b() const {
+  return std::max<std::uint64_t>(
+      {max_state_repr, max_action_repr, max_machine_cost});
+}
+
+namespace {
+
+/// Shared exploration driver; `extra` runs additional machines per state.
+template <typename ExtraFn>
+BoundedProfile profile_impl(Psioa& automaton, std::size_t depth,
+                            std::size_t max_states, ExtraFn&& extra) {
+  BoundedProfile prof;
+  const State q0 = automaton.start_state();
+  std::unordered_set<State> seen{q0};
+  std::queue<std::pair<State, std::size_t>> frontier;
+  frontier.emplace(q0, 0);
+  while (!frontier.empty() && prof.states_explored < max_states) {
+    auto [q, d] = frontier.front();
+    frontier.pop();
+    ++prof.states_explored;
+
+    prof.max_state_repr =
+        std::max(prof.max_state_repr, automaton.encode_state(q).length());
+    {
+      CostMeter m;
+      machine_is_start(automaton, q, m);
+      prof.max_machine_cost = std::max(prof.max_machine_cost, m.steps());
+    }
+    const Signature sig = automaton.signature(q);
+    for (ActionId a : sig.all()) {
+      ++prof.transitions_explored;
+      prof.max_action_repr =
+          std::max(prof.max_action_repr, encode_action(a).length());
+      for (SigClass cls :
+           {SigClass::kInput, SigClass::kOutput, SigClass::kInternal}) {
+        CostMeter m;
+        machine_in_sig_class(automaton, q, a, cls, m);
+        prof.max_machine_cost = std::max(prof.max_machine_cost, m.steps());
+      }
+      const StateDist eta = automaton.transition(q, a);
+      for (State q2 : eta.support()) {
+        {
+          CostMeter m;
+          machine_is_step(automaton, q, a, q2, m);
+          prof.max_machine_cost = std::max(prof.max_machine_cost, m.steps());
+        }
+        if (d < depth && seen.insert(q2).second) frontier.emplace(q2, d + 1);
+      }
+      {
+        CostMeter m;
+        machine_next_state(automaton, q, a, 0.5, m);
+        prof.max_machine_cost = std::max(prof.max_machine_cost, m.steps());
+      }
+      extra(q, a, prof);
+    }
+  }
+  return prof;
+}
+
+}  // namespace
+
+BoundedProfile profile_psioa(Psioa& automaton, std::size_t depth,
+                             std::size_t max_states) {
+  return profile_impl(automaton, depth, max_states,
+                      [](State, ActionId, BoundedProfile&) {});
+}
+
+BoundedProfile profile_pca(Pca& x, std::size_t depth,
+                           std::size_t max_states) {
+  return profile_impl(
+      x, depth, max_states, [&x](State q, ActionId a, BoundedProfile& prof) {
+        CostMeter m;
+        machine_config(x, q, m);
+        machine_created(x, q, a, m);
+        machine_hidden(x, q, m);
+        prof.max_machine_cost = std::max(prof.max_machine_cost, m.steps());
+      });
+}
+
+}  // namespace cdse

@@ -1,0 +1,92 @@
+#pragma once
+// The b-time-bounded machine model (Def 4.1, Def 4.2).
+//
+// The paper bounds (1) the bit-string representation length of every
+// automaton part and (2) the running time of decoding/next-state Turing
+// machines. We realize the machines as instrumented procedures whose cost
+// is the number of *bits touched*: comparing two encodings costs the sum
+// of their lengths, scanning a signature costs the total encoded length
+// of its actions, and so on. Because composite automata encode states by
+// pairing component encodings (psioa/compose.hpp uses exactly the
+// stuffing scheme from the proof of Lemma B.1), these costs compose
+// additively with small constant factors -- which is the content of
+// Lemmas 4.3/4.5, measured rather than assumed by experiments E1-E3.
+
+#include <cstdint>
+
+#include "pca/pca.hpp"
+#include "psioa/psioa.hpp"
+
+namespace cdse {
+
+/// Cost accumulator standing in for a Turing machine's step counter.
+class CostMeter {
+ public:
+  void charge(std::uint64_t steps) { steps_ += steps; }
+  std::uint64_t steps() const { return steps_; }
+  void reset() { steps_ = 0; }
+
+ private:
+  std::uint64_t steps_ = 0;
+};
+
+/// <a>: the standard action encoding (its interned name as bits).
+BitString encode_action(ActionId a);
+
+// -- The decoding machines of Def 4.1, instrumented ------------------------
+
+/// M_start: decides whether q is the start state. Cost: |<q>| + |<start>|.
+bool machine_is_start(Psioa& automaton, State q, CostMeter& meter);
+
+/// M_sig: decides membership of `a` in the input/output/internal class.
+/// Cost: |<q>| + |<a>| + sum of encoded lengths of the scanned class.
+enum class SigClass { kInput, kOutput, kInternal };
+bool machine_in_sig_class(Psioa& automaton, State q, ActionId a,
+                          SigClass which, CostMeter& meter);
+
+/// M_trans/M_step: decides whether (q, a, q2) in steps(A).
+/// Cost: |<q>| + |<a>| + sum over supp(eta) of |<q'>|.
+bool machine_is_step(Psioa& automaton, State q, ActionId a, State q2,
+                     CostMeter& meter);
+
+/// M_state: produces the next state for (q, a) given a random tape value
+/// u in [0,1). Cost: |<q>| + |<a>| + |<q'>| of the produced state.
+State machine_next_state(Psioa& automaton, State q, ActionId a, double u,
+                         CostMeter& meter);
+
+// -- PCA machines of Def 4.2 ------------------------------------------------
+
+/// M_conf: outputs <config(X)(q)>. Cost: |<q>| + |<C>|.
+BitString machine_config(Pca& x, State q, CostMeter& meter);
+
+/// M_created: outputs <created(X)(q)(a)>. Cost: |<q>| + |<a>| + |<phi>|.
+BitString machine_created(Pca& x, State q, ActionId a, CostMeter& meter);
+
+/// M_hidden: outputs <hidden-actions(X)(q)>. Cost: |<q>| + |<h>|.
+BitString machine_hidden(Pca& x, State q, CostMeter& meter);
+
+// -- Empirical bound profiling ----------------------------------------------
+
+/// The measured analogue of "A is b-time-bounded": the maximum
+/// representation length and machine cost over the reachable prefix.
+struct BoundedProfile {
+  std::size_t max_state_repr = 0;
+  std::size_t max_action_repr = 0;
+  std::uint64_t max_machine_cost = 0;
+  std::size_t states_explored = 0;
+  std::size_t transitions_explored = 0;
+
+  /// The automaton's empirical b: every Def 4.1 quantity is <= b.
+  std::uint64_t b() const;
+};
+
+/// Explores up to `depth` transitions / `max_states` states from the
+/// start, running every machine on every visited (state, action) pair.
+BoundedProfile profile_psioa(Psioa& automaton, std::size_t depth,
+                             std::size_t max_states = 100000);
+
+/// Additionally runs the three PCA machines of Def 4.2.
+BoundedProfile profile_pca(Pca& x, std::size_t depth,
+                           std::size_t max_states = 100000);
+
+}  // namespace cdse

@@ -1,0 +1,35 @@
+#include "bounded/family.hpp"
+
+#include "psioa/compose.hpp"
+
+namespace cdse {
+
+PsioaFamily compose_families(const PsioaFamily& a, const PsioaFamily& b) {
+  PsioaFamily out;
+  out.name = a.name + "||" + b.name;
+  out.make = [ma = a.make, mb = b.make](std::uint32_t k) -> PsioaPtr {
+    return compose(ma(k), mb(k));
+  };
+  return out;
+}
+
+FamilyBoundReport check_family_bounded(const PsioaFamily& family,
+                                       const Polynomial& bound,
+                                       const std::vector<std::uint32_t>& ks,
+                                       std::size_t depth) {
+  FamilyBoundReport report;
+  for (std::uint32_t k : ks) {
+    PsioaPtr automaton = family.make(k);
+    const BoundedProfile prof = profile_psioa(*automaton, depth);
+    FamilyBoundReport::Row row;
+    row.k = k;
+    row.measured_b = prof.b();
+    row.allowed_b = bound.eval(static_cast<double>(k));
+    row.ok = static_cast<double>(row.measured_b) <= row.allowed_b;
+    report.all_ok = report.all_ok && row.ok;
+    report.rows.push_back(row);
+  }
+  return report;
+}
+
+}  // namespace cdse

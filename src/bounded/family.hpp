@@ -1,0 +1,52 @@
+#pragma once
+// Families indexed by the security parameter (Defs 4.7-4.10).
+//
+// A PSIOA (or PCA, or scheduler) family is an indexed set (A_k); the
+// polynomial-boundedness of a family (Def 4.8) is checked empirically by
+// profiling each sampled index against b(k). Families are represented by
+// builder functions so experiment sweeps stay allocation-independent and
+// parallelizable.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bounded/cost.hpp"
+#include "sched/scheduler.hpp"
+#include "util/poly.hpp"
+
+namespace cdse {
+
+struct PsioaFamily {
+  std::string name;
+  std::function<PsioaPtr(std::uint32_t k)> make;
+};
+
+struct SchedulerFamily {
+  std::string name;
+  std::function<SchedulerPtr(std::uint32_t k)> make;
+};
+
+/// Composition of families is index-wise (Def 4.7).
+PsioaFamily compose_families(const PsioaFamily& a, const PsioaFamily& b);
+
+/// Def 4.8 check, sampled at the given indices: profiles each A_k up to
+/// `depth` and verifies profile.b() <= bound(k).
+struct FamilyBoundReport {
+  struct Row {
+    std::uint32_t k;
+    std::uint64_t measured_b;
+    double allowed_b;
+    bool ok;
+  };
+  std::vector<Row> rows;
+  bool all_ok = true;
+};
+
+FamilyBoundReport check_family_bounded(const PsioaFamily& family,
+                                       const Polynomial& bound,
+                                       const std::vector<std::uint32_t>& ks,
+                                       std::size_t depth);
+
+}  // namespace cdse

@@ -1,0 +1,219 @@
+#include "crypto/pairs.hpp"
+
+#include <stdexcept>
+
+#include "psioa/explicit_psioa.hpp"
+
+namespace cdse {
+
+namespace {
+
+Rational pow2_inv(std::uint32_t k) {
+  if (k < 1 || k > 62) {
+    throw std::invalid_argument("real/ideal pair: k must be in [1, 62]");
+  }
+  return Rational(1, static_cast<std::int64_t>(1) << k);
+}
+
+Signature in_sig(ActionSet in) {
+  Signature s;
+  s.in = std::move(in);
+  return s;
+}
+
+Signature out_sig(ActionSet out) {
+  Signature s;
+  s.out = std::move(out);
+  return s;
+}
+
+Signature int_sig(ActionSet internal) {
+  Signature s;
+  s.internal = std::move(internal);
+  return s;
+}
+
+/// One-time MAC automaton; `forge_win` is the forgery success probability
+/// (2^-k for the real scheme, 0 for the ideal functionality).
+PsioaPtr make_otmac(const std::string& name, const std::string& tag,
+                    const Rational& forge_win) {
+  auto m = std::make_shared<ExplicitPsioa>(name);
+  const ActionId a_auth = act("auth_" + tag);
+  const ActionId a_forge = act("forge_" + tag);
+  const ActionId a_forged = act("forged_" + tag);
+  const ActionId a_rejected = act("rejected_" + tag);
+
+  const State idle = m->add_state("idle");
+  const State authed = m->add_state("authed");
+  const State win = m->add_state("win");
+  const State lose = m->add_state("lose");
+  const State done = m->add_state("done");
+  m->set_start(idle);
+  m->set_signature(idle, in_sig({a_auth}));
+  m->set_signature(authed, in_sig({a_forge}));
+  m->set_signature(win, out_sig({a_forged}));
+  m->set_signature(lose, out_sig({a_rejected}));
+  m->set_signature(done, Signature{});
+
+  m->add_step(idle, a_auth, authed);
+  StateDist forge_dist;
+  forge_dist.add(win, forge_win);
+  forge_dist.add(lose, Rational(1) - forge_win);
+  m->add_transition(authed, a_forge, forge_dist);
+  m->add_step(win, a_forged, done);
+  m->add_step(lose, a_rejected, done);
+  m->validate();
+  return m;
+}
+
+/// OTP channel automaton; `flip_prob` is P[ciphertext != message]
+/// (1/2 + 2^-k for the biased real pad, exactly 1/2 for the ideal one).
+PsioaPtr make_otp(const std::string& name, const std::string& tag,
+                  const Rational& flip_prob) {
+  auto m = std::make_shared<ExplicitPsioa>(name);
+  const ActionId a_send[2] = {act("send0_" + tag), act("send1_" + tag)};
+  const ActionId a_cipher[2] = {act("cipher0_" + tag), act("cipher1_" + tag)};
+  const ActionId a_deliver[2] = {act("deliver0_" + tag),
+                                 act("deliver1_" + tag)};
+  const ActionId a_rand = act("rand_" + tag);
+
+  const State idle = m->add_state("idle");
+  m->set_start(idle);
+  m->set_signature(idle, in_sig({a_send[0], a_send[1]}));
+  State enc[2];
+  State cip[2][2];
+  State del[2];
+  const State done = m->add_state("done");
+  m->set_signature(done, Signature{});
+  for (int msg = 0; msg < 2; ++msg) {
+    enc[msg] = m->add_state("enc" + std::to_string(msg));
+    m->set_signature(enc[msg], int_sig({a_rand}));
+    del[msg] = m->add_state("del" + std::to_string(msg));
+    m->set_signature(del[msg], out_sig({a_deliver[msg]}));
+    for (int c = 0; c < 2; ++c) {
+      cip[msg][c] =
+          m->add_state("cip" + std::to_string(msg) + std::to_string(c));
+      m->set_signature(cip[msg][c], out_sig({a_cipher[c]}));
+    }
+  }
+  for (int msg = 0; msg < 2; ++msg) {
+    m->add_step(idle, a_send[msg], enc[msg]);
+    StateDist d;
+    d.add(cip[msg][1 - msg], flip_prob);               // cipher != message
+    d.add(cip[msg][msg], Rational(1) - flip_prob);     // cipher == message
+    m->add_transition(enc[msg], a_rand, d);
+    for (int c = 0; c < 2; ++c) {
+      m->add_step(cip[msg][c], a_cipher[c], del[msg]);
+    }
+    m->add_step(del[msg], a_deliver[msg], done);
+  }
+  m->validate();
+  return m;
+}
+
+/// Commitment automaton; `flip_win` is the probability that an
+/// equivocation request actually flips the committed bit.
+PsioaPtr make_commitment(const std::string& name, const std::string& tag,
+                         const Rational& flip_win) {
+  auto m = std::make_shared<ExplicitPsioa>(name);
+  const ActionId a_commit[2] = {act("commit0_" + tag), act("commit1_" + tag)};
+  const ActionId a_open[2] = {act("open0_" + tag), act("open1_" + tag)};
+  const ActionId a_reveal = act("reveal_" + tag);
+  const ActionId a_flipcmd = act("flipcmd_" + tag);
+
+  const State idle = m->add_state("idle");
+  m->set_start(idle);
+  m->set_signature(idle, in_sig({a_commit[0], a_commit[1]}));
+  State com[2];
+  State rev[2];
+  const State done = m->add_state("done");
+  m->set_signature(done, Signature{});
+  for (int b = 0; b < 2; ++b) {
+    com[b] = m->add_state("com" + std::to_string(b));
+    m->set_signature(com[b], in_sig({a_reveal, a_flipcmd}));
+    rev[b] = m->add_state("rev" + std::to_string(b));
+    m->set_signature(rev[b], out_sig({a_open[b]}));
+  }
+  for (int b = 0; b < 2; ++b) {
+    m->add_step(idle, a_commit[b], com[b]);
+    StateDist flip;
+    flip.add(com[1 - b], flip_win);
+    flip.add(com[b], Rational(1) - flip_win);
+    m->add_transition(com[b], a_flipcmd, flip);
+    m->add_step(com[b], a_reveal, rev[b]);
+    m->add_step(rev[b], a_open[b], done);
+  }
+  m->validate();
+  return m;
+}
+
+}  // namespace
+
+PsioaPtr make_otmac_automaton(const std::string& name,
+                              const std::string& tag,
+                              const Rational& forge_win) {
+  return make_otmac(name, tag, forge_win);
+}
+
+PsioaPtr make_commitment_automaton(const std::string& name,
+                                   const std::string& tag,
+                                   const Rational& flip_win) {
+  return make_commitment(name, tag, flip_win);
+}
+
+RealIdealPair make_otmac_pair(std::uint32_t k, const std::string& tag) {
+  const Rational adv = pow2_inv(k);
+  const ActionSet env = acts({"auth_" + tag, "forged_" + tag,
+                              "rejected_" + tag});
+  const ActionSet adv_in = acts({"forge_" + tag});
+  return RealIdealPair{
+      StructuredPsioa(make_otmac("otmac_real_" + tag, tag, adv), env, adv_in,
+                      {}),
+      StructuredPsioa(make_otmac("otmac_ideal_" + tag, tag, Rational(0)),
+                      env, adv_in, {}),
+      adv, tag};
+}
+
+RealIdealPair make_otp_pair(std::uint32_t k, const std::string& tag) {
+  const Rational bias = pow2_inv(k);
+  const Rational half(1, 2);
+  const ActionSet env = acts({"send0_" + tag, "send1_" + tag,
+                              "deliver0_" + tag, "deliver1_" + tag});
+  const ActionSet adv_out = acts({"cipher0_" + tag, "cipher1_" + tag});
+  return RealIdealPair{
+      StructuredPsioa(make_otp("otp_real_" + tag, tag, half + bias), env, {},
+                      adv_out),
+      StructuredPsioa(make_otp("otp_ideal_" + tag, tag, half), env, {},
+                      adv_out),
+      bias, tag};
+}
+
+RealIdealPair make_commitment_pair(std::uint32_t k, const std::string& tag) {
+  const Rational adv = pow2_inv(k);
+  const ActionSet env = acts({"commit0_" + tag, "commit1_" + tag,
+                              "reveal_" + tag, "open0_" + tag,
+                              "open1_" + tag});
+  const ActionSet adv_in = acts({"flipcmd_" + tag});
+  return RealIdealPair{
+      StructuredPsioa(make_commitment("commit_real_" + tag, tag, adv), env,
+                      adv_in, {}),
+      StructuredPsioa(
+          make_commitment("commit_ideal_" + tag, tag, Rational(0)), env,
+          adv_in, {}),
+      adv, tag};
+}
+
+RealIdealPair make_perfect_otp_pair(const std::string& tag) {
+  const Rational half(1, 2);
+  const ActionSet env = acts({"send0_" + tag, "send1_" + tag,
+                              "deliver0_" + tag, "deliver1_" + tag});
+  const ActionSet adv_out = acts({"cipher0_" + tag, "cipher1_" + tag});
+  return RealIdealPair{
+      StructuredPsioa(make_otp("potp_real_" + tag, tag, half), env, {},
+                      adv_out),
+      StructuredPsioa(make_otp("potp_ideal_" + tag, tag, half), env, {},
+                      adv_out),
+      Rational(0), tag};
+}
+
+}  // namespace cdse

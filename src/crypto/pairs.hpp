@@ -1,0 +1,70 @@
+#pragma once
+// Real/ideal structured functionality pairs with closed-form advantage.
+//
+// Secure emulation compares a real protocol against an ideal
+// functionality through any environment's eyes. These factory functions
+// build small PSIOA pairs whose *exact* best-case distinguishing
+// advantage is known in closed form (a dyadic rational in the security
+// parameter k), which is what lets experiments E7/E8 compare measured
+// epsilon against ground truth:
+//
+//   one-time MAC   -- adversary forgery succeeds w.p. exactly 2^-k in the
+//                     real scheme, never in the ideal one;
+//   OTP channel    -- the real pad bit is biased by exactly 2^-k, the
+//                     ideal ciphertext is uniform; a relaying adversary
+//                     converts the bias into environment advantage 2^-k;
+//   commitment     -- the real scheme loses binding w.p. exactly 2^-k
+//                     when the adversary requests an equivocation;
+//   perfect OTP    -- real == ideal distributionally; advantage 0.
+//
+// Every action name carries an instance tag so independently built pairs
+// are pairwise compatible and compose (Theorem 4.30's setting).
+
+#include <cstdint>
+#include <string>
+
+#include "secure/structured.hpp"
+#include "util/rational.hpp"
+
+namespace cdse {
+
+struct RealIdealPair {
+  StructuredPsioa real;
+  StructuredPsioa ideal;
+  /// Exact advantage of the canonical distinguisher (see each factory).
+  Rational exact_advantage;
+  /// Instance tag baked into every action name.
+  std::string tag;
+};
+
+/// One-time MAC. Env: auth_<t> then observe forged_<t> / rejected_<t>.
+/// Adv input: forge_<t>. Advantage 2^-k. Requires 1 <= k <= 62.
+RealIdealPair make_otmac_pair(std::uint32_t k, const std::string& tag);
+
+/// The bare MAC automaton with an explicit forgery-success probability
+/// (2^-k for real schemes, 0 for ideal functionalities). Exposed for the
+/// dynamic session service, which registers per-session instances.
+PsioaPtr make_otmac_automaton(const std::string& name,
+                              const std::string& tag,
+                              const Rational& forge_win);
+
+/// The bare commitment automaton with an explicit equivocation-success
+/// probability. Exposed for protocols built *over* the commitment (the
+/// Blum coin toss in protocols/cointoss.hpp).
+PsioaPtr make_commitment_automaton(const std::string& name,
+                                   const std::string& tag,
+                                   const Rational& flip_win);
+
+/// Biased-pad OTP channel. Env: send0/1_<t>, deliver0/1_<t>.
+/// Adv outputs: cipher0/1_<t> (leak). Advantage 2^-k with a relay
+/// adversary. Requires 1 <= k <= 62.
+RealIdealPair make_otp_pair(std::uint32_t k, const std::string& tag);
+
+/// Commitment with 2^-k binding failure. Env: commit0/1_<t>, reveal_<t>,
+/// open0/1_<t>. Adv input: flipcmd_<t>. Requires 1 <= k <= 62.
+RealIdealPair make_commitment_pair(std::uint32_t k, const std::string& tag);
+
+/// Perfect OTP: identical real and ideal distributions; advantage 0.
+RealIdealPair make_perfect_otp_pair(const std::string& tag);
+
+}  // namespace cdse

@@ -1,0 +1,53 @@
+#include "crypto/prg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace cdse {
+
+WeakPrg::WeakPrg(std::uint32_t k) : k_(k) {
+  if (k < 1 || k > 24) {
+    throw std::invalid_argument("WeakPrg: k must be in [1, 24]");
+  }
+}
+
+std::uint64_t WeakPrg::expand(std::uint64_t seed) const {
+  // xorshift-style mixing of the (zero-padded) k-bit seed. With only
+  // 2^k distinct outputs over a 2^64 range this is nowhere near uniform
+  // -- which is the point: it is a *bounded* primitive whose weakness is
+  // quantifiable.
+  std::uint64_t x = (seed & ((1ULL << k_) - 1)) + 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+double WeakPrg::exact_one_bias() const {
+  std::uint64_t ones = 0;
+  const std::uint64_t n = seed_count();
+  for (std::uint64_t s = 0; s < n; ++s) ones += expand(s) & 1ULL;
+  return static_cast<double>(ones) / static_cast<double>(n) - 0.5;
+}
+
+double WeakPrg::exact_tv_from_uniform(std::uint32_t bits) const {
+  if (bits > 16) throw std::invalid_argument("WeakPrg: bits > 16");
+  const std::uint64_t buckets = 1ULL << bits;
+  std::vector<std::uint64_t> count(buckets, 0);
+  const std::uint64_t n = seed_count();
+  for (std::uint64_t s = 0; s < n; ++s) {
+    ++count[expand(s) & (buckets - 1)];
+  }
+  const double uniform = 1.0 / static_cast<double>(buckets);
+  double pos = 0.0;
+  for (std::uint64_t b = 0; b < buckets; ++b) {
+    const double p = static_cast<double>(count[b]) / static_cast<double>(n);
+    if (p > uniform) pos += p - uniform;
+  }
+  return pos;
+}
+
+}  // namespace cdse

@@ -1,0 +1,42 @@
+#pragma once
+// A deliberately weak PRG with exactly enumerable output statistics.
+//
+// The paper treats cryptographic primitives abstractly ("computational
+// hardness assumptions", Section 4.1); the reproduction needs concrete
+// ones whose distinguishing advantage is *known exactly* so that epsilon
+// claims can be checked to machine precision. WeakPrg is a k-bit-seed
+// xorshift expander: for small k its full output distribution is
+// enumerable, and exact_one_bias() reports how far its low output bit is
+// from a fair coin. The automaton pairs in pairs.hpp use the idealized
+// 2^-k bias for closed-form bookkeeping; the tests compare WeakPrg's
+// measured bias against that envelope to justify the substitution.
+
+#include <cstdint>
+
+namespace cdse {
+
+class WeakPrg {
+ public:
+  /// k in [1, 24]: seeds are the k-bit integers (enumeration stays cheap).
+  explicit WeakPrg(std::uint32_t k);
+
+  std::uint32_t k() const { return k_; }
+  std::uint64_t seed_count() const { return 1ULL << k_; }
+
+  /// Expands a k-bit seed to 64 pseudo-random bits.
+  std::uint64_t expand(std::uint64_t seed) const;
+
+  /// Exact bias of the low output bit: P[lsb(expand(S)) = 1] - 1/2 for a
+  /// uniform k-bit seed S, by enumeration of all seeds.
+  double exact_one_bias() const;
+
+  /// Exact total-variation distance between the distribution of the low
+  /// `bits` output bits (uniform seed) and the uniform distribution on
+  /// `bits` bits. Requires bits <= 16.
+  double exact_tv_from_uniform(std::uint32_t bits) const;
+
+ private:
+  std::uint32_t k_;
+};
+
+}  // namespace cdse

@@ -1,0 +1,48 @@
+#include "crypto/relay.hpp"
+
+#include <stdexcept>
+
+#include "psioa/explicit_psioa.hpp"
+
+namespace cdse {
+
+PsioaPtr make_relay_adversary(
+    const std::string& name,
+    const std::vector<std::pair<ActionId, ActionId>>& relay_map) {
+  auto relay = std::make_shared<ExplicitPsioa>(name);
+  ActionSet inputs;
+  for (const auto& [in, out] : relay_map) {
+    (void)out;
+    if (!set::insert(inputs, in)) {
+      throw std::logic_error("make_relay_adversary: duplicate input action");
+    }
+  }
+  const State idle = relay->add_state("idle");
+  relay->set_start(idle);
+
+  std::vector<State> holding;
+  holding.reserve(relay_map.size());
+  for (const auto& [in, out] : relay_map) {
+    holding.push_back(
+        relay->add_state("hold_" + ActionTable::instance().name(in)));
+    Signature sig;
+    sig.in = inputs;
+    sig.out = ActionSet{out};
+    relay->set_signature(holding.back(), sig);
+  }
+  Signature idle_sig;
+  idle_sig.in = inputs;
+  relay->set_signature(idle, idle_sig);
+
+  for (std::size_t i = 0; i < relay_map.size(); ++i) {
+    relay->add_step(idle, relay_map[i].first, holding[i]);
+    relay->add_step(holding[i], relay_map[i].second, idle);
+    for (std::size_t j = 0; j < relay_map.size(); ++j) {
+      relay->add_step(holding[i], relay_map[j].first, holding[j]);
+    }
+  }
+  relay->validate();
+  return relay;
+}
+
+}  // namespace cdse

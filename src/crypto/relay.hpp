@@ -1,0 +1,28 @@
+#pragma once
+// Relay adversary: converts adversary-facing leaks into
+// environment-visible reports.
+//
+// In simulation-based security the adversary and the environment
+// cooperate; an automaton A whose leaks live in AAct is only
+// distinguishable if some adversary *relays* what it sees to the
+// environment. The relay is a one-slot forwarder (same shape as the
+// dummy adversary but with a caller-chosen output alphabet): on input x
+// it stores x, then emits relay_map(x) and returns to idle.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "psioa/psioa.hpp"
+
+namespace cdse {
+
+/// Builds a relay with the given (input -> output) action map. Inputs are
+/// typically an automaton's adv_out vocabulary; outputs are fresh
+/// env-visible "tell" actions. All inputs stay enabled while relaying
+/// (late arrivals overwrite the slot, mirroring Def 4.27's dummy).
+PsioaPtr make_relay_adversary(
+    const std::string& name,
+    const std::vector<std::pair<ActionId, ActionId>>& relay_map);
+
+}  // namespace cdse

@@ -1,0 +1,97 @@
+#include "crypto/service.hpp"
+
+#include "crypto/pairs.hpp"
+#include "psioa/explicit_psioa.hpp"
+
+namespace cdse {
+
+std::string service_action(const std::string& base, const std::string& tag,
+                           std::size_t session) {
+  return base + "_" + tag + "_" + std::to_string(session);
+}
+
+namespace {
+
+/// The dispatcher: a memoryless hub whose only job is to accept open_i
+/// requests; session creation is the PCA creation policy's business.
+/// `name` distinguishes the real/ideal instances; `tag` names actions
+/// (shared between the two sides).
+PsioaPtr make_hub(const std::string& name, const std::string& tag,
+                  std::size_t sessions) {
+  auto hub = std::make_shared<ExplicitPsioa>("hub_" + name);
+  const State q = hub->add_state("hub");
+  hub->set_start(q);
+  Signature sig;
+  for (std::size_t i = 0; i < sessions; ++i) {
+    sig.in.push_back(act(service_action("open", tag, i)));
+  }
+  set::normalize(sig.in);
+  hub->set_signature(q, sig);
+  for (ActionId a : sig.in) hub->add_step(q, a, q);
+  hub->validate();
+  return hub;
+}
+
+std::shared_ptr<DynamicPca> make_service(
+    const std::vector<std::uint32_t>& ks, const std::string& tag,
+    bool real) {
+  auto reg = std::make_shared<AutomatonRegistry>();
+  const std::string side = real ? "real" : "ideal";
+  const Aid hub = reg->add(make_hub(tag + "_" + side, tag, ks.size()));
+  std::vector<std::pair<ActionId, Aid>> spawn_on;
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const Rational win =
+        real ? Rational(1, static_cast<std::int64_t>(1) << ks[i])
+             : Rational(0);
+    const std::string session_tag = tag + "_" + std::to_string(i);
+    const Aid sid = reg->add(make_otmac_automaton(
+        "session" + std::to_string(i) + "_" + side + "_" + tag,
+        session_tag, win));
+    spawn_on.emplace_back(act(service_action("open", tag, i)), sid);
+  }
+  CreationPolicy creation = [spawn_on](const Configuration& cfg,
+                                       ActionId a) {
+    std::vector<Aid> phi;
+    for (const auto& [action, aid] : spawn_on) {
+      if (action == a && !cfg.contains(aid)) phi.push_back(aid);
+    }
+    return phi;
+  };
+  return std::make_shared<DynamicPca>("macservice_" + side + "_" + tag, reg,
+                                      std::vector<Aid>{hub}, creation,
+                                      no_hiding());
+}
+
+}  // namespace
+
+MacServicePair make_mac_service_pair(const std::vector<std::uint32_t>& ks,
+                                     const std::string& tag) {
+  if (ks.empty()) {
+    // A session-less hub would have an empty signature -- the
+    // destruction sentinel (Def 2.12) -- and could not anchor a reduced
+    // initial configuration.
+    throw std::invalid_argument(
+        "make_mac_service_pair: at least one session required");
+  }
+  auto real_pca = make_service(ks, tag, true);
+  auto ideal_pca = make_service(ks, tag, false);
+  ActionSet env;
+  ActionSet adv_in;
+  std::vector<Rational> advantages;
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const std::string session_tag = tag + "_" + std::to_string(i);
+    set::insert(env, act(service_action("open", tag, i)));
+    set::insert(env, act("auth_" + session_tag));
+    set::insert(env, act("forged_" + session_tag));
+    set::insert(env, act("rejected_" + session_tag));
+    set::insert(adv_in, act("forge_" + session_tag));
+    advantages.push_back(
+        Rational(1, static_cast<std::int64_t>(1) << ks[i]));
+  }
+  return MacServicePair{StructuredPsioa(real_pca, env, adv_in, {}),
+                        StructuredPsioa(ideal_pca, env, adv_in, {}),
+                        std::move(advantages), std::move(real_pca),
+                        std::move(ideal_pca)};
+}
+
+}  // namespace cdse

@@ -1,0 +1,50 @@
+#pragma once
+// Dynamic MAC session service: secure emulation *with* run-time creation.
+//
+// This is the paper's headline scenario made concrete -- the analogue of
+// dynamic ITM invocation in UC / the "!" bang operator in IITM (Section
+// 4 intro): a service automaton that spawns a fresh protocol-session
+// automaton whenever the environment opens one, and garbage-collects it
+// (empty-signature destruction, Def 2.12) when the session completes.
+//
+// The real service spawns real one-time-MAC sessions (forgery succeeds
+// with probability 2^-k_i in session i); the ideal service spawns ideal
+// sessions (forgery never succeeds). Both are structured PCA over the
+// same environment vocabulary, so the dynamic secure-emulation relation
+// (Def 4.26) applies verbatim -- and the per-session advantage stays
+// exactly 2^-k_i even though the sessions only exist at run time.
+//
+// Session i actions (suffix <tag>_<i>): open (env in), auth (env in),
+// forged / rejected (env out), forge (adversary in).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pca/dynamic_pca.hpp"
+#include "secure/structured.hpp"
+#include "util/rational.hpp"
+
+namespace cdse {
+
+struct MacServicePair {
+  StructuredPsioa real;
+  StructuredPsioa ideal;
+  /// 2^-k_i per session, indexed like `ks`.
+  std::vector<Rational> session_advantages;
+  /// Underlying PCA (for constraint checking / introspection).
+  std::shared_ptr<DynamicPca> real_pca;
+  std::shared_ptr<DynamicPca> ideal_pca;
+};
+
+/// Builds the paired services with one potential session per entry of
+/// `ks` (session i uses security parameter ks[i]). Sessions are created
+/// on open_<tag>_<i> and destroyed when they finish.
+MacServicePair make_mac_service_pair(const std::vector<std::uint32_t>& ks,
+                                     const std::string& tag);
+
+/// Action-name helpers for the session vocabulary.
+std::string service_action(const std::string& base, const std::string& tag,
+                           std::size_t session);
+
+}  // namespace cdse

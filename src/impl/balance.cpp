@@ -1,0 +1,41 @@
+#include "impl/balance.hpp"
+
+#include "util/stats.hpp"
+
+namespace cdse {
+
+Rational exact_balance_epsilon(Psioa& lhs, Scheduler& sigma_lhs, Psioa& rhs,
+                               Scheduler& sigma_rhs, const InsightFunction& f,
+                               std::size_t max_depth) {
+  const ExactDisc<Perception> left =
+      exact_fdist(lhs, sigma_lhs, f, max_depth);
+  const ExactDisc<Perception> right =
+      exact_fdist(rhs, sigma_rhs, f, max_depth);
+  return balance_distance(left, right);
+}
+
+bool balanced(Psioa& lhs, Scheduler& sigma_lhs, Psioa& rhs,
+              Scheduler& sigma_rhs, const InsightFunction& f,
+              std::size_t max_depth, const Rational& eps) {
+  return exact_balance_epsilon(lhs, sigma_lhs, rhs, sigma_rhs, f,
+                               max_depth) <= eps;
+}
+
+SampledEpsilon sampled_balance_epsilon(
+    const PsioaFactory& make_lhs, const SchedulerFactory& make_sigma_lhs,
+    const PsioaFactory& make_rhs, const SchedulerFactory& make_sigma_rhs,
+    const InsightFunction& f, std::size_t trials, std::uint64_t seed,
+    std::size_t max_depth, ThreadPool& pool, double delta) {
+  const Disc<Perception, double> left = parallel_sample_fdist(
+      make_lhs, make_sigma_lhs, f, trials, seed, max_depth, pool);
+  const Disc<Perception, double> right = parallel_sample_fdist(
+      make_rhs, make_sigma_rhs, f, trials, seed + 1, max_depth, pool);
+  SampledEpsilon out;
+  out.estimate = balance_distance(left, right);
+  // Each empirical f-dist mass is a mean of indicators; a crude union
+  // bound over the two estimates gives a usable radius for reporting.
+  out.radius = 2.0 * hoeffding_radius(trials, delta);
+  return out;
+}
+
+}  // namespace cdse

@@ -1,0 +1,39 @@
+#pragma once
+// Balanced schedulers (Def 3.6) and epsilon computation.
+//
+// sigma S^{<=eps}_{E,f} sigma' holds when every family-sum of f-dist
+// differences stays within eps; for finite-support f-dists that supremum
+// is the balance distance of measure/disc.hpp (= total variation for
+// probability measures). These helpers evaluate the *exact* epsilon
+// between two scheduled systems -- the left/right automata are expected
+// to already include the environment (E||A and E||B).
+
+#include "sched/cone_measure.hpp"
+#include "sched/sampler.hpp"
+
+namespace cdse {
+
+/// Exact epsilon: balance distance between the two exact f-dists.
+Rational exact_balance_epsilon(Psioa& lhs, Scheduler& sigma_lhs, Psioa& rhs,
+                               Scheduler& sigma_rhs, const InsightFunction& f,
+                               std::size_t max_depth);
+
+/// True iff sigma_lhs S^{<=eps}_{E,f} sigma_rhs, exactly.
+bool balanced(Psioa& lhs, Scheduler& sigma_lhs, Psioa& rhs,
+              Scheduler& sigma_rhs, const InsightFunction& f,
+              std::size_t max_depth, const Rational& eps);
+
+/// Sampled epsilon with Hoeffding error radius, for systems too large to
+/// enumerate. Returns (estimate, radius) at confidence 1 - delta.
+struct SampledEpsilon {
+  double estimate = 0.0;
+  double radius = 1.0;
+};
+
+SampledEpsilon sampled_balance_epsilon(
+    const PsioaFactory& make_lhs, const SchedulerFactory& make_sigma_lhs,
+    const PsioaFactory& make_rhs, const SchedulerFactory& make_sigma_rhs,
+    const InsightFunction& f, std::size_t trials, std::uint64_t seed,
+    std::size_t max_depth, ThreadPool& pool, double delta = 1e-6);
+
+}  // namespace cdse

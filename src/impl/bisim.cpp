@@ -1,0 +1,156 @@
+#include "impl/bisim.hpp"
+
+#include <map>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace cdse {
+
+namespace {
+
+/// A state of the disjoint union: (side, local state handle).
+struct UState {
+  int side;
+  State q;
+  friend bool operator<(const UState& x, const UState& y) {
+    return std::tie(x.side, x.q) < std::tie(y.side, y.q);
+  }
+  friend bool operator==(const UState& x, const UState& y) {
+    return x.side == y.side && x.q == y.q;
+  }
+};
+
+struct Explored {
+  std::vector<UState> states;
+  std::map<UState, std::size_t> index;
+  bool exhaustive = true;
+};
+
+Explored explore(Psioa& a, Psioa& b, std::size_t depth,
+                 std::size_t max_states) {
+  Explored out;
+  Psioa* sides[2] = {&a, &b};
+  for (int side = 0; side < 2; ++side) {
+    std::queue<std::pair<State, std::size_t>> frontier;
+    const State q0 = sides[side]->start_state();
+    frontier.emplace(q0, 0);
+    out.index.emplace(UState{side, q0}, out.states.size());
+    out.states.push_back({side, q0});
+    std::size_t count = 1;
+    while (!frontier.empty()) {
+      auto [q, d] = frontier.front();
+      frontier.pop();
+      if (d >= depth) {
+        // Unexpanded leaves make the verdict prefix-only.
+        if (!sides[side]->enabled(q).empty()) out.exhaustive = false;
+        continue;
+      }
+      for (ActionId act_id : sides[side]->enabled(q)) {
+        for (State q2 : sides[side]->transition(q, act_id).support()) {
+          const UState u{side, q2};
+          if (out.index.emplace(u, out.states.size()).second) {
+            out.states.push_back(u);
+            if (++count > max_states) {
+              out.exhaustive = false;
+              return out;
+            }
+            frontier.emplace(q2, d + 1);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BisimResult probabilistic_bisimulation(Psioa& a, Psioa& b,
+                                       std::size_t depth,
+                                       std::size_t max_states) {
+  BisimResult res;
+  const Explored ex = explore(a, b, depth, max_states);
+  res.exhaustive = ex.exhaustive;
+  Psioa* sides[2] = {&a, &b};
+  const std::size_t n = ex.states.size();
+  for (const auto& u : ex.states) {
+    (u.side == 0 ? res.states_a : res.states_b) += 1;
+  }
+
+  // Initial partition: by full signature.
+  std::vector<std::size_t> block(n);
+  {
+    std::map<std::pair<ActionSet, std::pair<ActionSet, ActionSet>>,
+             std::size_t>
+        by_sig;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Signature sig =
+          sides[ex.states[i].side]->signature(ex.states[i].q);
+      auto key = std::make_pair(sig.in,
+                                std::make_pair(sig.out, sig.internal));
+      auto [it, inserted] = by_sig.emplace(key, by_sig.size());
+      block[i] = it->second;
+    }
+    res.blocks = by_sig.size();
+  }
+
+  // Refinement: split blocks by the per-action distribution over blocks.
+  // States whose successors fall outside the explored set (depth cap)
+  // are lumped into a reserved "unknown" block id, which keeps the
+  // verdict sound for exhaustive explorations.
+  constexpr std::size_t kUnknown = ~std::size_t{0};
+  for (;;) {
+    ++res.iterations;
+    // Signature of each state under the current partition.
+    std::map<std::pair<std::size_t,
+                       std::vector<std::pair<
+                           ActionId,
+                           std::vector<std::pair<std::size_t, Rational>>>>>,
+             std::size_t>
+        next_ids;
+    std::vector<std::size_t> next_block(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Psioa& automaton = *sides[ex.states[i].side];
+      const State q = ex.states[i].q;
+      std::vector<std::pair<
+          ActionId, std::vector<std::pair<std::size_t, Rational>>>>
+          profile;
+      for (ActionId act_id : automaton.enabled(q)) {
+        std::map<std::size_t, Rational> per_block;
+        // Keep the distribution alive across the loop: entries() returns
+        // a reference into the StateDist, and a temporary would be dead
+        // before the first iteration.
+        const StateDist eta = automaton.transition(q, act_id);
+        for (const auto& [q2, w] : eta.entries()) {
+          auto it = ex.index.find(UState{ex.states[i].side, q2});
+          const std::size_t target_block =
+              it == ex.index.end() ? kUnknown : block[it->second];
+          per_block[target_block] += w;
+        }
+        profile.emplace_back(
+            act_id, std::vector<std::pair<std::size_t, Rational>>(
+                        per_block.begin(), per_block.end()));
+      }
+      auto key = std::make_pair(block[i], std::move(profile));
+      auto [it, inserted] = next_ids.emplace(std::move(key),
+                                             next_ids.size());
+      next_block[i] = it->second;
+    }
+    if (next_ids.size() == res.blocks) {
+      block = std::move(next_block);
+      break;  // fixpoint
+    }
+    res.blocks = next_ids.size();
+    block = std::move(next_block);
+  }
+
+  const std::size_t start_a =
+      ex.index.at(UState{0, sides[0]->start_state()});
+  const std::size_t start_b =
+      ex.index.at(UState{1, sides[1]->start_state()});
+  res.bisimilar = block[start_a] == block[start_b];
+  return res;
+}
+
+}  // namespace cdse

@@ -1,0 +1,43 @@
+#pragma once
+// Probabilistic bisimulation checking (Larsen-Skou style).
+//
+// Balance distance certifies *distributional* closeness under one
+// scheduler at a time; probabilistic bisimilarity is the stronger,
+// scheduler-independent state equivalence: related states have equal
+// signatures and, for every action, transition distributions that agree
+// on every equivalence class. When two automata are bisimilar, *every*
+// scheduler/insight pair yields balance epsilon 0 -- the checker
+// certifies results like "the dynamic ledger and its static spec are
+// indistinguishable" once and for all rather than per scheduler.
+//
+// Implementation: explore both reachable fragments (bounded), then run
+// partition refinement on the disjoint union -- initial blocks by
+// signature, refined by the exact (rational) distribution over blocks
+// per action -- and report whether the two start states share a block.
+
+#include <cstddef>
+
+#include "psioa/psioa.hpp"
+
+namespace cdse {
+
+struct BisimResult {
+  bool bisimilar = false;
+  bool exhaustive = false;   ///< exploration hit no state/depth cap
+  std::size_t states_a = 0;
+  std::size_t states_b = 0;
+  std::size_t blocks = 0;
+  std::size_t iterations = 0;
+
+  explicit operator bool() const { return bisimilar; }
+};
+
+/// Checks bisimilarity of the start states of `a` and `b` over the
+/// reachable fragments (up to `depth` transitions, `max_states` states
+/// per side). When the caps truncate exploration, `exhaustive` is false
+/// and the verdict is only valid for the explored prefix.
+BisimResult probabilistic_bisimulation(Psioa& a, Psioa& b,
+                                       std::size_t depth,
+                                       std::size_t max_states = 100000);
+
+}  // namespace cdse

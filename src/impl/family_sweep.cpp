@@ -1,0 +1,45 @@
+#include "impl/family_sweep.hpp"
+
+#include "util/poly.hpp"
+
+namespace cdse {
+
+FamilySweepReport family_epsilon_sweep(
+    const PsioaFamily& lhs, const PsioaFamily& rhs,
+    const SchedulerFamily& sched, const InsightFunction& f,
+    const std::vector<std::uint32_t>& ks, std::size_t max_depth,
+    std::uint32_t exact_upto, std::size_t trials, std::uint64_t seed,
+    ThreadPool& pool) {
+  FamilySweepReport report;
+  std::vector<double> eps_series;
+  for (std::uint32_t k : ks) {
+    FamilySweepRow row;
+    row.k = k;
+    if (k <= exact_upto) {
+      PsioaPtr a = lhs.make(k);
+      PsioaPtr b = rhs.make(k);
+      SchedulerPtr s = sched.make(k);
+      row.exact =
+          exact_balance_epsilon(*a, *s, *b, *s, f, max_depth);
+      row.sampled = row.exact->to_double();
+      row.radius = 0.0;
+    }
+    if (trials > 0 && !row.exact.has_value()) {
+      const SampledEpsilon se = sampled_balance_epsilon(
+          [&lhs, k] { return lhs.make(k); },
+          [&sched, k] { return sched.make(k); },
+          [&rhs, k] { return rhs.make(k); },
+          [&sched, k] { return sched.make(k); }, f, trials, seed + k,
+          max_depth, pool);
+      row.sampled = se.estimate;
+      row.radius = se.radius;
+    }
+    eps_series.push_back(row.exact ? row.exact->to_double() : row.sampled);
+    report.rows.push_back(std::move(row));
+  }
+  report.negligible_looking = looks_negligible(ks, eps_series);
+  report.fitted_exponent = fitted_decay_exponent(ks, eps_series);
+  return report;
+}
+
+}  // namespace cdse

@@ -1,0 +1,43 @@
+#pragma once
+// <=_{neg,pt} over families (Def 4.12, final clause).
+//
+// A family sweep evaluates epsilon(k) for a real/ideal pair across
+// security parameters: exactly where the execution tree permits, sampled
+// (with Hoeffding radius) where it does not. The empirical negligibility
+// judgment (util/poly.hpp) then classifies the decay -- experiment E8's
+// deliverable.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bounded/family.hpp"
+#include "impl/balance.hpp"
+
+namespace cdse {
+
+struct FamilySweepRow {
+  std::uint32_t k = 0;
+  /// Exact epsilon when enumeration was feasible.
+  std::optional<Rational> exact;
+  /// Sampled epsilon (always filled when trials > 0).
+  double sampled = 0.0;
+  double radius = 1.0;
+};
+
+struct FamilySweepReport {
+  std::vector<FamilySweepRow> rows;
+  bool negligible_looking = false;  // util::looks_negligible on exact/sampled
+  double fitted_exponent = 0.0;     // eps(k) ~ 2^{-c k}: the fitted c
+};
+
+/// Sweeps eps(k) = balance distance between E_k||A_k and E_k||B_k under
+/// sigma_k. `exact_upto`: indices <= this use exact enumeration.
+FamilySweepReport family_epsilon_sweep(
+    const PsioaFamily& lhs, const PsioaFamily& rhs,
+    const SchedulerFamily& sched, const InsightFunction& f,
+    const std::vector<std::uint32_t>& ks, std::size_t max_depth,
+    std::uint32_t exact_upto, std::size_t trials, std::uint64_t seed,
+    ThreadPool& pool);
+
+}  // namespace cdse

@@ -1,0 +1,41 @@
+#include "impl/implementation.hpp"
+
+namespace cdse {
+
+ImplementationReport check_implementation(
+    const PsioaPtr& a, const PsioaPtr& b,
+    const std::vector<LabeledPsioa>& envs,
+    const std::vector<LabeledScheduler>& schedulers,
+    const SchedulerCorrespondence& correspond, const InsightFunction& f,
+    std::size_t max_depth) {
+  ImplementationReport report;
+  for (const auto& env : envs) {
+    auto lhs = compose(env.automaton, a);
+    auto rhs = compose(env.automaton, b);
+    for (const auto& sched : schedulers) {
+      const SchedulerPtr matched = correspond(sched.scheduler);
+      const Rational eps = exact_balance_epsilon(
+          *lhs, *sched.scheduler, *rhs, *matched, f, max_depth);
+      report.rows.push_back({env.label, sched.label, eps});
+      if (eps > report.max_eps) report.max_eps = eps;
+    }
+  }
+  return report;
+}
+
+TransitivityRow check_transitivity_case(Psioa& e_a1, Psioa& e_a2,
+                                        Psioa& e_a3, Scheduler& sigma,
+                                        const InsightFunction& f,
+                                        std::size_t max_depth) {
+  TransitivityRow row;
+  row.eps12 =
+      exact_balance_epsilon(e_a1, sigma, e_a2, sigma, f, max_depth);
+  row.eps23 =
+      exact_balance_epsilon(e_a2, sigma, e_a3, sigma, f, max_depth);
+  row.eps13 =
+      exact_balance_epsilon(e_a1, sigma, e_a3, sigma, f, max_depth);
+  row.triangle_holds = row.eps13 <= row.eps12 + row.eps23;
+  return row;
+}
+
+}  // namespace cdse

@@ -1,0 +1,78 @@
+#pragma once
+// The approximate implementation relation (Def 4.12) as a test harness.
+//
+// A <=^{Sch,f}_{p,q1,q2,eps} B quantifies over p-bounded environments and
+// q1-bounded schedulers, and asks for a matching q2-bounded scheduler on
+// the B side. The harness makes the existential *constructive*: the
+// caller provides a SchedulerCorrespondence mapping each left scheduler
+// to its right counterpart (identity when both sides expose the same
+// action vocabulary; the Forward construction of Lemma D.1 in the
+// secure-emulation layer is another instance). The report records the
+// exact epsilon per (environment, scheduler) case and the maximum.
+
+#include <string>
+#include <vector>
+
+#include "impl/balance.hpp"
+#include "psioa/compose.hpp"
+
+namespace cdse {
+
+/// Maps a left-side scheduler to the matching right-side scheduler
+/// (the existentially quantified sigma' of Def 4.12).
+using SchedulerCorrespondence =
+    std::function<SchedulerPtr(const SchedulerPtr&)>;
+
+inline SchedulerCorrespondence same_scheduler() {
+  return [](const SchedulerPtr& s) { return s; };
+}
+
+struct LabeledPsioa {
+  std::string label;
+  PsioaPtr automaton;
+};
+
+struct LabeledScheduler {
+  std::string label;
+  SchedulerPtr scheduler;
+};
+
+struct ImplementationReport {
+  struct Row {
+    std::string env;
+    std::string sched;
+    Rational eps;
+  };
+  std::vector<Row> rows;
+  Rational max_eps;
+
+  bool holds_with(const Rational& eps) const { return max_eps <= eps; }
+};
+
+/// Evaluates A <= B over the given environments and schedulers with the
+/// provided correspondence, exactly, up to `max_depth` transitions.
+/// Environments compose on the left: the evaluated systems are E||A and
+/// E||B (composition order only affects state-tuple layout).
+ImplementationReport check_implementation(
+    const PsioaPtr& a, const PsioaPtr& b,
+    const std::vector<LabeledPsioa>& envs,
+    const std::vector<LabeledScheduler>& schedulers,
+    const SchedulerCorrespondence& correspond, const InsightFunction& f,
+    std::size_t max_depth);
+
+/// Transitivity helper (Theorem 4.16 / B.4): epsilon13 <= eps12 + eps23
+/// checked on concrete chains by the caller; this just packages the
+/// triangle inequality evaluation for one environment/scheduler case.
+struct TransitivityRow {
+  Rational eps12;
+  Rational eps23;
+  Rational eps13;
+  bool triangle_holds;
+};
+
+TransitivityRow check_transitivity_case(Psioa& e_a1, Psioa& e_a2,
+                                        Psioa& e_a3, Scheduler& sigma,
+                                        const InsightFunction& f,
+                                        std::size_t max_depth);
+
+}  // namespace cdse

@@ -1,0 +1,74 @@
+#include "impl/optimal.hpp"
+
+#include "sched/schedulers.hpp"
+
+namespace cdse {
+
+namespace {
+
+/// Evaluates the word on one system: exact f-dist plus the longest
+/// schedule length reached anywhere in the support (for pruning).
+struct WordEval {
+  ExactDisc<Perception> fdist;
+  std::size_t max_reached = 0;
+};
+
+WordEval evaluate(Psioa& system, const std::vector<ActionId>& word,
+                  const InsightFunction& f, std::size_t depth) {
+  // Inputs are schedulable: the word doubles as the environment's
+  // injection strategy, so the search covers open systems too. Callers
+  // restrict the alphabet to the actions an environment could drive.
+  SequenceScheduler sched(word, /*local_only=*/false);
+  WordEval ev;
+  for_each_halted_execution(
+      system, sched, depth,
+      [&](const ExecFragment& alpha, const Rational& p) {
+        ev.fdist.add(f.apply(system, alpha), p);
+        ev.max_reached = std::max(ev.max_reached, alpha.length());
+      });
+  return ev;
+}
+
+void search(Psioa& lhs, Psioa& rhs, const std::vector<ActionId>& alphabet,
+            std::size_t max_len, const InsightFunction& f, std::size_t depth,
+            std::vector<ActionId>& word, BestDistinguisher& best) {
+  const WordEval l = evaluate(lhs, word, f, depth);
+  const WordEval r = evaluate(rhs, word, f, depth);
+  ++best.words_evaluated;
+  const Rational eps = balance_distance(l.fdist, r.fdist);
+  if (eps > best.eps) {
+    best.eps = eps;
+    best.word = word;
+  }
+  if (word.size() >= max_len) return;
+  // Extensions only matter when at least one side can consume the next
+  // letter, i.e. the current word did not stall strictly early on both.
+  if (!word.empty() && l.max_reached < word.size() &&
+      r.max_reached < word.size()) {
+    return;
+  }
+  for (ActionId a : alphabet) {
+    word.push_back(a);
+    search(lhs, rhs, alphabet, max_len, f, depth, word, best);
+    word.pop_back();
+  }
+}
+
+}  // namespace
+
+std::string BestDistinguisher::word_string() const {
+  return trace_string(word);
+}
+
+BestDistinguisher search_best_word(Psioa& lhs, Psioa& rhs,
+                                   const std::vector<ActionId>& alphabet,
+                                   std::size_t max_len,
+                                   const InsightFunction& f,
+                                   std::size_t depth) {
+  BestDistinguisher best;
+  std::vector<ActionId> word;
+  search(lhs, rhs, alphabet, max_len, f, depth, word, best);
+  return best;
+}
+
+}  // namespace cdse

@@ -1,0 +1,40 @@
+#pragma once
+// Optimal-distinguisher search over off-line (word) schedulers.
+//
+// Def 4.12 quantifies over *all* bounded schedulers of an admissible
+// schema; the experiments use hand-written canonical distinguishers.
+// This module closes the loop: it exhaustively searches the space of
+// deterministic off-line schedulers (action words, the fully oblivious
+// schema) up to a length bound and reports the word achieving the
+// maximum exact balance epsilon -- certifying that a canonical
+// distinguisher is optimal within the schema, or exhibiting a better
+// attack when it is not.
+//
+// The search prunes words whose prefix already stalls on both systems
+// (a SequenceScheduler halts at the first disabled letter, so every
+// extension of a stalled word induces the same f-dists).
+
+#include <vector>
+
+#include "impl/balance.hpp"
+
+namespace cdse {
+
+struct BestDistinguisher {
+  std::vector<ActionId> word;   ///< the epsilon-maximizing schedule
+  Rational eps;                 ///< its exact balance epsilon
+  std::size_t words_evaluated = 0;
+
+  std::string word_string() const;
+};
+
+/// Searches all words over `alphabet` of length <= max_len, evaluating
+/// the exact epsilon between lhs and rhs under the same word on both
+/// sides (shared vocabulary). `depth` caps the cone enumeration.
+BestDistinguisher search_best_word(Psioa& lhs, Psioa& rhs,
+                                   const std::vector<ActionId>& alphabet,
+                                   std::size_t max_len,
+                                   const InsightFunction& f,
+                                   std::size_t depth);
+
+}  // namespace cdse

@@ -1,0 +1,14 @@
+#include "measure/disc.hpp"
+
+// Header-only templates; compile them standalone once and pin the archive.
+namespace cdse {
+namespace {
+[[maybe_unused]] void instantiation_smoke() {
+  Disc<int> d = Disc<int>::dirac(3);
+  d.add(4, 0.0);
+  (void)d.total();
+  ExactDisc<int> e = ExactDisc<int>::dirac(1);
+  (void)balance_distance(e, e);
+}
+}  // namespace
+}  // namespace cdse

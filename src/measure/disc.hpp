@@ -1,0 +1,210 @@
+#pragma once
+// Discrete (sub-)probability measures -- Disc(S) and SubDisc(S) of
+// paper Section 2.1 and Def 3.1.
+//
+// Disc<T, W> is a finite-support measure over T with weights W, stored as
+// a sorted association vector (canonical form: support sorted by T, no
+// zero weights). W = double for the sampling engine, W = Rational for the
+// exact cone enumerator -- exactness is what lets experiments assert
+// "epsilon is literally zero" (Lemma D.1) instead of "epsilon is small".
+//
+// Total weight 1 is a *checked property* (is_probability), not an
+// invariant: schedulers return sub-probability measures that may halt
+// with the residual mass (Def 3.1), so the same type serves both.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "util/rational.hpp"
+
+namespace cdse {
+
+namespace detail {
+inline bool weight_is_zero(double w) { return w == 0.0; }
+inline bool weight_is_zero(const Rational& w) { return w.is_zero(); }
+inline double weight_one(double) { return 1.0; }
+inline Rational weight_one(const Rational&) { return Rational(1); }
+}  // namespace detail
+
+template <typename T, typename W = double>
+class Disc {
+ public:
+  using Entry = std::pair<T, W>;
+
+  Disc() = default;
+
+  /// Dirac measure on {t} (Section 2.1).
+  static Disc dirac(T t) {
+    Disc d;
+    d.entries_.emplace_back(std::move(t), detail::weight_one(W{}));
+    return d;
+  }
+
+  /// Accumulates weight w on t (merging with any existing mass on t).
+  void add(const T& t, const W& w) {
+    if (detail::weight_is_zero(w)) return;
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), t,
+        [](const Entry& e, const T& key) { return e.first < key; });
+    if (it != entries_.end() && it->first == t) {
+      it->second += w;
+      if (detail::weight_is_zero(it->second)) entries_.erase(it);
+    } else {
+      entries_.insert(it, Entry{t, w});
+    }
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  std::size_t support_size() const { return entries_.size(); }
+
+  /// supp(eta): the points carrying nonzero mass.
+  std::vector<T> support() const {
+    std::vector<T> s;
+    s.reserve(entries_.size());
+    for (const auto& [t, w] : entries_) s.push_back(t);
+    return s;
+  }
+
+  W mass(const T& t) const {
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), t,
+        [](const Entry& e, const T& key) { return e.first < key; });
+    if (it != entries_.end() && it->first == t) return it->second;
+    return W{};
+  }
+
+  W total() const {
+    W acc{};
+    for (const auto& [t, w] : entries_) acc += w;
+    return acc;
+  }
+
+  bool is_probability(double tol = 1e-12) const {
+    if constexpr (std::is_same_v<W, Rational>) {
+      (void)tol;
+      return total() == Rational(1);
+    } else {
+      const double t = total();
+      return t > 1.0 - tol && t < 1.0 + tol;
+    }
+  }
+
+  /// Image measure under f (Def 3.5 uses this for f-dist).
+  template <typename U, typename F>
+  Disc<U, W> map(F&& f) const {
+    Disc<U, W> out;
+    for (const auto& [t, w] : entries_) out.add(f(t), w);
+    return out;
+  }
+
+  /// Product measure combined through `pair_fn` (Section 2.1; Def 2.5
+  /// builds eta_1 (x) ... (x) eta_n this way for composite transitions).
+  template <typename U, typename V, typename F>
+  static Disc product(const Disc<U, W>& a, const Disc<V, W>& b, F&& pair_fn) {
+    Disc out;
+    for (const auto& [u, wu] : a.entries()) {
+      for (const auto& [v, wv] : b.entries()) {
+        out.add(pair_fn(u, v), wu * wv);
+      }
+    }
+    return out;
+  }
+
+  /// Scales every weight (used when sequencing scheduler choices).
+  Disc scaled(const W& c) const {
+    Disc out;
+    for (const auto& [t, w] : entries_) out.add(t, w * c);
+    return out;
+  }
+
+  /// Conditions on total mass (normalizes); throws when empty.
+  Disc normalized() const {
+    const W tot = total();
+    if (detail::weight_is_zero(tot))
+      throw std::domain_error("Disc::normalized: zero mass");
+    Disc out;
+    for (const auto& [t, w] : entries_) out.add(t, w / tot);
+    return out;
+  }
+
+  /// Samples from a probability measure given u ~ Uniform[0,1).
+  /// Only available with double weights.
+  const T& sample(double u) const {
+    static_assert(std::is_same_v<W, double>,
+                  "sampling requires double weights");
+    double acc = 0.0;
+    for (const auto& [t, w] : entries_) {
+      acc += w;
+      if (u < acc) return t;
+    }
+    return entries_.back().first;  // guard against fp round-off at u ~ 1
+  }
+
+  friend bool operator==(const Disc& a, const Disc& b) {
+    return a.entries_ == b.entries_;
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+template <typename T>
+using ExactDisc = Disc<T, Rational>;
+
+/// Balance distance of Def 3.6: the supremum over index families
+/// (zeta_i)_{i in I} of |sum_i (mu(zeta_i) - nu(zeta_i))|, which for
+/// finite-support measures is max(sum of positive pointwise differences,
+/// sum of negative pointwise differences). For two probability measures
+/// the two sums are equal and this is the total-variation distance.
+template <typename T, typename W>
+W balance_distance(const Disc<T, W>& mu, const Disc<T, W>& nu) {
+  W pos{};
+  W neg{};
+  auto ia = mu.entries().begin();
+  auto ib = nu.entries().begin();
+  auto account = [&](const W& d) {
+    if (d < W{}) {
+      neg -= d;
+    } else {
+      pos += d;
+    }
+  };
+  while (ia != mu.entries().end() && ib != nu.entries().end()) {
+    if (ia->first < ib->first) {
+      account(ia->second);
+      ++ia;
+    } else if (ib->first < ia->first) {
+      account(-ib->second);
+      ++ib;
+    } else {
+      account(ia->second - ib->second);
+      ++ia;
+      ++ib;
+    }
+  }
+  for (; ia != mu.entries().end(); ++ia) account(ia->second);
+  for (; ib != nu.entries().end(); ++ib) account(-ib->second);
+  return pos < neg ? neg : pos;
+}
+
+/// Total-variation distance (coincides with balance_distance on
+/// probability measures; kept as a named operation for readability).
+template <typename T, typename W>
+W tv_distance(const Disc<T, W>& mu, const Disc<T, W>& nu) {
+  return balance_distance(mu, nu);
+}
+
+/// Lossy conversion used when comparing exact results to sampled ones.
+template <typename T>
+Disc<T, double> to_double(const ExactDisc<T>& d) {
+  Disc<T, double> out;
+  for (const auto& [t, w] : d.entries()) out.add(t, w.to_double());
+  return out;
+}
+
+}  // namespace cdse

@@ -1,0 +1,118 @@
+#include "pca/check.hpp"
+
+#include <map>
+#include <queue>
+#include <unordered_set>
+
+namespace cdse {
+
+namespace {
+
+PcaCheckResult fail(PcaCheckResult r, std::string why) {
+  r.ok = false;
+  r.violation = std::move(why);
+  return r;
+}
+
+}  // namespace
+
+PcaCheckResult check_pca_constraints(Pca& x, std::size_t depth) {
+  PcaCheckResult res;
+  AutomatonRegistry& reg = x.registry();
+
+  const State q0 = x.start_state();
+  // Constraint 1: every automaton of config(start) is at its start state.
+  {
+    const Configuration c0 = x.config(q0);
+    for (const auto& [aid, sub_state] : c0.items()) {
+      if (sub_state != reg.aut(aid).start_state()) {
+        return fail(res, "constraint 1 (start preservation): automaton '" +
+                             reg.aut(aid).name() + "' not at start in " +
+                             c0.to_string(reg));
+      }
+    }
+  }
+
+  std::unordered_set<State> seen{q0};
+  std::queue<std::pair<State, std::size_t>> frontier;
+  frontier.emplace(q0, 0);
+
+  while (!frontier.empty()) {
+    auto [q, d] = frontier.front();
+    frontier.pop();
+    ++res.states_checked;
+
+    const Configuration cfg = x.config(q);
+    if (!config_compatible(reg, cfg)) {
+      return fail(res, "config(q) incompatible at " + x.state_label(q));
+    }
+    if (!is_reduced(reg, cfg)) {
+      return fail(res, "config(q) not reduced at " + x.state_label(q));
+    }
+
+    const Signature intrinsic_sig = config_signature(reg, cfg);
+    const ActionSet hidden = x.hidden_actions(q);
+    if (!set::subset(hidden, intrinsic_sig.out)) {
+      return fail(res,
+                  "hidden-actions(q) not a subset of out(config(q)) at " +
+                      x.state_label(q));
+    }
+    // Constraint 4.
+    const Signature declared = x.signature(q);
+    if (!(declared == hide(intrinsic_sig, hidden))) {
+      return fail(res, "constraint 4 (action hiding) violated at " +
+                           x.state_label(q) + ": sig(X)(q) = " +
+                           declared.to_string() + " but hide(sig(C), h) = " +
+                           hide(intrinsic_sig, hidden).to_string());
+    }
+
+    // Constraints 2 and 3: for every action of sig(C) (equivalently of
+    // sig(X)(q), hiding only reshuffles classes), the state distribution
+    // must correspond to the intrinsic transition through f = config(X).
+    for (ActionId a : declared.all()) {
+      ++res.transitions_checked;
+      const std::vector<Aid> phi = x.created(q, a);
+      for (Aid created : phi) {
+        if (cfg.contains(created)) {
+          return fail(res, "created(q)(a) intersects auts(config(q)) at " +
+                               x.state_label(q));
+        }
+      }
+      const ConfigDist intrinsic = intrinsic_transition(reg, cfg, a, phi);
+      const StateDist eta = x.transition(q, a);
+
+      // f restricted to supp(eta) must be a bijection onto supp(intrinsic)
+      // preserving probabilities (Def 2.15).
+      std::map<Configuration, Rational> mapped;
+      for (const auto& [q2, w] : eta.entries()) {
+        const Configuration c2 = x.config(q2);
+        auto [it, inserted] = mapped.emplace(c2, w);
+        if (!inserted) {
+          return fail(res,
+                      "constraint 2 (top/down): config(X) not injective on "
+                      "supp(eta) at " +
+                          x.state_label(q) + " action '" +
+                          ActionTable::instance().name(a) + "'");
+        }
+      }
+      ConfigDist mapped_dist;
+      for (const auto& [c2, w] : mapped) mapped_dist.add(c2, w);
+      if (!(mapped_dist == intrinsic)) {
+        return fail(res,
+                    "constraints 2/3 (top-down/bottom-up simulation): state "
+                    "distribution does not match intrinsic transition at " +
+                        x.state_label(q) + " action '" +
+                        ActionTable::instance().name(a) + "'");
+      }
+
+      if (d < depth) {
+        for (State q2 : eta.support()) {
+          if (seen.insert(q2).second) frontier.emplace(q2, d + 1);
+        }
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace cdse

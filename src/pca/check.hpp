@@ -1,0 +1,35 @@
+#pragma once
+// Independent verifier for the PCA constraints of Def 2.16.
+//
+// DynamicPca satisfies the constraints by construction; this checker
+// exists so that *any* Pca -- including compositions (Def 2.19) and
+// hidings (Def 2.17), whose closure the paper asserts -- can be verified
+// against the definition by exhaustive exploration of the reachable
+// prefix up to a transition depth.
+
+#include <string>
+
+#include "pca/pca.hpp"
+
+namespace cdse {
+
+struct PcaCheckResult {
+  bool ok = true;
+  std::string violation;  // first violated constraint, human-readable
+  std::size_t states_checked = 0;
+  std::size_t transitions_checked = 0;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Explores reachable states of X up to `depth` transitions and checks:
+///  1. start-state preservation,
+///  2. top/down simulation  (transition matches intrinsic transition),
+///  3. bottom/up simulation (every intrinsic transition is a transition),
+///  4. action hiding        (sig(X)(q) == hide(sig(config), hidden)),
+/// plus the Def 2.16 side conditions: config(q) reduced and compatible,
+/// hidden-actions(q) subset of out(config(q)), and config restricted to
+/// transition supports injective (the f-bijection of Def 2.15).
+PcaCheckResult check_pca_constraints(Pca& x, std::size_t depth);
+
+}  // namespace cdse

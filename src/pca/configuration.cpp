@@ -1,0 +1,203 @@
+#include "pca/configuration.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "psioa/compose.hpp"  // IncompatibilityError
+
+namespace cdse {
+
+Aid AutomatonRegistry::add(PsioaPtr automaton) {
+  if (!automaton) throw std::invalid_argument("registry: null automaton");
+  for (const auto& existing : automata_) {
+    if (existing->name() == automaton->name()) {
+      throw std::logic_error("registry: duplicate automaton identifier '" +
+                             automaton->name() + "'");
+    }
+  }
+  automata_.push_back(std::move(automaton));
+  return static_cast<Aid>(automata_.size() - 1);
+}
+
+Psioa& AutomatonRegistry::aut(Aid id) const { return *aut_ptr(id); }
+
+PsioaPtr AutomatonRegistry::aut_ptr(Aid id) const {
+  if (id >= automata_.size())
+    throw std::out_of_range("registry: unknown Aid");
+  return automata_[id];
+}
+
+Aid AutomatonRegistry::by_name(const std::string& name) const {
+  for (std::size_t i = 0; i < automata_.size(); ++i) {
+    if (automata_[i]->name() == name) return static_cast<Aid>(i);
+  }
+  throw std::out_of_range("registry: no automaton named '" + name + "'");
+}
+
+bool AutomatonRegistry::has(const std::string& name) const {
+  for (const auto& a : automata_) {
+    if (a->name() == name) return true;
+  }
+  return false;
+}
+
+Configuration::Configuration(std::vector<std::pair<Aid, State>> items)
+    : items_(std::move(items)) {
+  std::sort(items_.begin(), items_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 1; i < items_.size(); ++i) {
+    if (items_[i - 1].first == items_[i].first) {
+      throw std::invalid_argument("Configuration: duplicate Aid");
+    }
+  }
+}
+
+bool Configuration::contains(Aid a) const {
+  auto it = std::lower_bound(
+      items_.begin(), items_.end(), a,
+      [](const auto& e, Aid key) { return e.first < key; });
+  return it != items_.end() && it->first == a;
+}
+
+State Configuration::state_of(Aid a) const {
+  auto it = std::lower_bound(
+      items_.begin(), items_.end(), a,
+      [](const auto& e, Aid key) { return e.first < key; });
+  if (it == items_.end() || it->first != a) {
+    throw std::out_of_range("Configuration: Aid not present");
+  }
+  return it->second;
+}
+
+std::vector<Aid> Configuration::auts() const {
+  std::vector<Aid> a;
+  a.reserve(items_.size());
+  for (const auto& [aid, q] : items_) a.push_back(aid);
+  return a;
+}
+
+Configuration Configuration::with(Aid a, State q) const {
+  auto items = items_;
+  auto it = std::lower_bound(
+      items.begin(), items.end(), a,
+      [](const auto& e, Aid key) { return e.first < key; });
+  if (it != items.end() && it->first == a) {
+    it->second = q;
+  } else {
+    items.insert(it, {a, q});
+  }
+  Configuration c;
+  c.items_ = std::move(items);
+  return c;
+}
+
+Configuration Configuration::without(Aid a) const {
+  Configuration c;
+  c.items_.reserve(items_.size());
+  for (const auto& e : items_) {
+    if (e.first != a) c.items_.push_back(e);
+  }
+  return c;
+}
+
+std::string Configuration::to_string(const AutomatonRegistry& reg) const {
+  std::string s = "{";
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (i) s += ", ";
+    s += reg.aut(items_[i].first).name() + ":" +
+         reg.aut(items_[i].first).state_label(items_[i].second);
+  }
+  s += "}";
+  return s;
+}
+
+bool config_compatible(const AutomatonRegistry& reg, const Configuration& c) {
+  const auto& items = c.items();
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const Signature si = reg.aut(items[i].first).signature(items[i].second);
+    for (std::size_t j = i + 1; j < items.size(); ++j) {
+      const Signature sj = reg.aut(items[j].first).signature(items[j].second);
+      if (!compatible(si, sj)) return false;
+    }
+  }
+  return true;
+}
+
+Signature config_signature(const AutomatonRegistry& reg,
+                           const Configuration& c) {
+  Signature acc;  // empty signature: identity of composition
+  for (const auto& [aid, q] : c.items()) {
+    const Signature s = reg.aut(aid).signature(q);
+    if (!compatible(acc, s)) {
+      throw IncompatibilityError("configuration " + c.to_string(reg) +
+                                 " is not compatible");
+    }
+    acc = compose(acc, s);
+  }
+  return acc;
+}
+
+Configuration reduce(const AutomatonRegistry& reg, const Configuration& c) {
+  std::vector<std::pair<Aid, State>> kept;
+  kept.reserve(c.items().size());
+  for (const auto& [aid, q] : c.items()) {
+    if (!reg.aut(aid).signature(q).empty()) kept.emplace_back(aid, q);
+  }
+  return Configuration(std::move(kept));
+}
+
+bool is_reduced(const AutomatonRegistry& reg, const Configuration& c) {
+  return reduce(reg, c) == c;
+}
+
+ConfigDist preserving_transition(const AutomatonRegistry& reg,
+                                 const Configuration& c, ActionId a) {
+  // Def 2.13 mirrors Def 2.5: per-component product with Dirac for the
+  // components that do not carry `a` in their current signature.
+  ConfigDist acc = ConfigDist::dirac(Configuration::empty());
+  for (const auto& [aid, q] : c.items()) {
+    Psioa& sub = reg.aut(aid);
+    StateDist eta_i;
+    if (sub.signature(q).contains(a)) {
+      eta_i = sub.transition(q, a);
+    } else {
+      eta_i = StateDist::dirac(q);
+    }
+    const Aid aid_copy = aid;
+    acc = ConfigDist::product(
+        acc, eta_i, [aid_copy](const Configuration& pre, State s) {
+          return pre.with(aid_copy, s);
+        });
+  }
+  return acc;
+}
+
+ConfigDist intrinsic_transition(const AutomatonRegistry& reg,
+                                const Configuration& c, ActionId a,
+                                const std::vector<Aid>& phi) {
+  if (!is_reduced(reg, c)) {
+    throw std::logic_error(
+        "intrinsic_transition: source configuration not reduced");
+  }
+  for (Aid created : phi) {
+    if (c.contains(created)) {
+      throw std::logic_error(
+          "intrinsic_transition: phi intersects auts(C) (automaton '" +
+          reg.aut(created).name() + "')");
+    }
+  }
+  const ConfigDist eta_p = preserving_transition(reg, c, a);
+  // eta_nr: extend every outcome with the created automata at start states.
+  // eta_r: reduce and merge (destruction).
+  ConfigDist eta_r;
+  for (const auto& [cfg, w] : eta_p.entries()) {
+    Configuration extended = cfg;
+    for (Aid created : phi) {
+      extended = extended.with(created, reg.aut(created).start_state());
+    }
+    eta_r.add(reduce(reg, extended), w);
+  }
+  return eta_r;
+}
+
+}  // namespace cdse

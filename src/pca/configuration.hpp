@@ -1,0 +1,107 @@
+#pragma once
+// Configurations and intrinsic (dynamic) transitions (Section 2.5).
+//
+// A configuration pairs a finite set of automaton identifiers with a
+// current state for each (Def 2.9). Identifiers (Aid) index an
+// AutomatonRegistry -- the executable counterpart of the paper's universal
+// aut : Autids -> Auts mapping. Creation adds fresh automata at their
+// start states (Def 2.14); destruction happens through reduce(), which
+// drops automata whose current signature is empty (Def 2.12).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "measure/disc.hpp"
+#include "psioa/psioa.hpp"
+
+namespace cdse {
+
+using Aid = std::uint32_t;
+
+/// aut : Autids -> Auts (Section 2.2). One registry per modelled system;
+/// PCA composed together must share a registry so Aids agree.
+class AutomatonRegistry {
+ public:
+  /// Registers an automaton; its name becomes its Autids entry.
+  /// Duplicate names throw (identifiers are unique by assumption).
+  Aid add(PsioaPtr automaton);
+
+  Psioa& aut(Aid id) const;
+  PsioaPtr aut_ptr(Aid id) const;
+  Aid by_name(const std::string& name) const;  // throws if absent
+  bool has(const std::string& name) const;
+  std::size_t size() const { return automata_.size(); }
+
+ private:
+  std::vector<PsioaPtr> automata_;
+};
+
+using RegistryPtr = std::shared_ptr<AutomatonRegistry>;
+
+/// (A, S) of Def 2.9, stored sorted by Aid.
+class Configuration {
+ public:
+  Configuration() = default;
+  explicit Configuration(std::vector<std::pair<Aid, State>> items);
+
+  static Configuration empty() { return Configuration{}; }
+
+  const std::vector<std::pair<Aid, State>>& items() const { return items_; }
+  bool contains(Aid a) const;
+  State state_of(Aid a) const;  // throws if absent
+
+  /// auts(C): the identifier set.
+  std::vector<Aid> auts() const;
+
+  std::size_t size() const { return items_.size(); }
+  bool is_empty() const { return items_.empty(); }
+
+  /// Functional update/insert/remove (configurations are values).
+  Configuration with(Aid a, State q) const;
+  Configuration without(Aid a) const;
+
+  friend bool operator==(const Configuration& x, const Configuration& y) {
+    return x.items_ == y.items_;
+  }
+  friend bool operator<(const Configuration& x, const Configuration& y) {
+    return x.items_ < y.items_;
+  }
+
+  std::string to_string(const AutomatonRegistry& reg) const;
+
+ private:
+  std::vector<std::pair<Aid, State>> items_;  // sorted by Aid, unique
+};
+
+using ConfigDist = ExactDisc<Configuration>;
+
+/// Def 2.10: pairwise signature compatibility at the current states.
+bool config_compatible(const AutomatonRegistry& reg, const Configuration& c);
+
+/// sig(C) of Def 2.11 (intrinsic signature). Throws on incompatibility.
+Signature config_signature(const AutomatonRegistry& reg,
+                           const Configuration& c);
+
+/// reduce(C) of Def 2.12: drops automata whose signature is empty.
+Configuration reduce(const AutomatonRegistry& reg, const Configuration& c);
+
+bool is_reduced(const AutomatonRegistry& reg, const Configuration& c);
+
+/// Preserving transition C -a-> eta_p (Def 2.13): every automaton with
+/// `a` in its signature moves by its own transition, the rest stay put;
+/// no creation, no reduction.
+ConfigDist preserving_transition(const AutomatonRegistry& reg,
+                                 const Configuration& c, ActionId a);
+
+/// Intrinsic transition C ==a==>_phi eta (Def 2.14): the preserving
+/// transition, extended with the automata of phi at their start states,
+/// then reduced. Preconditions: C reduced and compatible, phi disjoint
+/// from auts(C).
+ConfigDist intrinsic_transition(const AutomatonRegistry& reg,
+                                const Configuration& c, ActionId a,
+                                const std::vector<Aid>& phi);
+
+}  // namespace cdse

@@ -1,0 +1,109 @@
+#include "pca/dynamic_pca.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "psioa/compose.hpp"  // IncompatibilityError
+
+namespace cdse {
+
+DynamicPca::DynamicPca(std::string name, RegistryPtr registry,
+                       std::vector<Aid> initial, CreationPolicy creation,
+                       HidingPolicy hiding)
+    : Pca(std::move(name), std::move(registry)),
+      initial_(std::move(initial)),
+      creation_(std::move(creation)),
+      hiding_(std::move(hiding)) {}
+
+State DynamicPca::intern_config(const Configuration& c) {
+  auto it = interned_.find(c);
+  if (it != interned_.end()) return it->second;
+  State q = configs_.size();
+  configs_.push_back(c);
+  interned_.emplace(c, q);
+  return q;
+}
+
+State DynamicPca::start_state() {
+  std::vector<std::pair<Aid, State>> items;
+  items.reserve(initial_.size());
+  for (Aid aid : initial_) {
+    items.emplace_back(aid, registry().aut(aid).start_state());
+  }
+  Configuration c{std::move(items)};
+  if (!is_reduced(registry(), c)) {
+    throw std::logic_error("DynamicPca " + name() +
+                           ": initial configuration is not reduced");
+  }
+  if (!config_compatible(registry(), c)) {
+    throw IncompatibilityError("DynamicPca " + name() +
+                               ": initial configuration incompatible");
+  }
+  return intern_config(c);
+}
+
+Signature DynamicPca::signature(State q) {
+  const Configuration& c = config_at(q);
+  // Constraint 4: sig(X)(q) = hide(sig(config(X)(q)), hidden-actions(q)).
+  return hide(config_signature(registry(), c), hidden_actions(q));
+}
+
+StateDist DynamicPca::transition(State q, ActionId a) {
+  const Configuration c = config_at(q);  // copy: interning may realloc
+  if (!config_signature(registry(), c).contains(a)) {
+    throw std::logic_error("DynamicPca " + name() + ": action '" +
+                           ActionTable::instance().name(a) +
+                           "' not enabled at " + state_label(q));
+  }
+  const std::vector<Aid> phi = creation_(c, a);
+  const ConfigDist eta = intrinsic_transition(registry(), c, a, phi);
+  // Constraint 2/3: the state distribution is the configuration
+  // distribution pulled through the interning bijection f = config(X).
+  StateDist out;
+  for (const auto& [cfg, w] : eta.entries()) {
+    out.add(intern_config(cfg), w);
+  }
+  return out;
+}
+
+BitString DynamicPca::encode_state(State q) {
+  const Configuration& c = config_at(q);
+  std::vector<BitString> parts;
+  parts.reserve(c.items().size() + 1);
+  parts.push_back(BitString::from_uint(c.items().size()));
+  for (const auto& [aid, sub_state] : c.items()) {
+    parts.push_back(BitString::pair(
+        BitString::from_uint(aid),
+        registry().aut(aid).encode_state(sub_state)));
+  }
+  return BitString::pack(parts);
+}
+
+std::string DynamicPca::state_label(State q) {
+  return config_at(q).to_string(registry());
+}
+
+Configuration DynamicPca::config(State q) { return config_at(q); }
+
+std::vector<Aid> DynamicPca::created(State q, ActionId a) {
+  std::vector<Aid> phi = creation_(config_at(q), a);
+  std::sort(phi.begin(), phi.end());
+  phi.erase(std::unique(phi.begin(), phi.end()), phi.end());
+  return phi;
+}
+
+ActionSet DynamicPca::hidden_actions(State q) {
+  const Configuration& c = config_at(q);
+  // Def 2.16 item 4 requires hidden-actions(q) subset of out(config(q)).
+  return set::intersect(hiding_(c), config_signature(registry(), c).out);
+}
+
+const Configuration& DynamicPca::config_at(State q) const {
+  if (q >= configs_.size()) {
+    throw std::out_of_range("DynamicPca " + name() +
+                            ": unknown state handle");
+  }
+  return configs_[q];
+}
+
+}  // namespace cdse

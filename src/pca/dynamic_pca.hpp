@@ -1,0 +1,59 @@
+#pragma once
+// DynamicPca: the canonical, correct-by-construction PCA.
+//
+// Its PSIOA part is *derived* from the configuration dynamics: states are
+// interned reduced configurations, the signature of a state is the hidden
+// intrinsic signature of its configuration (constraint 4), and the
+// transition on `a` is the intrinsic transition with
+// phi = creation_policy(config, a) pushed through the interning bijection
+// (constraints 2 and 3). The start state is the initial configuration
+// with every member at its own start state (constraint 1). This is the
+// bottom-up reading of Def 2.16; the independent checker in check.hpp
+// confirms the constraints on explored prefixes.
+
+#include <map>
+
+#include "pca/pca.hpp"
+
+namespace cdse {
+
+class DynamicPca : public Pca {
+ public:
+  /// `initial`: the automata present in config(start); each starts at its
+  /// own start state. The initial configuration must be reduced and
+  /// compatible (throws otherwise).
+  DynamicPca(std::string name, RegistryPtr registry,
+             std::vector<Aid> initial, CreationPolicy creation,
+             HidingPolicy hiding);
+
+  DynamicPca(std::string name, RegistryPtr registry, std::vector<Aid> initial)
+      : DynamicPca(std::move(name), std::move(registry), std::move(initial),
+                   no_creation(), no_hiding()) {}
+
+  // Psioa interface (the derived psioa(X) part).
+  State start_state() override;
+  Signature signature(State q) override;
+  StateDist transition(State q, ActionId a) override;
+  BitString encode_state(State q) override;
+  std::string state_label(State q) override;
+
+  // Pca attributes.
+  Configuration config(State q) override;
+  std::vector<Aid> created(State q, ActionId a) override;
+  ActionSet hidden_actions(State q) override;
+
+  /// Interns a configuration as a state handle (exposed for tests that
+  /// need to align hand-built configurations with states).
+  State intern_config(const Configuration& c);
+
+ private:
+  const Configuration& config_at(State q) const;
+
+  std::vector<Aid> initial_;
+  CreationPolicy creation_;
+  HidingPolicy hiding_;
+  std::vector<Configuration> configs_;
+  std::map<Configuration, State> interned_;
+};
+
+}  // namespace cdse

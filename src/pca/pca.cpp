@@ -1,0 +1,6 @@
+#include "pca/pca.hpp"
+
+namespace cdse {
+// Pca is an interface; nothing to define out of line (kept for archive
+// stability and standalone header compilation).
+}  // namespace cdse

@@ -1,0 +1,58 @@
+#pragma once
+// Probabilistic configuration automata (Def 2.16).
+//
+// A PCA *is* a PSIOA (its psioa(X) part) equipped with three extra
+// attributes: a configuration mapping, a creation mapping and a
+// hidden-actions mapping, tied together by the four constraints of
+// Def 2.16. We model that by deriving Pca from Psioa and adding the
+// attribute accessors; the canonical implementation (DynamicPca)
+// satisfies the constraints by construction, and check.hpp re-verifies
+// them for any Pca by bounded exploration.
+
+#include "pca/configuration.hpp"
+#include "psioa/psioa.hpp"
+
+namespace cdse {
+
+class Pca : public Psioa {
+ public:
+  Pca(std::string name, RegistryPtr registry)
+      : Psioa(std::move(name)), registry_(std::move(registry)) {}
+
+  AutomatonRegistry& registry() { return *registry_; }
+  const AutomatonRegistry& registry() const { return *registry_; }
+  RegistryPtr registry_ptr() const { return registry_; }
+
+  /// config(X)(q): the reduced compatible configuration attached to q.
+  virtual Configuration config(State q) = 0;
+
+  /// created(X)(q)(a): identifiers created when a fires at q (sorted).
+  virtual std::vector<Aid> created(State q, ActionId a) = 0;
+
+  /// hidden-actions(X)(q): subset of out(config(X)(q)) hidden at q.
+  virtual ActionSet hidden_actions(State q) = 0;
+
+ private:
+  RegistryPtr registry_;
+};
+
+using PcaPtr = std::shared_ptr<Pca>;
+
+/// created(X)(q)(a) builder signature: given the current configuration
+/// and the action fired, decide which identifiers to create. Must return
+/// identifiers disjoint from auts(config).
+using CreationPolicy =
+    std::function<std::vector<Aid>(const Configuration&, ActionId)>;
+
+/// hidden-actions policy: configuration -> output actions to hide.
+using HidingPolicy = std::function<ActionSet(const Configuration&)>;
+
+inline CreationPolicy no_creation() {
+  return [](const Configuration&, ActionId) { return std::vector<Aid>{}; };
+}
+
+inline HidingPolicy no_hiding() {
+  return [](const Configuration&) { return ActionSet{}; };
+}
+
+}  // namespace cdse

@@ -1,0 +1,82 @@
+#include "pca/pca_compose.hpp"
+
+#include <stdexcept>
+
+namespace cdse {
+
+namespace {
+std::string pca_name(const std::vector<PcaPtr>& components) {
+  std::string n;
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    if (i) n += "||";
+    n += components[i]->name();
+  }
+  return n;
+}
+
+RegistryPtr shared_registry(const std::vector<PcaPtr>& components) {
+  if (components.empty()) {
+    throw std::invalid_argument("ComposedPca: empty component list");
+  }
+  RegistryPtr reg = components[0]->registry_ptr();
+  for (const auto& c : components) {
+    if (c->registry_ptr() != reg) {
+      throw std::logic_error(
+          "ComposedPca: components must share one AutomatonRegistry");
+    }
+  }
+  return reg;
+}
+}  // namespace
+
+ComposedPca::ComposedPca(std::vector<PcaPtr> components)
+    : Pca(pca_name(components), shared_registry(components)),
+      components_(std::move(components)) {
+  std::vector<PsioaPtr> parts(components_.begin(), components_.end());
+  inner_ = std::make_shared<ComposedPsioa>(std::move(parts));
+}
+
+Configuration ComposedPca::config(State q) {
+  Configuration acc;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    const Configuration ci = components_[i]->config(inner_->project(q, i));
+    for (const auto& [aid, sub_state] : ci.items()) {
+      if (acc.contains(aid)) {
+        throw std::logic_error(
+            "ComposedPca " + name() + ": component configurations overlap " +
+            "on automaton '" + registry().aut(aid).name() + "'");
+      }
+      acc = acc.with(aid, sub_state);
+    }
+  }
+  return acc;
+}
+
+std::vector<Aid> ComposedPca::created(State q, ActionId a) {
+  // Def 2.19 with the convention created_i(q_i)(a) = {} when a is not in
+  // sig(X_i)(q_i).
+  SortedSet<Aid> acc;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    const State qi = inner_->project(q, i);
+    if (!components_[i]->signature(qi).contains(a)) continue;
+    for (Aid created : components_[i]->created(qi, a)) {
+      set::insert(acc, created);
+    }
+  }
+  return acc;
+}
+
+ActionSet ComposedPca::hidden_actions(State q) {
+  ActionSet acc;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    acc = set::unite(acc,
+                     components_[i]->hidden_actions(inner_->project(q, i)));
+  }
+  return acc;
+}
+
+std::shared_ptr<ComposedPca> compose_pca(std::vector<PcaPtr> components) {
+  return std::make_shared<ComposedPca>(std::move(components));
+}
+
+}  // namespace cdse

@@ -1,0 +1,28 @@
+#include "pca/pca_hide.hpp"
+
+namespace cdse {
+
+HiddenPca::HiddenPca(PcaPtr inner, HidingFn h)
+    : Pca("hide(" + inner->name() + ")", inner->registry_ptr()),
+      inner_(std::move(inner)),
+      h_(std::move(h)) {}
+
+HiddenPca::HiddenPca(PcaPtr inner, ActionSet constant)
+    : Pca("hide(" + inner->name() + ")", inner->registry_ptr()),
+      inner_(std::move(inner)),
+      h_([s = std::move(constant)](State) { return s; }) {}
+
+ActionSet HiddenPca::extra_hidden_at(State q) {
+  // Def 2.17 requires h(q) subset of out(X)(q); intersect defensively.
+  return set::intersect(h_(q), inner_->signature(q).out);
+}
+
+Signature HiddenPca::signature(State q) {
+  return hide(inner_->signature(q), extra_hidden_at(q));
+}
+
+ActionSet HiddenPca::hidden_actions(State q) {
+  return set::unite(inner_->hidden_actions(q), extra_hidden_at(q));
+}
+
+}  // namespace cdse

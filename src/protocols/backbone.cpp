@@ -1,0 +1,123 @@
+#include "protocols/backbone.hpp"
+
+#include <stdexcept>
+
+#include "psioa/explicit_psioa.hpp"
+
+namespace cdse {
+
+PsioaPtr make_confirmation_race(const std::string& tag,
+                                std::uint32_t depth,
+                                const Rational& adversary_power) {
+  if (depth == 0) {
+    throw std::invalid_argument("confirmation race: depth must be >= 1");
+  }
+  if (adversary_power < Rational(0) || adversary_power > Rational(1)) {
+    throw std::invalid_argument(
+        "confirmation race: adversary power outside [0, 1]");
+  }
+  auto led = std::make_shared<ExplicitPsioa>("race_" + tag);
+  const ActionId a_submit = act("submit_" + tag);
+  const ActionId a_mine = act("mine_" + tag);
+  const ActionId a_confirmed = act("confirmed_" + tag);
+  const ActionId a_forked = act("forked_" + tag);
+
+  const State idle = led->add_state("idle");
+  led->set_start(idle);
+  Signature s_idle;
+  s_idle.in = {a_submit};
+  led->set_signature(idle, s_idle);
+
+  // Race lattice: (h, a) with h, a < depth still racing; hitting depth
+  // on either axis resolves the race.
+  std::vector<std::vector<State>> racing(depth,
+                                         std::vector<State>(depth));
+  for (std::uint32_t h = 0; h < depth; ++h) {
+    for (std::uint32_t a = 0; a < depth; ++a) {
+      racing[h][a] = led->add_state("race_h" + std::to_string(h) + "_a" +
+                                    std::to_string(a));
+      Signature sig;
+      sig.internal = {a_mine};
+      led->set_signature(racing[h][a], sig);
+    }
+  }
+  const State won = led->add_state("won");
+  Signature s_won;
+  s_won.out = {a_confirmed};
+  led->set_signature(won, s_won);
+  const State lost = led->add_state("lost");
+  Signature s_lost;
+  s_lost.out = {a_forked};
+  led->set_signature(lost, s_lost);
+  const State done = led->add_state("done");
+  led->set_signature(done, Signature{});
+
+  led->add_step(idle, a_submit, racing[0][0]);
+  const Rational beta = adversary_power;
+  const Rational alpha = Rational(1) - beta;
+  for (std::uint32_t h = 0; h < depth; ++h) {
+    for (std::uint32_t a = 0; a < depth; ++a) {
+      StateDist d;
+      // Honest block: h+1 (confirm when h+1 == depth).
+      if (!alpha.is_zero()) {
+        d.add(h + 1 == depth ? won : racing[h + 1][a], alpha);
+      }
+      // Adversary block: a+1 (fork when a+1 == depth).
+      if (!beta.is_zero()) {
+        d.add(a + 1 == depth ? lost : racing[h][a + 1], beta);
+      }
+      led->add_transition(racing[h][a], a_mine, d);
+    }
+  }
+  led->add_step(won, a_confirmed, done);
+  led->add_step(lost, a_forked, done);
+  led->validate();
+  return led;
+}
+
+PsioaPtr make_ideal_ledger(const std::string& tag) {
+  auto led = std::make_shared<ExplicitPsioa>("idealledger_" + tag);
+  const ActionId a_submit = act("submit_" + tag);
+  const ActionId a_mine = act("mine_" + tag);
+  const ActionId a_confirmed = act("confirmed_" + tag);
+
+  const State idle = led->add_state("idle");
+  const State working = led->add_state("working");
+  const State won = led->add_state("won");
+  const State done = led->add_state("done");
+  led->set_start(idle);
+  Signature s_idle;
+  s_idle.in = {a_submit};
+  led->set_signature(idle, s_idle);
+  Signature s_working;
+  s_working.internal = {a_mine};
+  led->set_signature(working, s_working);
+  Signature s_won;
+  s_won.out = {a_confirmed};
+  led->set_signature(won, s_won);
+  led->set_signature(done, Signature{});
+  led->add_step(idle, a_submit, working);
+  led->add_step(working, a_mine, won);
+  led->add_step(won, a_confirmed, done);
+  led->validate();
+  return led;
+}
+
+Rational exact_fork_probability(std::uint32_t depth, const Rational& beta) {
+  // DP over the race lattice (equivalent to the negative-binomial sum,
+  // but immune to binomial-coefficient overflow): P[fork | state (h,a)].
+  const Rational alpha = Rational(1) - beta;
+  // p[h][a], h, a in [0, depth]; p[*][depth] = 1, p[depth][*] = 0.
+  std::vector<std::vector<Rational>> p(
+      depth + 1, std::vector<Rational>(depth + 1, Rational(0)));
+  for (std::uint32_t h = 0; h <= depth; ++h) p[h][depth] = Rational(1);
+  for (std::uint32_t a = 0; a < depth; ++a) p[depth][a] = Rational(0);
+  for (std::uint32_t h = depth; h-- > 0;) {
+    for (std::uint32_t a = depth; a-- > 0;) {
+      p[h][a] = alpha * p[h + 1][a] + beta * p[h][a + 1];
+    }
+  }
+  return p[0][0];
+}
+
+}  // namespace cdse

@@ -1,0 +1,45 @@
+#pragma once
+// Backbone-lite: a Bitcoin-backbone-style confirmation race.
+//
+// The paper's conclusion positions the framework as the first able to
+// model blockchain building blocks outside plain UC; Garay et al.'s
+// backbone protocol [8] is its canonical target. This module distills
+// the backbone's *common-prefix* argument into an exactly analyzable
+// automaton: after a transaction is submitted, honest miners extend the
+// public chain (probability alpha = 1 - beta per round) while the
+// adversary secretly extends a fork (probability beta); the transaction
+// is `confirmed` when the honest chain adds `depth` blocks first, and
+// `forked` (double-spend) when the adversary's chain gets there first.
+//
+// The ideal ledger functionality always confirms. The implementation
+// distance between real and ideal is therefore the fork probability --
+// available in closed form (negative-binomial race), exactly matched by
+// the cone enumerator, and *negligible in the confirmation depth* iff
+// the adversary controls a minority of the mining power: Def 4.12's
+// <=_{neg,pt} with the confirmation depth as the security parameter.
+
+#include <cstdint>
+#include <string>
+
+#include "psioa/psioa.hpp"
+#include "util/rational.hpp"
+
+namespace cdse {
+
+/// The real ledger: races honest confirmations against a private fork.
+/// Actions (suffix <tag>): submit (env in), mine (internal),
+/// confirmed / forked (env out).
+PsioaPtr make_confirmation_race(const std::string& tag,
+                                std::uint32_t depth,
+                                const Rational& adversary_power);
+
+/// The ideal ledger functionality: submit, one internal step, confirmed.
+PsioaPtr make_ideal_ledger(const std::string& tag);
+
+/// Closed-form fork probability: P[the adversary's chain reaches `depth`
+/// blocks before the honest chain does], per-round win probability
+/// beta for the adversary. Negative-binomial race:
+///   sum_{h=0}^{depth-1} C(depth-1+h, h) * beta^depth * (1-beta)^h.
+Rational exact_fork_probability(std::uint32_t depth, const Rational& beta);
+
+}  // namespace cdse

@@ -1,0 +1,144 @@
+#include "protocols/broadcast.hpp"
+
+#include "psioa/explicit_psioa.hpp"
+
+namespace cdse {
+
+namespace {
+
+struct BroadcastActions {
+  ActionId bcast[2];
+  ActionId equivocate;
+  ActionId deliver[2];
+  ActionId noquorum;
+
+  explicit BroadcastActions(const std::string& tag) {
+    bcast[0] = act("bcast0_" + tag);
+    bcast[1] = act("bcast1_" + tag);
+    equivocate = act("equivocate_" + tag);
+    deliver[0] = act("deliver0_" + tag);
+    deliver[1] = act("deliver1_" + tag);
+    noquorum = act("noquorum_" + tag);
+  }
+};
+
+}  // namespace
+
+PsioaPtr make_bracha_broadcast(const std::string& tag) {
+  auto b = std::make_shared<ExplicitPsioa>("bracha_" + tag);
+  const BroadcastActions a(tag);
+  const ActionId a_echo = act("echo_" + tag);
+  const ActionId a_tally = act("tally_" + tag);
+
+  const State idle = b->add_state("idle");
+  b->set_start(idle);
+  Signature s_idle;
+  s_idle.in = {a.bcast[0], a.bcast[1], a.equivocate};
+  b->set_signature(idle, s_idle);
+
+  // Consistent broadcast of v: all three receivers echo v, the tally
+  // reaches the 2f+1 = 3 quorum, v is delivered.
+  State echoing[2];
+  State tallying[2];
+  State delivering[2];
+  for (int v = 0; v < 2; ++v) {
+    echoing[v] = b->add_state("echoing" + std::to_string(v));
+    Signature s_echo;
+    s_echo.internal = {a_echo};
+    b->set_signature(echoing[v], s_echo);
+    tallying[v] = b->add_state("tallying" + std::to_string(v));
+    Signature s_tally;
+    s_tally.internal = {a_tally};
+    b->set_signature(tallying[v], s_tally);
+    delivering[v] = b->add_state("delivering" + std::to_string(v));
+    Signature s_del;
+    s_del.out = {a.deliver[v]};
+    b->set_signature(delivering[v], s_del);
+  }
+  // Equivocation: receivers echo conflicting values, no value reaches
+  // the quorum, the tally aborts.
+  const State split_echo = b->add_state("split_echo");
+  Signature s_se;
+  s_se.internal = {a_echo};
+  b->set_signature(split_echo, s_se);
+  const State split_tally = b->add_state("split_tally");
+  Signature s_st;
+  s_st.internal = {a_tally};
+  b->set_signature(split_tally, s_st);
+  const State aborting = b->add_state("aborting");
+  Signature s_ab;
+  s_ab.out = {a.noquorum};
+  b->set_signature(aborting, s_ab);
+  const State done = b->add_state("done");
+  b->set_signature(done, Signature{});
+
+  for (int v = 0; v < 2; ++v) {
+    b->add_step(idle, a.bcast[v], echoing[v]);
+    b->add_step(echoing[v], a_echo, tallying[v]);
+    b->add_step(tallying[v], a_tally, delivering[v]);
+    b->add_step(delivering[v], a.deliver[v], done);
+  }
+  b->add_step(idle, a.equivocate, split_echo);
+  b->add_step(split_echo, a_echo, split_tally);
+  b->add_step(split_tally, a_tally, aborting);
+  b->add_step(aborting, a.noquorum, done);
+  b->validate();
+  return b;
+}
+
+PsioaPtr make_ideal_broadcast(const std::string& tag) {
+  auto b = std::make_shared<ExplicitPsioa>("idealbcast_" + tag);
+  const BroadcastActions a(tag);
+  const ActionId a_echo = act("echo_" + tag);
+  const ActionId a_tally = act("tally_" + tag);
+
+  const State idle = b->add_state("idle");
+  b->set_start(idle);
+  Signature s_idle;
+  s_idle.in = {a.bcast[0], a.bcast[1], a.equivocate};
+  b->set_signature(idle, s_idle);
+  // The spec takes the same number of internal steps (two) so that the
+  // two automata are comparable under the same off-line schedules; it
+  // decides the outcome immediately on receipt.
+  State working[3];  // deliver0, deliver1, abort
+  State phase2[3];
+  const char* names[3] = {"w0", "w1", "wa"};
+  for (int i = 0; i < 3; ++i) {
+    working[i] = b->add_state(std::string("work_") + names[i]);
+    Signature s_w;
+    s_w.internal = {a_echo};
+    b->set_signature(working[i], s_w);
+    phase2[i] = b->add_state(std::string("phase2_") + names[i]);
+    Signature s_p;
+    s_p.internal = {a_tally};
+    b->set_signature(phase2[i], s_p);
+  }
+  State resolving[2];
+  for (int v = 0; v < 2; ++v) {
+    resolving[v] = b->add_state("resolve" + std::to_string(v));
+    Signature s_r;
+    s_r.out = {a.deliver[v]};
+    b->set_signature(resolving[v], s_r);
+  }
+  const State aborting = b->add_state("aborting");
+  Signature s_ab;
+  s_ab.out = {a.noquorum};
+  b->set_signature(aborting, s_ab);
+  const State done = b->add_state("done");
+  b->set_signature(done, Signature{});
+
+  for (int v = 0; v < 2; ++v) {
+    b->add_step(idle, a.bcast[v], working[v]);
+    b->add_step(working[v], a_echo, phase2[v]);
+    b->add_step(phase2[v], a_tally, resolving[v]);
+    b->add_step(resolving[v], a.deliver[v], done);
+  }
+  b->add_step(idle, a.equivocate, working[2]);
+  b->add_step(working[2], a_echo, phase2[2]);
+  b->add_step(phase2[2], a_tally, aborting);
+  b->add_step(aborting, a.noquorum, done);
+  b->validate();
+  return b;
+}
+
+}  // namespace cdse

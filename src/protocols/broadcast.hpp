@@ -1,0 +1,32 @@
+#pragma once
+// Byzantine-consistent broadcast (Bracha-lite) and its specification.
+//
+// The last of the paper's "distributed computing fundamental elements"
+// (Section 1: communication primitives): a sender broadcasts a bit to
+// three receivers through an echo-quorum protocol that tolerates one
+// Byzantine fault. A Byzantine *sender* (adversary input `equivocate`)
+// sends conflicting values; the echo quorum then never completes and the
+// protocol reports `noquorum` instead of delivering inconsistently.
+//
+// The protocol automaton walks the echo phase explicitly; the spec
+// automaton decides in one step. Consistency here is absolute (the
+// quorum argument is deterministic), so protocol and spec are *exactly*
+// equivalent -- verified both distributionally and by bisimulation in
+// the tests, a zero-epsilon calibration point next to the probabilistic
+// pairs.
+//
+// Actions (suffix <tag>):
+//   env in : bcast0, bcast1        adv in : equivocate
+//   env out: deliver0, deliver1, noquorum
+//   internal (protocol only): echo, tally
+
+#include <string>
+
+#include "psioa/psioa.hpp"
+
+namespace cdse {
+
+PsioaPtr make_bracha_broadcast(const std::string& tag);
+PsioaPtr make_ideal_broadcast(const std::string& tag);
+
+}  // namespace cdse

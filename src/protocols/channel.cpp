@@ -1,0 +1,52 @@
+#include "protocols/channel.hpp"
+
+#include "psioa/explicit_psioa.hpp"
+
+namespace cdse {
+
+namespace {
+
+PsioaPtr make_channel_impl(const std::string& name, const std::string& tag,
+                           const Rational& deliver_prob) {
+  auto ch = std::make_shared<ExplicitPsioa>(name);
+  const ActionId a_send[2] = {act("send0_" + tag), act("send1_" + tag)};
+  const ActionId a_recv[2] = {act("recv0_" + tag), act("recv1_" + tag)};
+
+  const State idle = ch->add_state("idle");
+  ch->set_start(idle);
+  Signature idle_sig;
+  idle_sig.in = ActionSet{a_send[0], a_send[1]};
+  set::normalize(idle_sig.in);
+  ch->set_signature(idle, idle_sig);
+
+  for (int bit = 0; bit < 2; ++bit) {
+    const State holding = ch->add_state("holding" + std::to_string(bit));
+    Signature hold_sig;
+    hold_sig.out = ActionSet{a_recv[bit]};
+    ch->set_signature(holding, hold_sig);
+    if (deliver_prob == Rational(1)) {
+      ch->add_step(idle, a_send[bit], holding);
+    } else {
+      StateDist d;
+      d.add(holding, deliver_prob);
+      d.add(idle, Rational(1) - deliver_prob);
+      ch->add_transition(idle, a_send[bit], d);
+    }
+    ch->add_step(holding, a_recv[bit], idle);
+  }
+  ch->validate();
+  return ch;
+}
+
+}  // namespace
+
+PsioaPtr make_channel(const std::string& tag) {
+  return make_channel_impl("chan_" + tag, tag, Rational(1));
+}
+
+PsioaPtr make_lossy_channel(const std::string& tag,
+                            const Rational& deliver_prob) {
+  return make_channel_impl("lossychan_" + tag, tag, deliver_prob);
+}
+
+}  // namespace cdse

@@ -1,0 +1,25 @@
+#pragma once
+// Channel automata: the communication substrate for protocol examples.
+//
+// A channel carries one-bit messages: input send0/1_<tag>, output
+// recv0/1_<tag>, one message in flight. The lossy variant drops the
+// message with a fixed probability at send time -- a minimal model of an
+// unreliable network that gives the implementation-relation tests a
+// source of genuinely different trace distributions.
+
+#include <string>
+
+#include "psioa/psioa.hpp"
+#include "util/rational.hpp"
+
+namespace cdse {
+
+/// Reliable 1-slot FIFO channel.
+PsioaPtr make_channel(const std::string& tag);
+
+/// Lossy 1-slot channel: each send is delivered with `deliver_prob`,
+/// silently dropped otherwise.
+PsioaPtr make_lossy_channel(const std::string& tag,
+                            const Rational& deliver_prob);
+
+}  // namespace cdse

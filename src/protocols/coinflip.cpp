@@ -1,0 +1,49 @@
+#include "protocols/coinflip.hpp"
+
+#include <stdexcept>
+
+#include "psioa/explicit_psioa.hpp"
+
+namespace cdse {
+
+PsioaPtr make_coin(const std::string& tag, const Rational& p_head) {
+  if (p_head < Rational(0) || p_head > Rational(1)) {
+    throw std::invalid_argument("make_coin: p_head outside [0, 1]");
+  }
+  auto coin = std::make_shared<ExplicitPsioa>("coin_" + tag);
+  const ActionId a_flip = act("flip_" + tag);
+  const ActionId a_toss = act("toss_" + tag);
+  const ActionId a_head = act("head_" + tag);
+  const ActionId a_tail = act("tail_" + tag);
+
+  const State idle = coin->add_state("idle");
+  const State tossing = coin->add_state("tossing");
+  const State heads = coin->add_state("heads");
+  const State tails = coin->add_state("tails");
+  coin->set_start(idle);
+
+  Signature s_idle;
+  s_idle.in = {a_flip};
+  coin->set_signature(idle, s_idle);
+  Signature s_toss;
+  s_toss.internal = {a_toss};
+  coin->set_signature(tossing, s_toss);
+  Signature s_h;
+  s_h.out = {a_head};
+  coin->set_signature(heads, s_h);
+  Signature s_t;
+  s_t.out = {a_tail};
+  coin->set_signature(tails, s_t);
+
+  coin->add_step(idle, a_flip, tossing);
+  StateDist toss;
+  toss.add(heads, p_head);
+  toss.add(tails, Rational(1) - p_head);
+  coin->add_transition(tossing, a_toss, toss);
+  coin->add_step(heads, a_head, idle);
+  coin->add_step(tails, a_tail, idle);
+  coin->validate();
+  return coin;
+}
+
+}  // namespace cdse

@@ -1,0 +1,19 @@
+#pragma once
+// Coin automata: the smallest genuinely probabilistic PSIOA.
+//
+// On input flip_<tag> the coin resolves internally and then announces
+// head_<tag> or tail_<tag>; it is reusable (loops back to idle). Pairs of
+// coins with different biases give implementation-relation tests an
+// automaton pair whose exact trace distance is |p - q| per flip -- the
+// cleanest possible calibration of the balance-distance machinery.
+
+#include <string>
+
+#include "psioa/psioa.hpp"
+#include "util/rational.hpp"
+
+namespace cdse {
+
+PsioaPtr make_coin(const std::string& tag, const Rational& p_head);
+
+}  // namespace cdse

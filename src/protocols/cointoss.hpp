@@ -1,0 +1,49 @@
+#pragma once
+// Blum coin toss over the commitment functionality: composition in anger.
+//
+// The protocol automaton is genuinely *composed* with the commitment
+// functionality of crypto/pairs.hpp (commit/reveal wiring hidden), so the
+// coin toss built on the real commitment and the one built on the ideal
+// commitment are exactly the A3||A1 vs A3||A2 shape of Lemma 4.13: the
+// composability theorem predicts the protocol inherits at most the
+// commitment's epsilon. Concretely, a corrupt committer who sees the
+// honest bit and then asks the real commitment to equivocate biases the
+// coin by exactly p/2 with p = 2^-k -- half the commitment's own
+// advantage, comfortably inside the theorem's budget.
+//
+// Actions (suffix <tag>):
+//   env : toss (in), result0/result1 (out)
+//   adv : commit0/commit1, flipcmd (in);  announceB0/announceB1 (out)
+//   hidden wiring: reveal, open0/open1;  internal: pickb
+
+#include <cstdint>
+#include <string>
+
+#include "secure/structured.hpp"
+#include "util/rational.hpp"
+
+namespace cdse {
+
+struct CoinTossPair {
+  StructuredPsioa real;   ///< protocol over the real commitment
+  StructuredPsioa ideal;  ///< protocol over the ideal commitment
+  Rational commitment_advantage;  ///< 2^-k (single equivocation query)
+  Rational exact_bias;            ///< achievable coin bias = 2^-(k+1)
+};
+
+/// Builds both protocol instances over the k-parameter commitment.
+CoinTossPair make_cointoss_pair(std::uint32_t k, const std::string& tag);
+
+/// The honest party logic (exposed for tests).
+PsioaPtr make_cointoss_party(const std::string& tag);
+
+/// The optimal corrupt committer: commits to 0, waits for the honest
+/// bit, and requests an equivocation exactly when the toss would
+/// otherwise land 0.
+PsioaPtr make_biaser_adversary(const std::string& tag);
+
+/// An honest committer: commits once (either bit offered, Def 4.24),
+/// never equivocates. The no-attack baseline.
+PsioaPtr make_honest_committer(const std::string& tag);
+
+}  // namespace cdse

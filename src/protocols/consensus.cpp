@@ -1,0 +1,119 @@
+#include "protocols/consensus.hpp"
+
+#include "psioa/explicit_psioa.hpp"
+
+namespace cdse {
+
+namespace {
+
+struct ConsensusActions {
+  ActionId propose_a[2];
+  ActionId propose_b[2];
+  ActionId decide[2];
+
+  explicit ConsensusActions(const std::string& tag) {
+    propose_a[0] = act("proposeA0_" + tag);
+    propose_a[1] = act("proposeA1_" + tag);
+    propose_b[0] = act("proposeB0_" + tag);
+    propose_b[1] = act("proposeB1_" + tag);
+    decide[0] = act("decide0_" + tag);
+    decide[1] = act("decide1_" + tag);
+  }
+};
+
+/// Builds the shared skeleton: proposal collection into one of the four
+/// (va, vb) states; `wire_conflict` installs the disagreement dynamics.
+template <typename WireConflict>
+PsioaPtr make_consensus(const std::string& name, const std::string& tag,
+                        const std::string& resolve_action_name,
+                        WireConflict&& wire_conflict) {
+  auto c = std::make_shared<ExplicitPsioa>(name);
+  const ConsensusActions a(tag);
+  const ActionId a_resolve = act(resolve_action_name + "_" + tag);
+
+  const State start = c->add_state("start");
+  c->set_start(start);
+  State got_a[2];
+  State got_b[2];
+  State agreed[2];   // both proposed v
+  State deciding[2]; // emit decide_v
+  const State conflict = c->add_state("conflict");
+  const State done = c->add_state("done");
+  for (int v = 0; v < 2; ++v) {
+    got_a[v] = c->add_state("gotA" + std::to_string(v));
+    got_b[v] = c->add_state("gotB" + std::to_string(v));
+    agreed[v] = c->add_state("agreed" + std::to_string(v));
+    deciding[v] = c->add_state("deciding" + std::to_string(v));
+  }
+
+  Signature s_start;
+  s_start.in = {a.propose_a[0], a.propose_a[1], a.propose_b[0],
+                a.propose_b[1]};
+  c->set_signature(start, s_start);
+  for (int v = 0; v < 2; ++v) {
+    Signature s_ga;
+    s_ga.in = {a.propose_b[0], a.propose_b[1]};
+    c->set_signature(got_a[v], s_ga);
+    Signature s_gb;
+    s_gb.in = {a.propose_a[0], a.propose_a[1]};
+    c->set_signature(got_b[v], s_gb);
+    Signature s_ag;
+    s_ag.internal = {a_resolve};
+    c->set_signature(agreed[v], s_ag);
+    Signature s_d;
+    s_d.out = {a.decide[v]};
+    c->set_signature(deciding[v], s_d);
+  }
+  Signature s_conf;
+  s_conf.internal = {a_resolve};
+  c->set_signature(conflict, s_conf);
+  c->set_signature(done, Signature{});
+
+  for (int v = 0; v < 2; ++v) {
+    c->add_step(start, a.propose_a[v], got_a[v]);
+    c->add_step(start, a.propose_b[v], got_b[v]);
+    for (int w = 0; w < 2; ++w) {
+      const State joint = (v == w) ? agreed[v] : conflict;
+      c->add_step(got_a[v], a.propose_b[w], joint);
+      c->add_step(got_b[v], a.propose_a[w], joint);
+    }
+    // Agreement: validity forces the common value.
+    c->add_step(agreed[v], a_resolve, deciding[v]);
+    c->add_step(deciding[v], a.decide[v], done);
+  }
+  wire_conflict(*c, conflict, deciding, a_resolve);
+  c->validate();
+  return c;
+}
+
+}  // namespace
+
+PsioaPtr make_benor_consensus(const std::string& tag) {
+  return make_consensus(
+      "benor_" + tag, tag, "round",
+      [](ExplicitPsioa& c, State conflict, State deciding[2],
+         ActionId a_round) {
+        // One common-coin round: with prob 1/4 each, both adopt coin v
+        // and decide v; with prob 1/2 the round fails and repeats.
+        StateDist d;
+        d.add(deciding[0], Rational(1, 4));
+        d.add(deciding[1], Rational(1, 4));
+        d.add(conflict, Rational(1, 2));
+        c.add_transition(conflict, a_round, d);
+      });
+}
+
+PsioaPtr make_ideal_consensus(const std::string& tag) {
+  return make_consensus(
+      "idealcons_" + tag, tag, "pick",
+      [](ExplicitPsioa& c, State conflict, State deciding[2],
+         ActionId a_pick) {
+        // The specification resolves disagreement in one fair step.
+        StateDist d;
+        d.add(deciding[0], Rational(1, 2));
+        d.add(deciding[1], Rational(1, 2));
+        c.add_transition(conflict, a_pick, d);
+      });
+}
+
+}  // namespace cdse

@@ -1,0 +1,31 @@
+#pragma once
+// Randomized binary consensus and its ideal specification.
+//
+// BenOrLite is a collapsed two-party Ben-Or-style protocol: once both
+// proposals are in, agreement decides immediately; disagreement enters a
+// retry loop where each common-coin round ends the conflict with
+// probability 1/2 (both parties adopt the coin) and repeats otherwise.
+// The ideal specification decides in one internal step: the proposed
+// value under agreement, a fair coin under disagreement.
+//
+// Under a depth-d scheduler the two differ exactly by the probability
+// that BenOrLite is still looping at the bound -- 2^-r after r rounds --
+// so "BenOrLite implements IdealConsensus with negligible epsilon in the
+// schedule length" is checkable in closed form (used by tests and the
+// consensus example).
+//
+// Actions (suffix <tag>):
+//   inputs : proposeA0, proposeA1, proposeB0, proposeB1
+//   outputs: decide0, decide1
+//   internal: round (the common-coin round of BenOrLite; pick for Ideal)
+
+#include <string>
+
+#include "psioa/psioa.hpp"
+
+namespace cdse {
+
+PsioaPtr make_benor_consensus(const std::string& tag);
+PsioaPtr make_ideal_consensus(const std::string& tag);
+
+}  // namespace cdse

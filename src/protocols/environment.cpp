@@ -1,0 +1,77 @@
+#include "protocols/environment.hpp"
+
+#include "psioa/explicit_psioa.hpp"
+
+namespace cdse {
+
+namespace {
+
+/// Shared builder: `armed_by(w)` decides whether watching w arms accept.
+template <typename ArmedBy>
+PsioaPtr make_probe_impl(const std::string& name,
+                         const std::vector<ActionId>& script,
+                         const ActionSet& watch, ActionId acc,
+                         ArmedBy&& armed_by) {
+  auto env = std::make_shared<ExplicitPsioa>(name);
+  const std::size_t n = script.size();
+  // State (i, armed, acced): i script actions emitted.
+  std::vector<State> states((n + 1) * 4);
+  auto id = [n](std::size_t i, int armed, int acced) {
+    (void)n;
+    return (i * 4) + static_cast<std::size_t>(armed * 2 + acced);
+  };
+  for (std::size_t i = 0; i <= n; ++i) {
+    for (int armed = 0; armed < 2; ++armed) {
+      for (int acced = 0; acced < 2; ++acced) {
+        states[id(i, armed, acced)] = env->add_state(
+            "s" + std::to_string(i) + (armed ? "a" : "-") +
+            (acced ? "!" : "."));
+      }
+    }
+  }
+  env->set_start(states[id(0, 0, 0)]);
+  for (std::size_t i = 0; i <= n; ++i) {
+    for (int armed = 0; armed < 2; ++armed) {
+      for (int acced = 0; acced < 2; ++acced) {
+        const State q = states[id(i, armed, acced)];
+        Signature sig;
+        sig.in = watch;
+        if (i < n) sig.out.push_back(script[i]);
+        if (armed && !acced) sig.out.push_back(acc);
+        set::normalize(sig.out);
+        env->set_signature(q, sig);
+        if (i < n) {
+          env->add_step(q, script[i], states[id(i + 1, armed, acced)]);
+        }
+        if (armed && !acced) {
+          env->add_step(q, acc, states[id(i, armed, 1)]);
+        }
+        for (ActionId w : watch) {
+          const int next_armed = armed || armed_by(w) ? 1 : 0;
+          env->add_step(q, w, states[id(i, next_armed, acced)]);
+        }
+      }
+    }
+  }
+  env->validate();
+  return env;
+}
+
+}  // namespace
+
+PsioaPtr make_probe_env(const std::string& name, std::vector<ActionId> script,
+                        ActionSet watch, ActionId acc) {
+  return make_probe_impl(name, script, watch, acc,
+                         [](ActionId) { return true; });
+}
+
+PsioaPtr make_probe_env_matching(const std::string& name,
+                                 std::vector<ActionId> script,
+                                 ActionSet watch, ActionId arm_on,
+                                 ActionId acc) {
+  set::insert(watch, arm_on);
+  return make_probe_impl(name, script, watch, acc,
+                         [arm_on](ActionId w) { return w == arm_on; });
+}
+
+}  // namespace cdse

@@ -1,0 +1,35 @@
+#pragma once
+// Environment (distinguisher) builders.
+//
+// Environments drive a system under test and report what they saw; the
+// canonical shape is the scripted probe: emit a fixed sequence of inputs
+// into the system, watch a designated set of system outputs, and raise a
+// dedicated accept action once a watched action has occurred. With the
+// accept insight function this realizes exactly the acceptance-probability
+// distinguisher of [3]/[4] that the paper builds its implementation
+// relation on.
+
+#include <string>
+#include <vector>
+
+#include "psioa/psioa.hpp"
+
+namespace cdse {
+
+/// Scripted probe environment.
+///  - `script`: output actions emitted in order (the i-th becomes enabled
+///    after the first i-1 have fired);
+///  - `watch`: input actions accepted at every state;
+///  - `acc`: output action enabled (once) after any watched action.
+PsioaPtr make_probe_env(const std::string& name,
+                        std::vector<ActionId> script, ActionSet watch,
+                        ActionId acc);
+
+/// Probe variant that accepts only when a *specific* watched action is
+/// seen (others are absorbed without arming the accept).
+PsioaPtr make_probe_env_matching(const std::string& name,
+                                 std::vector<ActionId> script,
+                                 ActionSet watch, ActionId arm_on,
+                                 ActionId acc);
+
+}  // namespace cdse

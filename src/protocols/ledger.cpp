@@ -1,0 +1,127 @@
+#include "protocols/ledger.hpp"
+
+#include "psioa/compose.hpp"
+#include "psioa/explicit_psioa.hpp"
+
+namespace cdse {
+
+namespace {
+std::string idx_name(const std::string& base, std::uint32_t i,
+                     const std::string& tag) {
+  return base + std::to_string(i) + "_" + tag;
+}
+}  // namespace
+
+PsioaPtr make_subchain(std::uint32_t index, const std::string& tag,
+                       bool dynamic_variant) {
+  const std::string kind = dynamic_variant ? "dsub" : "ssub";
+  auto sub = std::make_shared<ExplicitPsioa>(
+      kind + std::to_string(index) + "_" + tag);
+  const ActionId a_open = act(idx_name("open", index, tag));
+  const ActionId a_tx = act(idx_name("tx", index, tag));
+  const ActionId a_ack = act(idx_name("ack", index, tag));
+  const ActionId a_close = act(idx_name("close", index, tag));
+
+  const State live = dynamic_variant ? sub->add_state("live")
+                                     : [&] {
+                                         const State waiting =
+                                             sub->add_state("waiting");
+                                         sub->set_start(waiting);
+                                         Signature s;
+                                         s.in = {a_open};
+                                         sub->set_signature(waiting, s);
+                                         return sub->add_state("live");
+                                       }();
+  const State pending = sub->add_state("pending");
+  const State dead = sub->add_state("dead");
+
+  if (dynamic_variant) {
+    sub->set_start(live);
+  } else {
+    sub->add_step(*sub->find_state("waiting"), a_open, live);
+  }
+  Signature s_live;
+  s_live.in = {a_tx, a_close};
+  sub->set_signature(live, s_live);
+  Signature s_pending;
+  s_pending.out = {a_ack};
+  sub->set_signature(pending, s_pending);
+  sub->set_signature(dead, Signature{});  // destruction sentinel
+
+  sub->add_step(live, a_tx, pending);
+  sub->add_step(pending, a_ack, live);
+  sub->add_step(live, a_close, dead);
+  sub->validate();
+  return sub;
+}
+
+PsioaPtr make_parent_chain(std::uint32_t n, const std::string& tag,
+                           const std::string& name_suffix) {
+  auto parent =
+      std::make_shared<ExplicitPsioa>("parent" + name_suffix + "_" + tag);
+  std::vector<State> stages;
+  for (std::uint32_t i = 0; i <= n; ++i) {
+    stages.push_back(parent->add_state("stage" + std::to_string(i)));
+  }
+  parent->set_start(stages[0]);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const ActionId a_open = act(idx_name("open", i + 1, tag));
+    Signature s;
+    s.out = {a_open};
+    parent->set_signature(stages[i], s);
+    parent->add_step(stages[i], a_open, stages[i + 1]);
+  }
+  // After opening everything the parent idles with a harmless input so it
+  // is not mistaken for a destroyed automaton inside a configuration.
+  const ActionId a_noop = act("parent_noop_" + tag);
+  Signature s_done;
+  s_done.in = {a_noop};
+  parent->set_signature(stages[n], s_done);
+  parent->add_step(stages[n], a_noop, stages[n]);
+  parent->validate();
+  return parent;
+}
+
+LedgerSystem make_ledger_system(std::uint32_t n, const std::string& tag) {
+  LedgerSystem sys;
+  sys.n_subchains = n;
+  sys.registry = std::make_shared<AutomatonRegistry>();
+
+  const Aid parent_aid =
+      sys.registry->add(make_parent_chain(n, tag, "_dyn"));
+  std::vector<Aid> sub_aids;
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    sub_aids.push_back(sys.registry->add(make_subchain(i, tag, true)));
+  }
+
+  // Creation policy: firing open_i spawns subchain i (once; the parent
+  // emits each open exactly once anyway, but stay defensive).
+  std::vector<std::pair<ActionId, Aid>> spawn_on;
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    spawn_on.emplace_back(act(idx_name("open", i, tag)), sub_aids[i - 1]);
+  }
+  CreationPolicy creation = [spawn_on](const Configuration& cfg,
+                                       ActionId a) {
+    std::vector<Aid> phi;
+    for (const auto& [action, aid] : spawn_on) {
+      if (action == a && !cfg.contains(aid)) phi.push_back(aid);
+    }
+    return phi;
+  };
+
+  sys.dynamic = std::make_shared<DynamicPca>(
+      "ledger_" + tag, sys.registry, std::vector<Aid>{parent_aid}, creation,
+      no_hiding());
+
+  // Static specification: all subchains exist from the start, listening
+  // for their open action.
+  std::vector<PsioaPtr> parts;
+  parts.push_back(make_parent_chain(n, tag, "_stat"));
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    parts.push_back(make_subchain(i, tag, false));
+  }
+  sys.static_spec = compose(std::move(parts));
+  return sys;
+}
+
+}  // namespace cdse

@@ -1,0 +1,42 @@
+#pragma once
+// Dynamic ledger with run-time subchain creation/destruction.
+//
+// This is the paper's motivating scenario (Section 1: blockchains "where
+// subchains can be created or destroyed at run time" [13]) expressed in
+// the formalism: a parent-chain automaton emits open_i actions; a
+// creation policy spawns subchain automata at run time; a subchain dies
+// (empty signature, removed by reduce()) after close_i. The static
+// specification pre-instantiates every subchain as a listener for its
+// open_i action -- externally indistinguishable, which is exactly what
+// experiment E9 verifies (TV distance 0) while exercising the dynamic
+// transition machinery of Defs 2.12-2.16.
+//
+// Subchain i actions (suffix <tag>): open<i>, tx<i>, ack<i>, close<i>.
+
+#include <cstdint>
+#include <string>
+
+#include "pca/dynamic_pca.hpp"
+
+namespace cdse {
+
+struct LedgerSystem {
+  RegistryPtr registry;
+  std::shared_ptr<DynamicPca> dynamic;  ///< PCA creating subchains lazily
+  PsioaPtr static_spec;                 ///< equivalent static composition
+  std::uint32_t n_subchains = 0;
+};
+
+/// Builds the paired dynamic/static ledgers with n subchains.
+LedgerSystem make_ledger_system(std::uint32_t n, const std::string& tag);
+
+/// A subchain automaton. `dynamic_variant` starts live (it is born by
+/// creation); the static variant starts as a listener for its open action.
+PsioaPtr make_subchain(std::uint32_t index, const std::string& tag,
+                       bool dynamic_variant);
+
+/// The parent chain: emits open1..openN in order, then stops.
+PsioaPtr make_parent_chain(std::uint32_t n, const std::string& tag,
+                           const std::string& name_suffix);
+
+}  // namespace cdse

@@ -1,0 +1,62 @@
+#include "psioa/action.hpp"
+
+#include <stdexcept>
+
+namespace cdse {
+
+ActionTable& ActionTable::instance() {
+  static ActionTable table;
+  return table;
+}
+
+ActionId ActionTable::intern(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  ActionId id = static_cast<ActionId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+ActionId ActionTable::lookup(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kInvalidAction : it->second;
+}
+
+const std::string& ActionTable::name(ActionId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (id >= names_.size())
+    throw std::out_of_range("ActionTable::name: unknown id");
+  return names_[id];
+}
+
+std::size_t ActionTable::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return names_.size();
+}
+
+ActionId act(std::string_view name) {
+  return ActionTable::instance().intern(name);
+}
+
+ActionSet acts(std::initializer_list<std::string_view> names) {
+  ActionSet s;
+  s.reserve(names.size());
+  for (auto n : names) s.push_back(act(n));
+  set::normalize(s);
+  return s;
+}
+
+std::string to_string(const ActionSet& s) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i) out += ", ";
+    out += ActionTable::instance().name(s[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace cdse

@@ -1,0 +1,60 @@
+#pragma once
+// Actions and the process-wide action table.
+//
+// Automata built independently (e.g. a protocol and its environment) must
+// agree on action identity for composition (Def 2.3-2.5) to mean anything,
+// so action names are interned in one process-wide table. ActionId is a
+// dense 32-bit handle; ActionSet is a sorted-vector set (util/sorted_set).
+//
+// Thread-safety: intern/name are mutex-protected; name() returns a
+// reference into a deque, which stays stable across later interning. The
+// parallel sampler builds per-thread automaton instances whose action
+// names were already interned by the main thread, so contention is nil in
+// practice.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/sorted_set.hpp"
+
+namespace cdse {
+
+using ActionId = std::uint32_t;
+inline constexpr ActionId kInvalidAction = ~ActionId{0};
+
+using ActionSet = SortedSet<ActionId>;
+
+class ActionTable {
+ public:
+  static ActionTable& instance();
+
+  ActionId intern(std::string_view name);
+  ActionId lookup(std::string_view name) const;
+  const std::string& name(ActionId id) const;
+  std::size_t size() const;
+
+  ActionTable(const ActionTable&) = delete;
+  ActionTable& operator=(const ActionTable&) = delete;
+
+ private:
+  ActionTable() = default;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, ActionId> ids_;
+  std::deque<std::string> names_;
+};
+
+/// Shorthand used throughout tests/examples.
+ActionId act(std::string_view name);
+
+/// Interns a whole set at once.
+ActionSet acts(std::initializer_list<std::string_view> names);
+
+/// Renders a set for diagnostics: "{a, b, c}".
+std::string to_string(const ActionSet& s);
+
+}  // namespace cdse

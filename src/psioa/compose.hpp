@@ -1,0 +1,89 @@
+#pragma once
+// Parallel composition A_1 || ... || A_n (Def 2.5, Def 2.18).
+//
+// Composite states are tuples of component states, interned lazily as the
+// reachable fragment is explored -- exactly Def 2.18's restriction of the
+// product space to reachable states. Partial compatibility is enforced on
+// contact: touching a reachable state whose component signatures are not
+// compatible (Def 2.3) throws IncompatibilityError. Transitions follow
+// Def 2.5: the product of the component distributions for components that
+// have the action in their signature, Dirac for the rest.
+//
+// encode_state pairs the component encodings with the self-delimiting
+// scheme of Lemma B.1's proof, so representation lengths compose exactly
+// as the lemma's accounting predicts (exercised by experiment E1).
+
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "psioa/psioa.hpp"
+
+namespace cdse {
+
+class IncompatibilityError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+class ComposedPsioa : public Psioa {
+ public:
+  explicit ComposedPsioa(std::vector<PsioaPtr> components);
+
+  State start_state() override;
+  Signature signature(State q) override;
+  StateDist transition(State q, ActionId a) override;
+  BitString encode_state(State q) override;
+  std::string state_label(State q) override;
+
+  std::size_t component_count() const { return components_.size(); }
+  Psioa& component(std::size_t i) { return *components_[i]; }
+  PsioaPtr component_ptr(std::size_t i) const { return components_[i]; }
+
+  /// q |` A_i of Def 2.18: the i-th component's state within q.
+  State project(State q, std::size_t i) const;
+
+  /// The full component-state tuple for q.
+  const std::vector<State>& tuple(State q) const;
+
+  /// Interns a tuple (exposed for the PCA layer, which needs to align
+  /// composite PCA states with component configurations).
+  State intern_tuple(const std::vector<State>& tuple);
+
+ private:
+  struct TupleHash {
+    std::size_t operator()(const std::vector<State>& v) const {
+      std::size_t h = 0xcbf29ce484222325ULL;
+      for (State s : v) {
+        h ^= std::hash<State>{}(s);
+        h *= 0x100000001b3ULL;
+      }
+      return h;
+    }
+  };
+
+  std::vector<PsioaPtr> components_;
+  std::vector<std::vector<State>> tuples_;
+  std::unordered_map<std::vector<State>, State, TupleHash> interned_;
+};
+
+/// A_1 || ... || A_n. Requires n >= 1.
+std::shared_ptr<ComposedPsioa> compose(std::vector<PsioaPtr> components);
+
+inline std::shared_ptr<ComposedPsioa> compose(PsioaPtr a, PsioaPtr b) {
+  return compose(std::vector<PsioaPtr>{std::move(a), std::move(b)});
+}
+
+inline std::shared_ptr<ComposedPsioa> compose(PsioaPtr a, PsioaPtr b,
+                                              PsioaPtr c) {
+  return compose(
+      std::vector<PsioaPtr>{std::move(a), std::move(b), std::move(c)});
+}
+
+/// Checks partial compatibility of the composition up to `depth`
+/// transitions from the start state: explores reachable composite states
+/// and reports false instead of throwing when any is incompatible.
+bool partially_compatible(std::vector<PsioaPtr> components,
+                          std::size_t depth);
+
+}  // namespace cdse

@@ -1,0 +1,80 @@
+#pragma once
+// Execution fragments, executions and traces (Def 2.2).
+//
+// An execution fragment alternates states and actions, q0 a1 q1 a2 ...,
+// and ends with a state when finite. We store the state and action
+// sequences separately; |states| == |actions| + 1 is the class invariant.
+// trace() restricts to external actions, evaluated against the signature
+// at the action's source state (signatures are state-dependent).
+
+#include <string>
+#include <vector>
+
+#include "psioa/psioa.hpp"
+
+namespace cdse {
+
+class ExecFragment {
+ public:
+  ExecFragment() = default;
+  explicit ExecFragment(State first) : states_{first} {}
+
+  static ExecFragment starting_at(State q) { return ExecFragment(q); }
+
+  bool is_empty() const { return states_.empty(); }
+
+  /// fstate / lstate of Def 2.2.
+  State fstate() const { return states_.front(); }
+  State lstate() const { return states_.back(); }
+
+  /// |alpha|: the number of transitions.
+  std::size_t length() const { return actions_.size(); }
+
+  const std::vector<State>& states() const { return states_; }
+  const std::vector<ActionId>& actions() const { return actions_; }
+
+  /// alpha ^ (a, q'): extends by one step.
+  void append(ActionId a, State q2) {
+    actions_.push_back(a);
+    states_.push_back(q2);
+  }
+
+  /// Concatenation alpha ^ alpha' (defined iff alpha'.fstate == lstate;
+  /// throws std::invalid_argument otherwise).
+  ExecFragment concat(const ExecFragment& tail) const;
+
+  /// Prefix relations (alpha <= alpha' / alpha < alpha').
+  bool is_prefix_of(const ExecFragment& other) const;
+  bool is_proper_prefix_of(const ExecFragment& other) const {
+    return is_prefix_of(other) && length() < other.length();
+  }
+
+  /// The prefix with n transitions (n <= length()).
+  ExecFragment prefix(std::size_t n) const;
+
+  friend bool operator==(const ExecFragment& a, const ExecFragment& b) {
+    return a.states_ == b.states_ && a.actions_ == b.actions_;
+  }
+
+  std::string to_string(Psioa& automaton) const;
+
+ private:
+  std::vector<State> states_;
+  std::vector<ActionId> actions_;
+};
+
+/// trace(alpha): restriction of the action sequence to actions external at
+/// their source state (Def 2.2).
+std::vector<ActionId> trace_of(Psioa& automaton, const ExecFragment& alpha);
+
+/// Renders a trace as "a.b.c" using the action table.
+std::string trace_string(const std::vector<ActionId>& trace);
+
+/// Checks that alpha is an execution fragment of A: every step is in
+/// steps(A) (Def 2.2 condition 2).
+bool is_execution_fragment(Psioa& automaton, const ExecFragment& alpha);
+
+/// An execution additionally starts at the start state.
+bool is_execution(Psioa& automaton, const ExecFragment& alpha);
+
+}  // namespace cdse

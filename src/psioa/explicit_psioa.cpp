@@ -1,0 +1,139 @@
+#include "psioa/explicit_psioa.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cdse {
+
+State ExplicitPsioa::add_state(std::string label) {
+  if (by_label_.count(label)) {
+    throw std::logic_error("ExplicitPsioa: duplicate state label '" + label +
+                           "' in " + name());
+  }
+  State q = labels_.size();
+  by_label_.emplace(label, q);
+  labels_.push_back(std::move(label));
+  nodes_.emplace_back();
+  return q;
+}
+
+std::optional<State> ExplicitPsioa::find_state(const std::string& label) const {
+  auto it = by_label_.find(label);
+  if (it == by_label_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ExplicitPsioa::set_start(State q) {
+  node_at(q);
+  start_ = q;
+}
+
+void ExplicitPsioa::set_signature(State q, Signature sig) {
+  // Normalize defensively: callers often build the three classes from
+  // brace-initializers whose order depends on action interning history.
+  set::normalize(sig.in);
+  set::normalize(sig.out);
+  set::normalize(sig.internal);
+  if (!sig.valid()) {
+    throw std::logic_error("ExplicitPsioa: invalid signature at state '" +
+                           labels_[q] + "' of " + name());
+  }
+  Node& n = node_at(q);
+  n.sig = std::move(sig);
+  n.sig_set = true;
+}
+
+void ExplicitPsioa::add_transition(State q, ActionId a, StateDist eta) {
+  Node& n = node_at(q);
+  if (!n.sig_set || !n.sig.contains(a)) {
+    throw std::logic_error("ExplicitPsioa: transition on action '" +
+                           ActionTable::instance().name(a) +
+                           "' not in signature of state '" + labels_[q] +
+                           "' of " + name());
+  }
+  auto it = std::lower_bound(
+      n.trans.begin(), n.trans.end(), a,
+      [](const auto& e, ActionId key) { return e.first < key; });
+  if (it != n.trans.end() && it->first == a) {
+    throw std::logic_error("ExplicitPsioa: duplicate transition on '" +
+                           ActionTable::instance().name(a) + "' at state '" +
+                           labels_[q] + "' of " + name());
+  }
+  if (!eta.is_probability()) {
+    throw std::logic_error(
+        "ExplicitPsioa: transition distribution does not sum to 1 at state '" +
+        labels_[q] + "' of " + name());
+  }
+  for (const auto& [q2, w] : eta.entries()) {
+    node_at(q2);  // target must be declared
+    (void)w;
+  }
+  n.trans.insert(it, {a, std::move(eta)});
+}
+
+void ExplicitPsioa::validate() {
+  if (!start_) throw std::logic_error("ExplicitPsioa: no start state set");
+  for (State q = 0; q < nodes_.size(); ++q) {
+    const Node& n = nodes_[q];
+    if (!n.sig_set) {
+      throw std::logic_error("ExplicitPsioa: state '" + labels_[q] +
+                             "' of " + name() + " has no signature");
+    }
+    // Action enabling (footnote assumption E1): every action in the
+    // signature has its unique transition.
+    for (ActionId a : n.sig.all()) {
+      auto it = std::lower_bound(
+          n.trans.begin(), n.trans.end(), a,
+          [](const auto& e, ActionId key) { return e.first < key; });
+      if (it == n.trans.end() || it->first != a) {
+        throw std::logic_error("ExplicitPsioa: enabled action '" +
+                               ActionTable::instance().name(a) +
+                               "' has no transition at state '" + labels_[q] +
+                               "' of " + name());
+      }
+    }
+  }
+}
+
+State ExplicitPsioa::start_state() {
+  if (!start_) throw std::logic_error("ExplicitPsioa: no start state set");
+  return *start_;
+}
+
+Signature ExplicitPsioa::signature(State q) {
+  Node& n = node_at(q);
+  if (!n.sig_set) {
+    throw std::logic_error("ExplicitPsioa: state '" + labels_[q] + "' of " +
+                           name() + " has no signature");
+  }
+  return n.sig;
+}
+
+StateDist ExplicitPsioa::transition(State q, ActionId a) {
+  Node& n = node_at(q);
+  auto it = std::lower_bound(
+      n.trans.begin(), n.trans.end(), a,
+      [](const auto& e, ActionId key) { return e.first < key; });
+  if (it == n.trans.end() || it->first != a) {
+    throw std::logic_error("ExplicitPsioa: no transition on '" +
+                           ActionTable::instance().name(a) + "' at state '" +
+                           labels_[q] + "' of " + name());
+  }
+  return it->second;
+}
+
+BitString ExplicitPsioa::encode_state(State q) {
+  return BitString::from_bytes(labels_.at(q));
+}
+
+std::string ExplicitPsioa::state_label(State q) { return labels_.at(q); }
+
+ExplicitPsioa::Node& ExplicitPsioa::node_at(State q) {
+  if (q >= nodes_.size()) {
+    throw std::out_of_range("ExplicitPsioa: unknown state handle in " +
+                            name());
+  }
+  return nodes_[q];
+}
+
+}  // namespace cdse

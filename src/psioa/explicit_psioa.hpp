@@ -1,0 +1,71 @@
+#pragma once
+// ExplicitPsioa: a table-driven PSIOA builder.
+//
+// Most substrate automata (channels, coins, crypto functionalities, ideal
+// specs) have modest explicit state graphs. ExplicitPsioa lets them be
+// declared state-by-state with labelled states, per-state signatures and
+// rational transition distributions, and validates Def 2.1's constraints
+// (signature validity, transitions only on enabled actions, probability
+// totals) either eagerly or via validate().
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "psioa/execution.hpp"
+#include "psioa/psioa.hpp"
+
+namespace cdse {
+
+class ExplicitPsioa : public Psioa {
+ public:
+  explicit ExplicitPsioa(std::string name) : Psioa(std::move(name)) {}
+
+  /// Declares a state with a diagnostic label; returns its handle.
+  /// Labels must be unique (they double as the bit-string encoding).
+  State add_state(std::string label);
+
+  /// Looks up a declared state by label.
+  std::optional<State> find_state(const std::string& label) const;
+
+  void set_start(State q);
+  void set_signature(State q, Signature sig);
+
+  /// Adds the unique transition (q, a, eta). `a` must be in sig(q);
+  /// re-adding for the same (q, a) throws (uniqueness in Def 2.1).
+  void add_transition(State q, ActionId a, StateDist eta);
+
+  /// Deterministic transition shorthand: eta = dirac(q2).
+  void add_step(State q, ActionId a, State q2) {
+    add_transition(q, a, StateDist::dirac(q2));
+  }
+
+  /// Throws std::logic_error describing the first violated constraint.
+  void validate();
+
+  std::size_t state_count() const { return labels_.size(); }
+
+  // Psioa interface.
+  State start_state() override;
+  Signature signature(State q) override;
+  StateDist transition(State q, ActionId a) override;
+  BitString encode_state(State q) override;
+  std::string state_label(State q) override;
+
+ private:
+  struct Node {
+    Signature sig;
+    bool sig_set = false;
+    std::vector<std::pair<ActionId, StateDist>> trans;  // sorted by action
+  };
+
+  Node& node_at(State q);
+
+  std::optional<State> start_;
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, State> by_label_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace cdse

@@ -1,0 +1,90 @@
+#include "psioa/export.hpp"
+
+#include <ostream>
+#include <queue>
+#include <sstream>
+#include <unordered_set>
+
+namespace cdse {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+const char* edge_style(const Signature& sig, ActionId a) {
+  if (sig.is_input(a)) return "dashed";
+  if (sig.is_internal(a)) return "dotted";
+  return "solid";
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, Psioa& automaton,
+               const DotOptions& options) {
+  os << "digraph \"" << escape(automaton.name()) << "\" {\n";
+  os << "  rankdir=LR;\n  node [shape=ellipse, fontsize=10];\n";
+  const State q0 = automaton.start_state();
+  os << "  q" << q0 << " [label=\""
+     << escape(automaton.state_label(q0)) << "\", style=bold];\n";
+  std::unordered_set<State> seen{q0};
+  std::queue<std::pair<State, std::size_t>> frontier;
+  frontier.emplace(q0, 0);
+  std::size_t emitted = 1;
+  while (!frontier.empty()) {
+    auto [q, d] = frontier.front();
+    frontier.pop();
+    if (d >= options.depth) continue;
+    const Signature sig = automaton.signature(q);
+    for (ActionId a : sig.all()) {
+      const StateDist eta = automaton.transition(q, a);
+      for (const auto& [q2, w] : eta.entries()) {
+        if (seen.insert(q2).second) {
+          if (emitted >= options.max_states) continue;
+          ++emitted;
+          os << "  q" << q2 << " [label=\""
+             << escape(automaton.state_label(q2)) << "\"];\n";
+          frontier.emplace(q2, d + 1);
+        }
+        os << "  q" << q << " -> q" << q2 << " [label=\""
+           << escape(ActionTable::instance().name(a));
+        if (options.show_probabilities && eta.support_size() > 1) {
+          os << " [" << w.to_string() << "]";
+        }
+        os << "\", style=" << edge_style(sig, a) << "];\n";
+      }
+    }
+  }
+  os << "}\n";
+}
+
+std::string to_dot(Psioa& automaton, const DotOptions& options) {
+  std::ostringstream os;
+  write_dot(os, automaton, options);
+  return os.str();
+}
+
+void write_csv(std::ostream& os, const ExactDisc<std::string>& dist,
+               const std::string& value_header) {
+  os << value_header << ",probability\n";
+  for (const auto& [value, w] : dist.entries()) {
+    os << '"' << escape(value) << "\"," << w.to_string() << "\n";
+  }
+}
+
+void write_csv(std::ostream& os, const Disc<std::string, double>& dist,
+               const std::string& value_header) {
+  os << value_header << ",probability\n";
+  for (const auto& [value, w] : dist.entries()) {
+    os << '"' << escape(value) << "\"," << w << "\n";
+  }
+}
+
+}  // namespace cdse

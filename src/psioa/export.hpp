@@ -1,0 +1,40 @@
+#pragma once
+// Export helpers: Graphviz DOT rendering of explored automata and CSV
+// dumps of discrete distributions.
+//
+// Exploration is bounded (depth / state cap) exactly like the other
+// analysis passes; DOT nodes show state labels, edges show
+// action [probability] with the action's class (input/output/internal)
+// encoded in the edge style, which makes the examples' automata directly
+// inspectable with standard tooling.
+
+#include <iosfwd>
+#include <string>
+
+#include "measure/disc.hpp"
+#include "psioa/psioa.hpp"
+
+namespace cdse {
+
+struct DotOptions {
+  std::size_t depth = 8;
+  std::size_t max_states = 200;
+  bool show_probabilities = true;
+};
+
+/// Writes the reachable fragment of `automaton` as a DOT digraph.
+void write_dot(std::ostream& os, Psioa& automaton,
+               const DotOptions& options = {});
+
+/// Convenience: DOT as a string.
+std::string to_dot(Psioa& automaton, const DotOptions& options = {});
+
+/// Writes a distribution as two-column CSV ("value,probability").
+/// Weights are emitted exactly (as fraction strings) for rational
+/// distributions and as decimals for double ones.
+void write_csv(std::ostream& os, const ExactDisc<std::string>& dist,
+               const std::string& value_header = "value");
+void write_csv(std::ostream& os, const Disc<std::string, double>& dist,
+               const std::string& value_header = "value");
+
+}  // namespace cdse

@@ -1,0 +1,23 @@
+#include "psioa/hide.hpp"
+
+namespace cdse {
+
+HiddenPsioa::HiddenPsioa(PsioaPtr inner, HidingFn h)
+    : Psioa("hide(" + inner->name() + ")"),
+      inner_(std::move(inner)),
+      h_(std::move(h)) {}
+
+HiddenPsioa::HiddenPsioa(PsioaPtr inner, ActionSet constant)
+    : Psioa("hide(" + inner->name() + ")"),
+      inner_(std::move(inner)),
+      h_([s = std::move(constant)](State) { return s; }) {}
+
+Signature HiddenPsioa::signature(State q) {
+  return hide(inner_->signature(q), hidden_at(q));
+}
+
+ActionSet HiddenPsioa::hidden_at(State q) {
+  return set::intersect(h_(q), inner_->signature(q).out);
+}
+
+}  // namespace cdse

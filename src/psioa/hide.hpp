@@ -1,0 +1,52 @@
+#pragma once
+// Hiding operator on PSIOA (Def 2.7).
+//
+// hide(A, h) internalizes a state-dependent subset of output actions:
+// only the signature changes, states and transition dynamics are shared
+// with the inner automaton. `h` may be a constant set or a per-state
+// function; results are intersected with out(q) defensively (Def 2.7
+// requires h(q) subset of outputs).
+
+#include <functional>
+
+#include "psioa/psioa.hpp"
+
+namespace cdse {
+
+using HidingFn = std::function<ActionSet(State)>;
+
+class HiddenPsioa : public Psioa {
+ public:
+  HiddenPsioa(PsioaPtr inner, HidingFn h);
+  HiddenPsioa(PsioaPtr inner, ActionSet constant);
+
+  State start_state() override { return inner_->start_state(); }
+  Signature signature(State q) override;
+  StateDist transition(State q, ActionId a) override {
+    return inner_->transition(q, a);
+  }
+  BitString encode_state(State q) override { return inner_->encode_state(q); }
+  std::string state_label(State q) override {
+    return inner_->state_label(q);
+  }
+
+  Psioa& inner() { return *inner_; }
+  PsioaPtr inner_ptr() const { return inner_; }
+
+  /// The set actually hidden at q: h(q) intersected with out(q).
+  ActionSet hidden_at(State q);
+
+ private:
+  PsioaPtr inner_;
+  HidingFn h_;
+};
+
+inline PsioaPtr hide_actions(PsioaPtr a, ActionSet s) {
+  return std::make_shared<HiddenPsioa>(std::move(a), std::move(s));
+}
+
+inline PsioaPtr hide_actions(PsioaPtr a, HidingFn h) {
+  return std::make_shared<HiddenPsioa>(std::move(a), std::move(h));
+}
+
+}  // namespace cdse

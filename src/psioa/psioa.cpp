@@ -1,0 +1,10 @@
+#include "psioa/psioa.hpp"
+
+namespace cdse {
+
+bool Psioa::is_step(State q, ActionId a, State q2) {
+  if (!signature(q).contains(a)) return false;
+  return !transition(q, a).mass(q2).is_zero();
+}
+
+}  // namespace cdse

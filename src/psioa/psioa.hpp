@@ -1,0 +1,81 @@
+#pragma once
+// PSIOA: probabilistic signature input/output automata (Def 2.1).
+//
+// A PSIOA is an automaton with a countable state space, a unique start
+// state, a state-dependent signature, and for every enabled action a
+// unique discrete transition distribution. We expose states as opaque
+// uint64 handles local to each automaton instance; implementations intern
+// lazily-discovered states, which realizes "countable state space explored
+// on demand" without materializing it.
+//
+// Transition probabilities are exact rationals (util/rational.hpp): the
+// exact cone-measure enumerator depends on it, and the sampler converts to
+// doubles once per (state, action) pair and caches.
+//
+// Methods are non-const by design: signature/transition may intern new
+// states or memoize. One automaton instance must be driven by one thread;
+// the parallel sampler clones instances via factories (see sched/sampler).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "measure/disc.hpp"
+#include "psioa/signature.hpp"
+#include "util/bitstring.hpp"
+
+namespace cdse {
+
+using State = std::uint64_t;
+
+/// Transition target distribution: eta_{(A,q,a)} in Disc(Q_A).
+using StateDist = ExactDisc<State>;
+
+class Psioa {
+ public:
+  explicit Psioa(std::string name) : name_(std::move(name)) {}
+  virtual ~Psioa() = default;
+
+  Psioa(const Psioa&) = delete;
+  Psioa& operator=(const Psioa&) = delete;
+
+  /// Automaton identifier (the paper's Autids name).
+  const std::string& name() const { return name_; }
+
+  /// \bar{q}_A, the unique start state.
+  virtual State start_state() = 0;
+
+  /// sig(A)(q). Must be valid() for every reachable q.
+  virtual Signature signature(State q) = 0;
+
+  /// eta_{(A,q,a)}. Precondition: a in sig(A)(q).all(); implementations
+  /// throw std::logic_error otherwise (action-enabling assumption E1).
+  virtual StateDist transition(State q, ActionId a) = 0;
+
+  /// Bit-string representation <q> (Section 4). The default encodes the
+  /// raw handle; automata with structured states override it so that
+  /// representation length reflects genuine description size.
+  virtual BitString encode_state(State q) { return BitString::from_uint(q); }
+
+  /// Human-readable state label for traces and error messages.
+  virtual std::string state_label(State q) { return std::to_string(q); }
+
+  // -- convenience helpers -------------------------------------------------
+
+  /// All actions executable at q.
+  ActionSet enabled(State q) { return signature(q).all(); }
+
+  /// True when (q, a, q') in steps(A), i.e. q' in supp(eta_{(A,q,a)}).
+  bool is_step(State q, ActionId a, State q2);
+
+ private:
+  std::string name_;
+};
+
+using PsioaPtr = std::shared_ptr<Psioa>;
+
+/// Factory producing fresh, independent instances of the same automaton;
+/// the unit of work distribution for the parallel sampler.
+using PsioaFactory = std::function<PsioaPtr()>;
+
+}  // namespace cdse

@@ -1,0 +1,63 @@
+#include "psioa/random.hpp"
+
+namespace cdse {
+
+std::shared_ptr<ExplicitPsioa> make_random_psioa(
+    const std::string& name, const std::string& tag,
+    const RandomPsioaConfig& config, Xoshiro256& rng) {
+  auto a = std::make_shared<ExplicitPsioa>(name);
+  ActionSet outs;
+  for (std::size_t i = 0; i < config.n_outputs; ++i) {
+    set::insert(outs, act("rout" + std::to_string(i) + "_" + tag));
+  }
+  ActionSet ints;
+  for (std::size_t i = 0; i < config.n_internals; ++i) {
+    set::insert(ints, act("rint" + std::to_string(i) + "_" + tag));
+  }
+
+  std::vector<State> states;
+  for (std::size_t i = 0; i < config.n_states; ++i) {
+    states.push_back(a->add_state("r" + std::to_string(i)));
+  }
+  a->set_start(states[0]);
+
+  auto coin = [&rng, &config] {
+    return rng.below(8) < config.enable_odds;
+  };
+  for (State q : states) {
+    Signature sig;
+    for (ActionId in_cand : config.input_candidates) {
+      if (coin()) sig.in.push_back(in_cand);
+    }
+    for (ActionId out_a : outs) {
+      if (coin()) sig.out.push_back(out_a);
+    }
+    for (ActionId int_a : ints) {
+      if (coin()) sig.internal.push_back(int_a);
+    }
+    set::normalize(sig.in);
+    set::normalize(sig.out);
+    set::normalize(sig.internal);
+    a->set_signature(q, sig);
+  }
+  // Transitions: random dyadic distributions over all states (eighths,
+  // at least one atom).
+  for (State q : states) {
+    for (ActionId act_id : a->signature(q).all()) {
+      StateDist d;
+      Rational remaining(1);
+      while (!remaining.is_zero()) {
+        const State target = states[rng.below(states.size())];
+        Rational w(static_cast<std::int64_t>(rng.below(8)) + 1, 8);
+        if (remaining < w) w = remaining;
+        d.add(target, w);
+        remaining -= w;
+      }
+      a->add_transition(q, act_id, d);
+    }
+  }
+  a->validate();
+  return a;
+}
+
+}  // namespace cdse

@@ -1,0 +1,37 @@
+#pragma once
+// Random PSIOA generation for property-based testing.
+//
+// The algebraic laws of the framework (composition associativity and
+// commutativity up to bisimulation, hiding/renaming commutation,
+// signature-composition laws on reachable states) should hold for *all*
+// automata, not just the hand-built ones; this generator produces small
+// valid PSIOA with dyadic transition probabilities so the exact engines
+// can check the laws on randomized instances.
+//
+// Each generated automaton owns fresh output/internal action names
+// (derived from its tag); its inputs are drawn from a caller-provided
+// candidate set, which is how compatible ensembles are built (feed one
+// automaton's outputs as another's input candidates).
+
+#include "psioa/explicit_psioa.hpp"
+#include "util/rng.hpp"
+
+namespace cdse {
+
+struct RandomPsioaConfig {
+  std::size_t n_states = 4;
+  std::size_t n_outputs = 2;    ///< fresh output actions to own
+  std::size_t n_internals = 1;  ///< fresh internal actions to own
+  /// Candidate input actions (e.g. another automaton's outputs).
+  ActionSet input_candidates;
+  /// Probability (out of 8) that a given owned/candidate action is
+  /// enabled at a given state.
+  std::uint32_t enable_odds = 5;
+};
+
+/// Generates a valid PSIOA (validated before return).
+std::shared_ptr<ExplicitPsioa> make_random_psioa(
+    const std::string& name, const std::string& tag,
+    const RandomPsioaConfig& config, Xoshiro256& rng);
+
+}  // namespace cdse

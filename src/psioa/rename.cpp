@@ -1,0 +1,96 @@
+#include "psioa/rename.hpp"
+
+#include <stdexcept>
+
+namespace cdse {
+
+void ActionBijection::add(ActionId from, ActionId to) {
+  if (fwd_.count(from)) {
+    throw std::logic_error("ActionBijection: duplicate source '" +
+                           ActionTable::instance().name(from) + "'");
+  }
+  if (rev_.count(to)) {
+    throw std::logic_error("ActionBijection: duplicate target '" +
+                           ActionTable::instance().name(to) + "'");
+  }
+  fwd_.emplace(from, to);
+  rev_.emplace(to, from);
+}
+
+ActionBijection ActionBijection::with_suffix(const ActionSet& domain,
+                                             const std::string& suffix) {
+  ActionBijection b;
+  for (ActionId a : domain) {
+    b.add(a, act(ActionTable::instance().name(a) + suffix));
+  }
+  return b;
+}
+
+ActionId ActionBijection::apply(ActionId a) const {
+  auto it = fwd_.find(a);
+  return it == fwd_.end() ? a : it->second;
+}
+
+ActionSet ActionBijection::apply(const ActionSet& s) const {
+  ActionSet out;
+  out.reserve(s.size());
+  for (ActionId a : s) out.push_back(apply(a));
+  set::normalize(out);
+  return out;
+}
+
+Signature ActionBijection::apply(const Signature& sig) const {
+  Signature out;
+  out.in = apply(sig.in);
+  out.out = apply(sig.out);
+  out.internal = apply(sig.internal);
+  return out;
+}
+
+ActionId ActionBijection::invert(ActionId a) const {
+  auto it = rev_.find(a);
+  return it == rev_.end() ? a : it->second;
+}
+
+ActionBijection ActionBijection::inverse() const {
+  ActionBijection b;
+  b.fwd_ = rev_;
+  b.rev_ = fwd_;
+  return b;
+}
+
+bool ActionBijection::valid_for(const Signature& sig) const {
+  // Injectivity on sig.all(): images must be pairwise distinct.
+  const ActionSet all = sig.all();
+  ActionSet images = apply(all);
+  return images.size() == all.size();
+}
+
+RenamedPsioa::RenamedPsioa(PsioaPtr inner, ActionBijection r)
+    : Psioa("r(" + inner->name() + ")"),
+      inner_(std::move(inner)),
+      r_(std::move(r)) {}
+
+Signature RenamedPsioa::signature(State q) {
+  Signature sig = inner_->signature(q);
+  if (!r_.valid_for(sig)) {
+    throw std::logic_error(
+        "RenamedPsioa: renaming not injective on signature of state " +
+        inner_->state_label(q));
+  }
+  return r_.apply(sig);
+}
+
+StateDist RenamedPsioa::transition(State q, ActionId a) {
+  // The action must be addressed by its renamed identity: an action whose
+  // old name was renamed away is no longer in sig(r(A))(q).
+  if (!signature(q).contains(a)) {
+    throw std::logic_error("RenamedPsioa: action '" +
+                           ActionTable::instance().name(a) +
+                           "' not enabled at state " +
+                           inner_->state_label(q));
+  }
+  return inner_->transition(q, r_.invert(a));
+}
+
+}  // namespace cdse

@@ -1,0 +1,35 @@
+#include "psioa/signature.hpp"
+
+namespace cdse {
+
+std::string Signature::to_string() const {
+  return "in=" + cdse::to_string(in) + " out=" + cdse::to_string(out) +
+         " int=" + cdse::to_string(internal);
+}
+
+bool compatible(const Signature& a, const Signature& b) {
+  // 1. (in U out U int) n int' == {} -- in both directions.
+  if (!set::disjoint(a.all(), b.internal)) return false;
+  if (!set::disjoint(b.all(), a.internal)) return false;
+  // 2. out n out' == {}.
+  if (!set::disjoint(a.out, b.out)) return false;
+  return true;
+}
+
+Signature compose(const Signature& a, const Signature& b) {
+  Signature c;
+  c.out = set::unite(a.out, b.out);
+  c.in = set::subtract(set::unite(a.in, b.in), c.out);
+  c.internal = set::unite(a.internal, b.internal);
+  return c;
+}
+
+Signature hide(const Signature& sig, const ActionSet& s) {
+  Signature h;
+  h.in = sig.in;
+  h.out = set::subtract(sig.out, s);
+  h.internal = set::unite(sig.internal, set::intersect(sig.out, s));
+  return h;
+}
+
+}  // namespace cdse

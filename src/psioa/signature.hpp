@@ -1,0 +1,63 @@
+#pragma once
+// State signatures and the signature algebra of Sections 2.2-2.4.
+//
+// A signature partitions the actions enabled at a state into input, output
+// and internal classes (Def 2.1). Compatibility (Def 2.3), composition
+// (Def 2.4), hiding (Def 2.6) and renaming are pure set algebra over the
+// three classes; everything here is value-semantic and allocation-light.
+
+#include <string>
+
+#include "psioa/action.hpp"
+
+namespace cdse {
+
+struct Signature {
+  ActionSet in;
+  ActionSet out;
+  ActionSet internal;
+
+  /// ext(q) = in(q) U out(q).
+  ActionSet ext() const { return set::unite(in, out); }
+
+  /// \widehat{sig}(q) = in U out U int -- every executable action.
+  ActionSet all() const { return set::unite(set::unite(in, out), internal); }
+
+  bool contains(ActionId a) const {
+    return set::contains(in, a) || set::contains(out, a) ||
+           set::contains(internal, a);
+  }
+
+  bool is_input(ActionId a) const { return set::contains(in, a); }
+  bool is_output(ActionId a) const { return set::contains(out, a); }
+  bool is_internal(ActionId a) const { return set::contains(internal, a); }
+  bool is_external(ActionId a) const { return is_input(a) || is_output(a); }
+
+  /// Destruction sentinel (Def 2.12): an automaton whose current signature
+  /// is empty is removed by reduce().
+  bool empty() const { return in.empty() && out.empty() && internal.empty(); }
+
+  /// Def 2.1 requires the three classes mutually disjoint.
+  bool valid() const {
+    return set::disjoint(in, out) && set::disjoint(in, internal) &&
+           set::disjoint(out, internal);
+  }
+
+  friend bool operator==(const Signature& a, const Signature& b) {
+    return a.in == b.in && a.out == b.out && a.internal == b.internal;
+  }
+
+  std::string to_string() const;
+};
+
+/// Def 2.3: (in U out U int) disjoint from int', and out disjoint from out'.
+bool compatible(const Signature& a, const Signature& b);
+
+/// Def 2.4: (in U in') \ (out U out'), out U out', int U int'.
+/// Precondition: compatible(a, b).
+Signature compose(const Signature& a, const Signature& b);
+
+/// Def 2.6: hide(sig, S) = (in, out \ S, int U (out n S)).
+Signature hide(const Signature& sig, const ActionSet& s);
+
+}  // namespace cdse

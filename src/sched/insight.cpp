@@ -1,0 +1,27 @@
+#include "sched/insight.hpp"
+
+namespace cdse {
+
+Perception TraceInsight::apply(Psioa& automaton,
+                               const ExecFragment& alpha) const {
+  return trace_string(trace_of(automaton, alpha));
+}
+
+Perception AcceptInsight::apply(Psioa& automaton,
+                                const ExecFragment& alpha) const {
+  for (ActionId a : trace_of(automaton, alpha)) {
+    if (a == acc_) return "1";
+  }
+  return "0";
+}
+
+Perception PrintInsight::apply(Psioa& automaton,
+                               const ExecFragment& alpha) const {
+  std::vector<ActionId> kept;
+  for (ActionId a : trace_of(automaton, alpha)) {
+    if (set::contains(print_, a)) kept.push_back(a);
+  }
+  return trace_string(kept);
+}
+
+}  // namespace cdse

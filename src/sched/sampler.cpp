@@ -1,0 +1,84 @@
+#include "sched/sampler.hpp"
+
+#include <vector>
+
+namespace cdse {
+
+ExecFragment sample_execution(Psioa& automaton, Scheduler& sched,
+                              Xoshiro256& rng, std::size_t max_depth) {
+  ExecFragment alpha = ExecFragment::starting_at(automaton.start_state());
+  while (alpha.length() < max_depth) {
+    const ActionChoice choice = sched.choose(automaton, alpha);
+    if (choice.empty()) break;
+    // Draw over {halt} U actions using double weights.
+    const double u = rng.uniform();
+    double acc = 0.0;
+    ActionId chosen = kInvalidAction;
+    for (const auto& [a, w] : choice.entries()) {
+      acc += w.to_double();
+      if (u < acc) {
+        chosen = a;
+        break;
+      }
+    }
+    if (chosen == kInvalidAction) break;  // residual mass: halt
+    const StateDist eta = automaton.transition(alpha.lstate(), chosen);
+    const double v = rng.uniform();
+    double acc2 = 0.0;
+    State next = eta.entries().back().first;
+    for (const auto& [q2, w] : eta.entries()) {
+      acc2 += w.to_double();
+      if (v < acc2) {
+        next = q2;
+        break;
+      }
+    }
+    alpha.append(chosen, next);
+  }
+  return alpha;
+}
+
+Disc<Perception, double> sample_fdist(Psioa& automaton, Scheduler& sched,
+                                      const InsightFunction& f,
+                                      std::size_t trials, std::uint64_t seed,
+                                      std::size_t max_depth) {
+  Disc<Perception, double> dist;
+  Xoshiro256 rng(seed);
+  const double w = 1.0 / static_cast<double>(trials);
+  for (std::size_t i = 0; i < trials; ++i) {
+    const ExecFragment alpha =
+        sample_execution(automaton, sched, rng, max_depth);
+    dist.add(f.apply(automaton, alpha), w);
+  }
+  return dist;
+}
+
+Disc<Perception, double> parallel_sample_fdist(
+    const PsioaFactory& make_automaton, const SchedulerFactory& make_sched,
+    const InsightFunction& f, std::size_t trials, std::uint64_t seed,
+    std::size_t max_depth, ThreadPool& pool) {
+  const std::size_t chunks = pool.size();
+  std::vector<Disc<Perception, double>> partial(chunks);
+  parallel_for_chunks(
+      pool, trials,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        PsioaPtr automaton = make_automaton();
+        SchedulerPtr sched = make_sched();
+        Xoshiro256 rng = Xoshiro256::for_stream(seed, chunk);
+        Disc<Perception, double>& out = partial[chunk];
+        for (std::size_t i = begin; i < end; ++i) {
+          const ExecFragment alpha =
+              sample_execution(*automaton, *sched, rng, max_depth);
+          out.add(f.apply(*automaton, alpha), 1.0);
+        }
+      });
+  Disc<Perception, double> merged;
+  for (const auto& p : partial) {
+    for (const auto& [perc, count] : p.entries()) {
+      merged.add(perc, count / static_cast<double>(trials));
+    }
+  }
+  return merged;
+}
+
+}  // namespace cdse

@@ -1,0 +1,41 @@
+#pragma once
+// Monte-Carlo execution sampling, serial and parallel.
+//
+// The exact enumerator is the ground truth for small systems; sampling
+// covers the ones whose execution trees are too large (the family sweeps
+// of experiment E8 at larger k, the throughput experiment E10). Parallel
+// sampling distributes trials over a ThreadPool using *factories*: each
+// worker gets its own automaton + scheduler instance and its own RNG
+// stream, so no synchronization is needed and results are reproducible
+// for a fixed seed regardless of thread count.
+
+#include <cstdint>
+
+#include "sched/insight.hpp"
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cdse {
+
+/// Samples one execution under the scheduler, halting when the scheduler
+/// halts or at max_depth.
+ExecFragment sample_execution(Psioa& automaton, Scheduler& sched,
+                              Xoshiro256& rng, std::size_t max_depth);
+
+/// Serial estimate of f-dist from `trials` samples.
+Disc<Perception, double> sample_fdist(Psioa& automaton, Scheduler& sched,
+                                      const InsightFunction& f,
+                                      std::size_t trials, std::uint64_t seed,
+                                      std::size_t max_depth);
+
+/// Parallel estimate. Each chunk c uses stream c of `seed`; results are
+/// merged deterministically (chunk partitioning depends on pool size, so
+/// cross-pool-size reproducibility holds at fixed pool size; per-seed
+/// statistical validity always holds).
+Disc<Perception, double> parallel_sample_fdist(
+    const PsioaFactory& make_automaton, const SchedulerFactory& make_sched,
+    const InsightFunction& f, std::size_t trials, std::uint64_t seed,
+    std::size_t max_depth, ThreadPool& pool);
+
+}  // namespace cdse

@@ -1,0 +1,5 @@
+#include "sched/scheduler.hpp"
+
+namespace cdse {
+// Interface only.
+}  // namespace cdse

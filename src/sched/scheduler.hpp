@@ -1,0 +1,50 @@
+#pragma once
+// Schedulers and scheduler schemas (Def 3.1, Def 3.2).
+//
+// A scheduler resolves the non-determinism of a PSIOA: given a finite
+// execution fragment it returns a discrete *sub*-probability measure over
+// the transitions leaving lstate(alpha); the missing mass is the
+// probability of halting. Because Def 2.1 makes eta_{(A,q,a)} unique per
+// (q, a), a distribution over enabled *actions* identifies a distribution
+// over transitions, which is how we represent it.
+//
+// Weights are exact rationals so that the cone-measure enumerator stays
+// exact end to end.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "psioa/execution.hpp"
+
+namespace cdse {
+
+/// Sub-probability over the actions enabled at lstate(alpha);
+/// total() < 1 means halting with the residual mass.
+using ActionChoice = ExactDisc<ActionId>;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// sigma(alpha). Implementations must only give mass to actions in
+  /// sig(A)(lstate(alpha)) with total at most 1; the exact cone-measure
+  /// enumerator validates both, the Monte-Carlo sampler trusts the
+  /// scheduler for speed.
+  virtual ActionChoice choose(Psioa& automaton,
+                              const ExecFragment& alpha) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using SchedulerPtr = std::shared_ptr<Scheduler>;
+
+/// Produces a fresh scheduler instance; the unit of distribution for the
+/// parallel sampler (one instance per worker, like PsioaFactory).
+using SchedulerFactory = std::function<SchedulerPtr()>;
+
+/// A scheduler schema (Def 3.2) maps an automaton to the subset of its
+/// schedulers that are admissible; constructively, it builds one.
+using SchedulerSchema = std::function<SchedulerPtr(Psioa&)>;
+
+}  // namespace cdse

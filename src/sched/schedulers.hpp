@@ -1,0 +1,131 @@
+#pragma once
+// Concrete scheduler families.
+//
+// The paper deliberately works with a *broad* scheduler space (Section
+// 4.4): it only requires schemas rich enough to be oblivious and
+// creation-oblivious where the emulation argument needs them, and bounded
+// (Def 4.6) where computational indistinguishability needs run-time caps.
+// We provide:
+//   UniformScheduler    -- uniform over enabled actions, halts at a depth;
+//                          the maximally non-committal baseline.
+//   PriorityScheduler   -- deterministic: highest-priority enabled action.
+//   SequenceScheduler   -- fully off-line: a fixed action word; halts on
+//                          the first letter that is not enabled.
+//   TaskScheduler       -- task word in the sense of [3]: each task is an
+//                          action set; fires the unique enabled action of
+//                          the current task, halts when none or ambiguous.
+//   BoundedScheduler    -- Def 4.6 wrapper: never schedules once
+//                          |alpha| >= bound.
+//   OblivousFnScheduler -- decisions depend only on the action word of
+//                          alpha (not on states): the "oblivious in the
+//                          sufficient sense" schema of Section 4.4, which
+//                          is creation-oblivious for PCA because created
+//                          automata never appear in the decision input.
+
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace cdse {
+
+/// The actions a scheduler may fire at q. Def 3.1 allows every enabled
+/// action; for *closed* systems (environment included in the composition)
+/// the standard discipline is to schedule only locally controlled actions
+/// -- outputs and internals -- because a remaining input has no producer
+/// and firing it would model a ghost stimulus. Schedulers take a
+/// `local_only` flag selecting between the two readings.
+ActionSet schedulable_actions(Psioa& automaton, State q, bool local_only);
+
+class UniformScheduler : public Scheduler {
+ public:
+  explicit UniformScheduler(std::size_t depth_bound, bool local_only = false)
+      : bound_(depth_bound), local_only_(local_only) {}
+  ActionChoice choose(Psioa& automaton, const ExecFragment& alpha) override;
+  std::string name() const override { return "uniform"; }
+
+ private:
+  std::size_t bound_;
+  bool local_only_;
+};
+
+class PriorityScheduler : public Scheduler {
+ public:
+  PriorityScheduler(std::vector<ActionId> priority, std::size_t depth_bound,
+                    bool local_only = false)
+      : priority_(std::move(priority)),
+        bound_(depth_bound),
+        local_only_(local_only) {}
+  ActionChoice choose(Psioa& automaton, const ExecFragment& alpha) override;
+  std::string name() const override { return "priority"; }
+
+ private:
+  std::vector<ActionId> priority_;
+  std::size_t bound_;
+  bool local_only_;
+};
+
+class SequenceScheduler : public Scheduler {
+ public:
+  explicit SequenceScheduler(std::vector<ActionId> word,
+                             bool local_only = false)
+      : word_(std::move(word)), local_only_(local_only) {}
+  ActionChoice choose(Psioa& automaton, const ExecFragment& alpha) override;
+  std::string name() const override { return "sequence"; }
+
+ private:
+  std::vector<ActionId> word_;
+  bool local_only_;
+};
+
+class TaskScheduler : public Scheduler {
+ public:
+  explicit TaskScheduler(std::vector<ActionSet> tasks,
+                         bool local_only = false)
+      : tasks_(std::move(tasks)), local_only_(local_only) {}
+  ActionChoice choose(Psioa& automaton, const ExecFragment& alpha) override;
+  std::string name() const override { return "task"; }
+
+ private:
+  std::vector<ActionSet> tasks_;
+  bool local_only_;
+};
+
+/// Def 4.6: b-time-bounded wrapper.
+class BoundedScheduler : public Scheduler {
+ public:
+  BoundedScheduler(SchedulerPtr inner, std::size_t bound)
+      : inner_(std::move(inner)), bound_(bound) {}
+  ActionChoice choose(Psioa& automaton, const ExecFragment& alpha) override;
+  std::string name() const override {
+    return "bounded(" + inner_->name() + ")";
+  }
+  std::size_t bound() const { return bound_; }
+
+ private:
+  SchedulerPtr inner_;
+  std::size_t bound_;
+};
+
+/// Oblivious scheduler defined by a function of the action word and the
+/// currently enabled set only.
+class ObliviousFnScheduler : public Scheduler {
+ public:
+  using Fn = std::function<ActionChoice(const std::vector<ActionId>& word,
+                                        const ActionSet& enabled)>;
+  ObliviousFnScheduler(Fn fn, std::string label)
+      : fn_(std::move(fn)), label_(std::move(label)) {}
+  ActionChoice choose(Psioa& automaton, const ExecFragment& alpha) override;
+  std::string name() const override { return "oblivious(" + label_ + ")"; }
+
+ private:
+  Fn fn_;
+  std::string label_;
+};
+
+/// Measures the longest schedule a scheduler produces from the start
+/// state within `max_depth` (exhaustive over its support); used by the
+/// dummy-adversary experiment to confirm the q2 = 2*q1 bound of Lemma D.1.
+std::size_t max_schedule_length(Psioa& automaton, Scheduler& sched,
+                                std::size_t max_depth);
+
+}  // namespace cdse

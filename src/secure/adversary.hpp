@@ -1,0 +1,36 @@
+#pragma once
+// Adversaries for structured automata (Def 4.24, Lemma 4.25).
+//
+// An adversary for (A, EAct_A) is a PSIOA that (i) is partially
+// compatible with A, (ii) offers every adversary input of A among its
+// outputs, and (iii) never touches environment actions. The checker
+// verifies the conditions on the reachable prefix of A||Adv.
+
+#include <string>
+
+#include "secure/structured.hpp"
+
+namespace cdse {
+
+struct AdversaryCheckResult {
+  bool ok = true;
+  std::string violation;
+  std::size_t states_checked = 0;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Checks Def 4.24 on reachable states of A||Adv up to `depth`.
+AdversaryCheckResult check_adversary_for(const StructuredPsioa& a,
+                                         const PsioaPtr& adv,
+                                         std::size_t depth);
+
+/// A memoryless adversary: absorbs every action of `absorbs` and keeps
+/// every action of `may_send` enabled as an output self-loop (the
+/// scheduler decides when commands fire). With empty `may_send` this is
+/// the passive "sink" baseline; `may_send` must cover the adversary
+/// inputs of the target automaton for Def 4.24 to hold.
+PsioaPtr make_sink_adversary(const std::string& name, const ActionSet& absorbs,
+                             const ActionSet& may_send = {});
+
+}  // namespace cdse

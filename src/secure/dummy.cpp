@@ -1,0 +1,94 @@
+#include "secure/dummy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cdse {
+
+DummyAdversary::DummyAdversary(std::string name, ActionSet ao, ActionSet ai,
+                               ActionBijection g)
+    : Psioa(std::move(name)),
+      ao_(std::move(ao)),
+      ai_(std::move(ai)),
+      g_(std::move(g)) {
+  // in(Adv') = AO_A U g(AI_A): receives A's leaks and the outer
+  // adversary's (renamed) commands.
+  in_ = set::unite(ao_, g_.apply(ai_));
+  // pending ranges over AO_A U g(AI_A).
+  pending_actions_ = in_;
+}
+
+ActionId DummyAdversary::pending_of(State q) const {
+  if (q == 0) return kInvalidAction;
+  const std::size_t idx = static_cast<std::size_t>(q - 1);
+  if (idx >= pending_actions_.size()) {
+    throw std::out_of_range("DummyAdversary: unknown state handle");
+  }
+  return pending_actions_[idx];
+}
+
+State DummyAdversary::state_of(ActionId pending) const {
+  auto it = std::lower_bound(pending_actions_.begin(),
+                             pending_actions_.end(), pending);
+  if (it == pending_actions_.end() || *it != pending) {
+    throw std::logic_error("DummyAdversary: action cannot be pending");
+  }
+  return static_cast<State>(it - pending_actions_.begin()) + 1;
+}
+
+Signature DummyAdversary::signature(State q) {
+  Signature sig;
+  const ActionId pending = pending_of(q);
+  if (pending == kInvalidAction) {
+    sig.in = in_;
+    return sig;
+  }
+  // While forwarding, only the forward action is offered; inputs stay
+  // open minus the one being emitted (Def 4.27 keeps in(Adv') constant;
+  // we must drop collisions where the forward target would be both input
+  // and output, which cannot happen since forwards leave in_).
+  ActionId forward;
+  if (set::contains(ao_, pending)) {
+    forward = g_.apply(pending);         // A leaked `pending`: emit g(a)
+  } else {
+    forward = g_.invert(pending);        // outer said g(a): emit a to A
+  }
+  sig.in = in_;
+  sig.out = ActionSet{forward};
+  // Defensive: Def 4.17 signatures are disjoint classes.
+  sig.in = set::subtract(sig.in, sig.out);
+  return sig;
+}
+
+StateDist DummyAdversary::transition(State q, ActionId a) {
+  const Signature sig = signature(q);
+  if (!sig.contains(a)) {
+    throw std::logic_error("DummyAdversary: action '" +
+                           ActionTable::instance().name(a) +
+                           "' not enabled at " + state_label(q));
+  }
+  if (set::contains(sig.out, a)) {
+    return StateDist::dirac(0);  // forwarded: pending := bottom
+  }
+  return StateDist::dirac(state_of(a));  // received: pending := a
+}
+
+BitString DummyAdversary::encode_state(State q) {
+  return BitString::from_uint(q);
+}
+
+std::string DummyAdversary::state_label(State q) {
+  const ActionId pending = pending_of(q);
+  if (pending == kInvalidAction) return "idle";
+  return "fwd:" + ActionTable::instance().name(pending);
+}
+
+PsioaPtr make_dummy_adversary(const StructuredPsioa& a,
+                              const ActionBijection& g) {
+  return std::make_shared<DummyAdversary>("Dummy(" + a.automaton().name() +
+                                              ")",
+                                          a.adv_out_vocab(),
+                                          a.adv_in_vocab(), g);
+}
+
+}  // namespace cdse

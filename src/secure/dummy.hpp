@@ -1,0 +1,52 @@
+#pragma once
+// The dummy adversary Dummy(A, g) (Def 4.27).
+//
+// The dummy adversary is a pure forwarder sitting between a structured
+// automaton A (speaking its native adversary actions) and an outer
+// adversary (speaking the g-renamed copies): each state is a single
+// `pending` slot holding the next action to forward. It is the engine of
+// the Canetti-style reduction used by the composability theorem, and
+// Lemma 4.29 / D.1 shows inserting it is undetectable -- experiment E6
+// confirms that with epsilon exactly zero.
+
+#include "psioa/rename.hpp"
+#include "secure/structured.hpp"
+
+namespace cdse {
+
+class DummyAdversary : public Psioa {
+ public:
+  /// `ao` / `ai`: the universal adversary outputs / inputs of A (the
+  /// declared vocabularies of its StructuredPsioa). `g` must rename every
+  /// action of ao U ai to a fresh name.
+  DummyAdversary(std::string name, ActionSet ao, ActionSet ai,
+                 ActionBijection g);
+
+  State start_state() override { return 0; }
+  Signature signature(State q) override;
+  StateDist transition(State q, ActionId a) override;
+  BitString encode_state(State q) override;
+  std::string state_label(State q) override;
+
+  const ActionBijection& renaming() const { return g_; }
+  const ActionSet& ao() const { return ao_; }
+  const ActionSet& ai() const { return ai_; }
+
+ private:
+  // State encoding: 0 = pending == bottom; otherwise 1 + index into
+  // pending_actions_ (one state per possible pending action).
+  ActionId pending_of(State q) const;
+  State state_of(ActionId pending) const;
+
+  ActionSet ao_;
+  ActionSet ai_;
+  ActionBijection g_;
+  ActionSet in_;                          // AO_A U g(AI_A), constant
+  std::vector<ActionId> pending_actions_; // sorted: all possible pendings
+};
+
+/// Builds Dummy(A, g) from a structured automaton's declared vocabularies.
+PsioaPtr make_dummy_adversary(const StructuredPsioa& a,
+                              const ActionBijection& g);
+
+}  // namespace cdse

@@ -1,0 +1,40 @@
+#include "secure/emulation.hpp"
+
+#include "psioa/hide.hpp"
+
+namespace cdse {
+
+PsioaPtr hidden_adversary_composition(const StructuredPsioa& a,
+                                      const PsioaPtr& adv) {
+  return hide_actions(compose(a.ptr(), adv), a.aact_vocab());
+}
+
+EmulationReport check_secure_emulation(
+    const StructuredPsioa& real, const PsioaPtr& adv,
+    const StructuredPsioa& ideal, const PsioaPtr& sim,
+    const std::vector<LabeledPsioa>& envs,
+    const std::vector<LabeledScheduler>& schedulers,
+    const SchedulerCorrespondence& correspond, const InsightFunction& f,
+    std::size_t max_depth) {
+  EmulationReport report;
+  const PsioaPtr lhs = hidden_adversary_composition(real, adv);
+  const PsioaPtr rhs = hidden_adversary_composition(ideal, sim);
+  report.impl = check_implementation(lhs, rhs, envs, schedulers, correspond,
+                                     f, max_depth);
+  report.max_eps = report.impl.max_eps;
+  return report;
+}
+
+PsioaPtr theorem_simulator(std::vector<PsioaPtr> dsims, const PsioaPtr& adv,
+                           const ActionBijection& g) {
+  ActionSet g_targets;
+  for (const auto& [from, to] : g.forward_map()) {
+    (void)from;
+    set::insert(g_targets, to);
+  }
+  std::vector<PsioaPtr> parts = std::move(dsims);
+  parts.push_back(rename_actions(adv, g));
+  return hide_actions(compose(std::move(parts)), g_targets);
+}
+
+}  // namespace cdse

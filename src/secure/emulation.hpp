@@ -1,0 +1,47 @@
+#pragma once
+// Dynamic secure emulation (Def 4.26) and the composability construction
+// of Theorem 4.30.
+//
+// A secure-emulates B when for every (poly-bounded) adversary Adv for A
+// there is a simulator Sim for B with
+//   hide(A || Adv, AAct_A)  <=_{neg,pt}  hide(B || Sim, AAct_B).
+// The harness evaluates the epsilon of one (Adv, Sim) pair over a battery
+// of environments and schedulers -- the caller supplies the simulator,
+// either hand-built or through theorem_simulator(), which is exactly the
+// Sim = hide(DSim^1 || ... || DSim^b || g(Adv), g(AAct)) construction
+// from the proof of Theorem 4.30.
+
+#include "impl/implementation.hpp"
+#include "secure/structured.hpp"
+
+namespace cdse {
+
+/// hide(A || Adv, AAct_A): the environment-facing view of the attacked
+/// system. All adversary-vocabulary actions become internal.
+PsioaPtr hidden_adversary_composition(const StructuredPsioa& a,
+                                      const PsioaPtr& adv);
+
+struct EmulationReport {
+  ImplementationReport impl;
+  Rational max_eps;
+
+  bool holds_with(const Rational& eps) const { return max_eps <= eps; }
+};
+
+/// Evaluates hide(real||adv, AAct) vs hide(ideal||sim, AAct) exactly over
+/// the given environments and schedulers.
+EmulationReport check_secure_emulation(
+    const StructuredPsioa& real, const PsioaPtr& adv,
+    const StructuredPsioa& ideal, const PsioaPtr& sim,
+    const std::vector<LabeledPsioa>& envs,
+    const std::vector<LabeledScheduler>& schedulers,
+    const SchedulerCorrespondence& correspond, const InsightFunction& f,
+    std::size_t max_depth);
+
+/// Theorem 4.30's simulator: hide(DSim_1||...||DSim_b || g(Adv), g(AAct)).
+/// `g` is the renaming of the composite's adversary actions; its targets
+/// are the hidden set g(AAct).
+PsioaPtr theorem_simulator(std::vector<PsioaPtr> dsims, const PsioaPtr& adv,
+                           const ActionBijection& g);
+
+}  // namespace cdse

@@ -1,0 +1,161 @@
+#include "secure/forward.hpp"
+
+#include <stdexcept>
+
+#include "psioa/hide.hpp"
+
+namespace cdse {
+
+DummyInsertion::DummyInsertion(StructuredPsioa a, PsioaPtr env, PsioaPtr adv,
+                               const std::string& suffix)
+    : a_(std::move(a)),
+      g_(ActionBijection::with_suffix(a_.aact_vocab(), suffix)) {
+  const StructuredPsioa ga = rename_adversary_actions(a_, g_);
+  dummy_ = make_dummy_adversary(a_, g_);
+  a_dummy_ = compose(a_.ptr(), dummy_);
+  // H = hide(A || Dummy, AAct_A): A's leaks and the dummy's forwards to A
+  // become internal; only the renamed copies remain external.
+  PsioaPtr h = hide_actions(a_dummy_, a_.aact_vocab());
+  left_ = compose(env, ga.ptr(), adv);
+  right_ = compose(env, std::move(h), adv);
+}
+
+bool DummyInsertion::is_first_half(ActionId c) const {
+  if (set::contains(a_.adv_out_vocab(), c)) return true;  // a in AO_A
+  const ActionId inv = g_.invert(c);
+  return inv != c && set::contains(a_.adv_in_vocab(), inv);  // g(a'), a' in AI
+}
+
+ActionId DummyInsertion::forward_of(ActionId first) const {
+  if (set::contains(a_.adv_out_vocab(), first)) return g_.apply(first);
+  return g_.invert(first);
+}
+
+ActionId DummyInsertion::left_action_of(ActionId first) const {
+  // The shared action b between g(A) and Adv is always the renamed copy.
+  if (set::contains(a_.adv_out_vocab(), first)) return g_.apply(first);
+  return first;  // already g(a')
+}
+
+ActionId DummyInsertion::origin_of(ActionId left_shared) const {
+  const ActionId raw = g_.invert(left_shared);
+  if (set::contains(a_.adv_out_vocab(), raw)) return raw;  // A leaks first
+  return left_shared;  // Adv commands first, renamed
+}
+
+bool DummyInsertion::is_left_shared(ActionId b) const {
+  const ActionId raw = g_.invert(b);
+  return raw != b && (set::contains(a_.adv_out_vocab(), raw) ||
+                      set::contains(a_.adv_in_vocab(), raw));
+}
+
+ExecFragment DummyInsertion::left_fragment_of(
+    const ExecFragment& right_frag) const {
+  auto left_state_of = [this](State qr) {
+    const State qe = right_->project(qr, 0);
+    const State qh = right_->project(qr, 1);  // HiddenPsioa shares handles
+    const State qa = a_dummy_->project(qh, 0);
+    const State qadv = right_->project(qr, 2);
+    return left_->intern_tuple({qe, qa, qadv});
+  };
+  ExecFragment left = ExecFragment::starting_at(
+      left_state_of(right_frag.fstate()));
+  ActionId pending = kInvalidAction;
+  for (std::size_t i = 0; i < right_frag.length(); ++i) {
+    const ActionId c = right_frag.actions()[i];
+    const State post = right_frag.states()[i + 1];
+    if (pending != kInvalidAction) {
+      if (c != forward_of(pending)) {
+        throw std::logic_error(
+            "left_fragment_of: fragment not in the image of Forward^e "
+            "(missing forward)");
+      }
+      left.append(left_action_of(pending), left_state_of(post));
+      pending = kInvalidAction;
+    } else if (is_first_half(c)) {
+      pending = c;
+    } else {
+      left.append(c, left_state_of(post));
+    }
+  }
+  if (pending != kInvalidAction) {
+    // A trailing un-forwarded half has no left counterpart; callers that
+    // need mid-pair handling (the scheduler) track pending themselves.
+    throw std::logic_error(
+        "left_fragment_of: fragment ends mid-forward");
+  }
+  return left;
+}
+
+namespace {
+
+/// Forward^s(sigma) as a Scheduler over the right system.
+class ForwardScheduler : public Scheduler {
+ public:
+  ForwardScheduler(const DummyInsertion* ins, SchedulerPtr sigma)
+      : ins_(ins), sigma_(std::move(sigma)) {}
+
+  ActionChoice choose(Psioa& automaton, const ExecFragment& alpha) override {
+    (void)automaton;  // decisions are made against the paired left system
+    // Split alpha into the completed prefix and a possible pending half.
+    ExecFragment prefix = alpha;
+    ActionId pending = kInvalidAction;
+    if (alpha.length() > 0) {
+      const ActionId last = alpha.actions().back();
+      if (ins_->is_first_half(last) && !half_is_completed(alpha)) {
+        pending = last;
+        prefix = alpha.prefix(alpha.length() - 1);
+      }
+    }
+    if (pending != kInvalidAction) {
+      ActionChoice c;
+      c.add(ins_->forward_of(pending), Rational(1));
+      return c;
+    }
+    const ExecFragment left = ins_->left_fragment_of(prefix);
+    const ActionChoice base =
+        sigma_->choose(const_cast<ComposedPsioa&>(*left_system()), left);
+    ActionChoice out;
+    for (const auto& [b, w] : base.entries()) {
+      if (ins_->is_left_shared(b)) {
+        out.add(ins_->origin_of(b), w);
+      } else {
+        out.add(b, w);
+      }
+    }
+    return out;
+  }
+
+  std::string name() const override {
+    return "forward(" + sigma_->name() + ")";
+  }
+
+ private:
+  const ComposedPsioa* left_system() const { return ins_->left_ptr().get(); }
+
+  /// Whether the final first-half of alpha was already matched by its
+  /// forward: scan backwards pairing halves.
+  bool half_is_completed(const ExecFragment& alpha) const {
+    // Walk forward, tracking pending; cheap because schedules are short.
+    ActionId pending = kInvalidAction;
+    for (ActionId c : alpha.actions()) {
+      if (pending != kInvalidAction) {
+        pending = kInvalidAction;  // this c must be the forward
+      } else if (ins_->is_first_half(c)) {
+        pending = c;
+      }
+    }
+    return pending == kInvalidAction;
+  }
+
+  const DummyInsertion* ins_;
+  SchedulerPtr sigma_;
+};
+
+}  // namespace
+
+SchedulerPtr DummyInsertion::forward_scheduler(SchedulerPtr sigma_left) const {
+  return std::make_shared<ForwardScheduler>(this, std::move(sigma_left));
+}
+
+}  // namespace cdse

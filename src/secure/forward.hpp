@@ -1,0 +1,70 @@
+#pragma once
+// Dummy-adversary insertion and the Forward constructions (Lemma 4.29/D.1).
+//
+// Given a structured automaton A, an environment E and an outer adversary
+// Adv (an adversary for both g(A) and hide(A||Dummy(A,g), AAct_A)),
+// DummyInsertion materializes the lemma's two systems:
+//
+//   left  = E || g(A) || Adv
+//   right = E || hide(A || Dummy(A,g), AAct_A) || Adv
+//
+// and the two constructions from the proof:
+//
+//   Forward^e -- the bijection between left executions and the right
+//     executions in which every shared action is correctly forwarded
+//     (realized here in the inverse direction, left_fragment_of, which is
+//     what the scheduler construction needs);
+//   Forward^s -- the scheduler transformation: sigma' mirrors sigma and,
+//     whenever sigma fires an action shared between g(A) and Adv,
+//     schedules the origin and then the dummy's forward, doubling the
+//     schedule length at most (q2 = 2*q1).
+//
+// The construction is exact: experiment E6 checks that the f-dists agree
+// with epsilon literally zero.
+
+#include "sched/scheduler.hpp"
+#include "secure/dummy.hpp"
+#include "secure/structured.hpp"
+
+namespace cdse {
+
+class DummyInsertion {
+ public:
+  /// `suffix` generates the fresh renamed action names (g = . + suffix).
+  DummyInsertion(StructuredPsioa a, PsioaPtr env, PsioaPtr adv,
+                 const std::string& suffix);
+
+  ComposedPsioa& left() { return *left_; }
+  ComposedPsioa& right() { return *right_; }
+  std::shared_ptr<ComposedPsioa> left_ptr() const { return left_; }
+  std::shared_ptr<ComposedPsioa> right_ptr() const { return right_; }
+  const ActionBijection& g() const { return g_; }
+  const StructuredPsioa& a() const { return a_; }
+
+  /// Forward^s(sigma): the right-side scheduler mirroring sigma.
+  SchedulerPtr forward_scheduler(SchedulerPtr sigma_left) const;
+
+  /// Inverse of Forward^e: collapses a right execution fragment (with
+  /// correctly forwarded pairs) to the related left fragment. Throws
+  /// std::logic_error on fragments outside the image of Forward^e.
+  ExecFragment left_fragment_of(const ExecFragment& right_frag) const;
+
+  /// Classification used by both constructions.
+  bool is_first_half(ActionId c) const;      // in AO_A U g(AI_A)
+  ActionId forward_of(ActionId first) const; // the dummy's reply
+  ActionId left_action_of(ActionId first) const;  // the shared action b
+  /// The right-side action that initiates the pair for a left shared
+  /// action b (origin(b) in the paper's notation).
+  ActionId origin_of(ActionId left_shared) const;
+  bool is_left_shared(ActionId b) const;     // in g(AO_A) U g(AI_A)
+
+ private:
+  StructuredPsioa a_;
+  ActionBijection g_;
+  PsioaPtr dummy_;
+  std::shared_ptr<ComposedPsioa> a_dummy_;
+  std::shared_ptr<ComposedPsioa> left_;
+  std::shared_ptr<ComposedPsioa> right_;
+};
+
+}  // namespace cdse

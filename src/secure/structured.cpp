@@ -1,0 +1,137 @@
+#include "secure/structured.hpp"
+
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace cdse {
+
+StructuredPsioa::StructuredPsioa(PsioaPtr automaton, ActionSet env,
+                                 ActionSet adv_in, ActionSet adv_out)
+    : automaton_(std::move(automaton)),
+      env_(std::move(env)),
+      adv_in_(std::move(adv_in)),
+      adv_out_(std::move(adv_out)) {
+  if (!automaton_) {
+    throw std::invalid_argument("StructuredPsioa: null automaton");
+  }
+  if (!set::disjoint(env_, adv_in_) || !set::disjoint(env_, adv_out_) ||
+      !set::disjoint(adv_in_, adv_out_)) {
+    throw std::logic_error("StructuredPsioa " + automaton_->name() +
+                           ": env/adv_in/adv_out vocabularies overlap");
+  }
+}
+
+ActionSet StructuredPsioa::eact(State q) const {
+  return set::intersect(automaton_->signature(q).ext(), env_);
+}
+
+ActionSet StructuredPsioa::aact(State q) const {
+  return set::subtract(automaton_->signature(q).ext(), env_);
+}
+
+ActionSet StructuredPsioa::ei(State q) const {
+  return set::intersect(automaton_->signature(q).in, env_);
+}
+
+ActionSet StructuredPsioa::eo(State q) const {
+  return set::intersect(automaton_->signature(q).out, env_);
+}
+
+ActionSet StructuredPsioa::ai(State q) const {
+  return set::intersect(automaton_->signature(q).in, adv_in_);
+}
+
+ActionSet StructuredPsioa::ao(State q) const {
+  return set::intersect(automaton_->signature(q).out, adv_out_);
+}
+
+void StructuredPsioa::validate(std::size_t depth) const {
+  Psioa& a = *automaton_;
+  const ActionSet covered = set::unite(env_, set::unite(adv_in_, adv_out_));
+  const State q0 = a.start_state();
+  std::unordered_set<State> seen{q0};
+  std::queue<std::pair<State, std::size_t>> frontier;
+  frontier.emplace(q0, 0);
+  while (!frontier.empty()) {
+    auto [q, d] = frontier.front();
+    frontier.pop();
+    const Signature sig = a.signature(q);
+    if (!set::subset(sig.ext(), covered)) {
+      throw std::logic_error(
+          "StructuredPsioa " + a.name() + ": external actions " +
+          to_string(set::subtract(sig.ext(), covered)) +
+          " at state " + a.state_label(q) + " are not classified");
+    }
+    if (!set::disjoint(sig.out, adv_in_)) {
+      throw std::logic_error("StructuredPsioa " + a.name() +
+                             ": declared adversary *input* appears as an "
+                             "output at state " + a.state_label(q));
+    }
+    if (!set::disjoint(sig.in, adv_out_)) {
+      throw std::logic_error("StructuredPsioa " + a.name() +
+                             ": declared adversary *output* appears as an "
+                             "input at state " + a.state_label(q));
+    }
+    if (d >= depth) continue;
+    for (ActionId act_id : sig.all()) {
+      for (State q2 : a.transition(q, act_id).support()) {
+        if (seen.insert(q2).second) frontier.emplace(q2, d + 1);
+      }
+    }
+  }
+}
+
+bool structured_compatible(const StructuredPsioa& a,
+                           const StructuredPsioa& b) {
+  // Every potentially shared action (any vocabulary overlap) must be an
+  // environment action on both sides (Def 4.18).
+  const ActionSet vocab_a =
+      set::unite(a.env_vocab(), a.aact_vocab());
+  const ActionSet vocab_b =
+      set::unite(b.env_vocab(), b.aact_vocab());
+  const ActionSet shared = set::intersect(vocab_a, vocab_b);
+  return set::subset(shared, set::intersect(a.env_vocab(), b.env_vocab()));
+}
+
+StructuredPsioa compose_structured(const StructuredPsioa& a,
+                                   const StructuredPsioa& b) {
+  if (!structured_compatible(a, b)) {
+    throw std::logic_error(
+        "compose_structured: " + a.automaton().name() + " and " +
+        b.automaton().name() +
+        " share actions outside their common environment vocabulary");
+  }
+  return StructuredPsioa(compose(a.ptr(), b.ptr()),
+                         set::unite(a.env_vocab(), b.env_vocab()),
+                         set::unite(a.adv_in_vocab(), b.adv_in_vocab()),
+                         set::unite(a.adv_out_vocab(), b.adv_out_vocab()));
+}
+
+StructuredPsioa compose_structured(const std::vector<StructuredPsioa>& parts) {
+  if (parts.empty()) {
+    throw std::invalid_argument("compose_structured: empty list");
+  }
+  StructuredPsioa acc = parts.front();
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    acc = compose_structured(acc, parts[i]);
+  }
+  return acc;
+}
+
+StructuredPsioa hide_structured(const StructuredPsioa& a,
+                                const ActionSet& s) {
+  return StructuredPsioa(hide_actions(a.ptr(), s),
+                         set::subtract(a.env_vocab(), s),
+                         set::subtract(a.adv_in_vocab(), s),
+                         set::subtract(a.adv_out_vocab(), s));
+}
+
+StructuredPsioa rename_adversary_actions(const StructuredPsioa& a,
+                                         const ActionBijection& g) {
+  return StructuredPsioa(rename_actions(a.ptr(), g), a.env_vocab(),
+                         g.apply(a.adv_in_vocab()),
+                         g.apply(a.adv_out_vocab()));
+}
+
+}  // namespace cdse

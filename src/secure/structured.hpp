@@ -1,0 +1,81 @@
+#pragma once
+// Structured PSIOA/PCA (Defs 4.17-4.23).
+//
+// A structured automaton partitions its external interface into
+// environment-facing actions (EAct) and adversary-facing actions (AAct).
+// We take the paper up on its own observation ("nothing prevents us from
+// requiring that (EAct, AAct) is a partition of acts(A)" independent of
+// state): the partition is *declared* as action vocabularies, and
+// EAct(q) / AAct(q) are the state signature intersected with them. The
+// adversary vocabulary is declared split by direction (adversary inputs
+// vs outputs of A) because the dummy-adversary construction (Def 4.27)
+// needs the universal AI/AO sets.
+
+#include "psioa/compose.hpp"
+#include "psioa/hide.hpp"
+#include "psioa/psioa.hpp"
+#include "psioa/rename.hpp"
+
+namespace cdse {
+
+class StructuredPsioa {
+ public:
+  /// `env`: environment-facing external actions. `adv_in`: adversary
+  /// actions that are inputs of the automaton (commands it receives).
+  /// `adv_out`: adversary actions that are outputs (leaks it emits).
+  /// The three sets must be pairwise disjoint.
+  StructuredPsioa(PsioaPtr automaton, ActionSet env, ActionSet adv_in,
+                  ActionSet adv_out);
+
+  Psioa& automaton() const { return *automaton_; }
+  PsioaPtr ptr() const { return automaton_; }
+
+  const ActionSet& env_vocab() const { return env_; }
+  const ActionSet& adv_in_vocab() const { return adv_in_; }
+  const ActionSet& adv_out_vocab() const { return adv_out_; }
+
+  /// AAct as a vocabulary: adv_in U adv_out.
+  ActionSet aact_vocab() const { return set::unite(adv_in_, adv_out_); }
+
+  // Per-state mappings of Def 4.17.
+  ActionSet eact(State q) const;   // EAct_A(q)
+  ActionSet aact(State q) const;   // AAct_A(q)
+  ActionSet ei(State q) const;     // environment inputs
+  ActionSet eo(State q) const;     // environment outputs
+  ActionSet ai(State q) const;     // adversary inputs
+  ActionSet ao(State q) const;     // adversary outputs
+
+  /// Verifies on the reachable prefix (up to `depth`) that every external
+  /// action is covered by the declared vocabularies with the declared
+  /// directions. Throws std::logic_error on violation.
+  void validate(std::size_t depth) const;
+
+ private:
+  PsioaPtr automaton_;
+  ActionSet env_;
+  ActionSet adv_in_;
+  ActionSet adv_out_;
+};
+
+/// Def 4.18 (vocabulary-level check): every action shared between the two
+/// automata must be an environment action of both.
+bool structured_compatible(const StructuredPsioa& a,
+                           const StructuredPsioa& b);
+
+/// Def 4.19: composition with EAct = union of EActs. Throws when not
+/// structured-compatible.
+StructuredPsioa compose_structured(const StructuredPsioa& a,
+                                   const StructuredPsioa& b);
+
+StructuredPsioa compose_structured(const std::vector<StructuredPsioa>& parts);
+
+/// hide((A, EAct), S) = (hide(A, S), EAct \ S) -- Def 4.17's hiding.
+StructuredPsioa hide_structured(const StructuredPsioa& a, const ActionSet& s);
+
+/// g(A): renames the adversary actions of A by the bijection g (the
+/// Section 4.9 renaming-of-adversary-actions device). The environment
+/// vocabulary is untouched; adversary vocabularies move through g.
+StructuredPsioa rename_adversary_actions(const StructuredPsioa& a,
+                                         const ActionBijection& g);
+
+}  // namespace cdse

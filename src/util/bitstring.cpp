@@ -1,0 +1,106 @@
+#include "util/bitstring.hpp"
+
+#include <stdexcept>
+
+namespace cdse {
+
+BitString BitString::from_uint(std::uint64_t v) {
+  BitString b;
+  if (v == 0) {
+    b.push_bit(false);
+    return b;
+  }
+  while (v != 0) {
+    b.push_bit((v & 1) != 0);
+    v >>= 1;
+  }
+  return b;
+}
+
+BitString BitString::from_bytes(std::string_view bytes) {
+  BitString b;
+  for (unsigned char c : bytes) {
+    for (int i = 0; i < 8; ++i) b.push_bit(((c >> i) & 1) != 0);
+  }
+  return b;
+}
+
+BitString BitString::pair(const BitString& a, const BitString& b) {
+  BitString p;
+  p.bits_.reserve(2 * (a.length() + b.length()) + 2);
+  for (auto bit : a.bits_) {
+    p.bits_.push_back(bit);
+    p.bits_.push_back(0);
+  }
+  p.bits_.push_back(1);
+  p.bits_.push_back(1);
+  for (auto bit : b.bits_) {
+    p.bits_.push_back(bit);
+    p.bits_.push_back(0);
+  }
+  return p;
+}
+
+std::pair<BitString, BitString> BitString::unpair(const BitString& p) {
+  BitString a;
+  BitString b;
+  std::size_t i = 0;
+  const std::size_t n = p.bits_.size();
+  // First part: payload bits each followed by 0, until the "11" separator.
+  while (true) {
+    if (i + 1 >= n) throw std::invalid_argument("BitString::unpair: truncated");
+    if (p.bits_[i] == 1 && p.bits_[i + 1] == 1) {
+      i += 2;
+      break;
+    }
+    if (p.bits_[i + 1] != 0)
+      throw std::invalid_argument("BitString::unpair: bad stuffing");
+    a.bits_.push_back(p.bits_[i]);
+    i += 2;
+  }
+  while (i < n) {
+    if (i + 1 >= n || p.bits_[i + 1] != 0)
+      throw std::invalid_argument("BitString::unpair: bad tail");
+    b.bits_.push_back(p.bits_[i]);
+    i += 2;
+  }
+  return {std::move(a), std::move(b)};
+}
+
+BitString BitString::pack(const std::vector<BitString>& parts) {
+  if (parts.empty()) return BitString{};
+  BitString acc = parts.front();
+  for (std::size_t i = 1; i < parts.size(); ++i) acc = pair(acc, parts[i]);
+  return acc;
+}
+
+std::vector<BitString> BitString::unpack(const BitString& packed,
+                                         std::size_t n_parts) {
+  std::vector<BitString> out(n_parts);
+  if (n_parts == 0) return out;
+  BitString acc = packed;
+  for (std::size_t i = n_parts; i-- > 1;) {
+    auto [head, tail] = unpair(acc);
+    out[i] = std::move(tail);
+    acc = std::move(head);
+  }
+  out[0] = std::move(acc);
+  return out;
+}
+
+std::uint64_t BitString::to_uint() const {
+  std::uint64_t v = 0;
+  for (std::size_t i = bits_.size(); i-- > 0;) {
+    v = (v << 1) | bits_[i];
+  }
+  return v;
+}
+
+std::string BitString::to_string() const {
+  std::string s;
+  s.reserve(bits_.size());
+  for (auto b : bits_) s.push_back(b ? '1' : '0');
+  return s;
+}
+
+}  // namespace cdse

@@ -1,0 +1,54 @@
+#pragma once
+// Bit-string representations <q>, <a>, <tr>, <C> (paper Section 4).
+//
+// The bounded layer (Def 4.1/4.2) reasons about the *length* of standard
+// bit-string encodings and about machines that decode them. We realize the
+// exact scheme used in the paper's own proof of Lemma B.1: to pair two
+// encodings, follow each payload bit with a 0 and separate the two parts
+// with "11" — giving |pair(x, y)| = 2(|x| + |y|) + 2 and unambiguous
+// decoding. Bits are stored unpacked (one byte per bit) for simplicity;
+// lengths, which is what the lemmas bound, are unaffected.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cdse {
+
+class BitString {
+ public:
+  BitString() = default;
+
+  static BitString from_uint(std::uint64_t v);
+  static BitString from_bytes(std::string_view bytes);
+
+  /// Self-delimiting pairing from the proof of Lemma B.1:
+  /// each bit of a and b followed by 0; parts separated by "11".
+  static BitString pair(const BitString& a, const BitString& b);
+
+  /// Inverse of pair(). Throws std::invalid_argument on malformed input.
+  static std::pair<BitString, BitString> unpair(const BitString& p);
+
+  /// Concatenation of n parts via left-nested pairing.
+  static BitString pack(const std::vector<BitString>& parts);
+  static std::vector<BitString> unpack(const BitString& packed,
+                                       std::size_t n_parts);
+
+  void push_bit(bool b) { bits_.push_back(b ? 1 : 0); }
+  std::size_t length() const { return bits_.size(); }
+  bool bit(std::size_t i) const { return bits_[i] != 0; }
+
+  std::uint64_t to_uint() const;
+  std::string to_string() const;  // "0101..." for diagnostics
+
+  friend bool operator==(const BitString& a, const BitString& b) {
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  std::vector<std::uint8_t> bits_;
+};
+
+}  // namespace cdse

@@ -1,0 +1,26 @@
+#include "util/interner.hpp"
+
+#include <cassert>
+
+namespace cdse {
+
+Interner::Id Interner::intern(std::string_view s) {
+  auto it = ids_.find(std::string(s));
+  if (it != ids_.end()) return it->second;
+  Id id = static_cast<Id>(names_.size());
+  names_.emplace_back(s);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+Interner::Id Interner::lookup(std::string_view s) const {
+  auto it = ids_.find(std::string(s));
+  return it == ids_.end() ? kInvalid : it->second;
+}
+
+const std::string& Interner::name(Id id) const {
+  assert(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace cdse

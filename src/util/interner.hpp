@@ -1,0 +1,39 @@
+#pragma once
+// String interner: maps strings to dense 32-bit ids and back.
+//
+// Used for action names (ActionTable), automaton identifiers (Autids) and
+// insight-function perceptions. Interners are value types; each subsystem
+// owns the interner appropriate to its name space, except the process-wide
+// action table (see psioa/action.hpp) which must be shared so that
+// composition of independently-built automata agrees on action identity.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cdse {
+
+class Interner {
+ public:
+  using Id = std::uint32_t;
+  static constexpr Id kInvalid = ~Id{0};
+
+  /// Returns the id for `s`, interning it if new.
+  Id intern(std::string_view s);
+
+  /// Returns the id for `s` or kInvalid when never interned.
+  Id lookup(std::string_view s) const;
+
+  /// Returns the string for a valid id.
+  const std::string& name(Id id) const;
+
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, Id> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace cdse

@@ -1,0 +1,113 @@
+#include "util/poly.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace cdse {
+
+Polynomial::Polynomial(std::vector<double> coeffs)
+    : coeffs_(std::move(coeffs)) {
+  if (coeffs_.empty()) coeffs_.push_back(0.0);
+  for (double c : coeffs_) {
+    if (c < 0) throw std::invalid_argument("Polynomial: negative coefficient");
+  }
+  while (coeffs_.size() > 1 && coeffs_.back() == 0.0) coeffs_.pop_back();
+}
+
+Polynomial Polynomial::monomial(double c, unsigned d) {
+  std::vector<double> coeffs(d + 1, 0.0);
+  coeffs[d] = c;
+  return Polynomial(std::move(coeffs));
+}
+
+double Polynomial::eval(double x) const {
+  double acc = 0.0;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) acc = acc * x + coeffs_[i];
+  return acc;
+}
+
+unsigned Polynomial::degree() const {
+  return static_cast<unsigned>(coeffs_.size() - 1);
+}
+
+Polynomial Polynomial::operator+(const Polynomial& o) const {
+  std::vector<double> out(std::max(coeffs_.size(), o.coeffs_.size()), 0.0);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) out[i] += coeffs_[i];
+  for (std::size_t i = 0; i < o.coeffs_.size(); ++i) out[i] += o.coeffs_[i];
+  return Polynomial(std::move(out));
+}
+
+Polynomial Polynomial::operator*(const Polynomial& o) const {
+  std::vector<double> out(coeffs_.size() + o.coeffs_.size() - 1, 0.0);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    for (std::size_t j = 0; j < o.coeffs_.size(); ++j) {
+      out[i + j] += coeffs_[i] * o.coeffs_[j];
+    }
+  }
+  return Polynomial(std::move(out));
+}
+
+Polynomial Polynomial::scaled(double c) const {
+  if (c < 0) throw std::invalid_argument("Polynomial::scaled: negative scale");
+  std::vector<double> out = coeffs_;
+  for (double& v : out) v *= c;
+  return Polynomial(std::move(out));
+}
+
+std::string Polynomial::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    if (coeffs_[i] == 0.0 && coeffs_.size() > 1) continue;
+    if (!first) os << " + ";
+    os << coeffs_[i];
+    if (i >= 1) os << "*k";
+    if (i >= 2) os << "^" << i;
+    first = false;
+  }
+  return os.str();
+}
+
+bool looks_negligible(const std::vector<std::uint32_t>& ks,
+                      const std::vector<double>& eps_k, double ratio_bound) {
+  if (ks.size() != eps_k.size() || ks.size() < 2) return false;
+  for (std::size_t i = 1; i < ks.size(); ++i) {
+    const double prev = eps_k[i - 1];
+    const double cur = eps_k[i];
+    if (prev == 0.0) {
+      if (cur != 0.0) return false;  // rose from exact zero
+      continue;
+    }
+    const std::uint32_t dk = ks[i] - ks[i - 1];
+    // Require decay by ratio_bound per unit of k.
+    if (cur > prev * std::pow(ratio_bound, static_cast<double>(dk))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double fitted_decay_exponent(const std::vector<std::uint32_t>& ks,
+                             const std::vector<double>& eps_k) {
+  // Fit log2(eps) = a - c*k by least squares over strictly positive points.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < ks.size() && i < eps_k.size(); ++i) {
+    if (eps_k[i] <= 0.0) continue;
+    const double x = static_cast<double>(ks[i]);
+    const double y = std::log2(eps_k[i]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  const double slope = (n * sxy - sx * sy) / denom;
+  return -slope;
+}
+
+}  // namespace cdse

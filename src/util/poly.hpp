@@ -1,0 +1,53 @@
+#pragma once
+// Polynomial and negligible-function helpers (paper Section 4.5/4.6).
+//
+// The relations <=_{p,q1,q2,eps} are parameterized by polynomial bound
+// functions p, q1, q2 : N -> N and a negligible eps : N -> R>=0.
+// Polynomial is a concrete non-negative-coefficient polynomial; the
+// negligibility *test* is the empirical one used by experiment E8: a
+// sequence eps(k) is accepted as negligible-looking when it decays at
+// least geometrically over the sampled range (which 2^-k does and any
+// inverse-polynomial does not).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cdse {
+
+class Polynomial {
+ public:
+  /// coeffs[i] is the coefficient of x^i; all must be >= 0.
+  explicit Polynomial(std::vector<double> coeffs);
+
+  /// Convenience: c * x^d.
+  static Polynomial monomial(double c, unsigned d);
+  static Polynomial constant(double c) { return monomial(c, 0); }
+
+  double eval(double x) const;
+  unsigned degree() const;
+
+  Polynomial operator+(const Polynomial& o) const;
+  Polynomial operator*(const Polynomial& o) const;
+  /// Scales every coefficient (used for c_comp * (p + p3) in Lemma 4.13).
+  Polynomial scaled(double c) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<double> coeffs_;
+};
+
+/// Empirical negligibility check: true when eps_k (indexed by ks) decays
+/// at least geometrically with ratio <= `ratio_bound` < 1 between
+/// consecutive sampled k, ignoring leading zeros; an all-zero tail counts
+/// as negligible. Exact zeros inside the sequence are treated as decay.
+bool looks_negligible(const std::vector<std::uint32_t>& ks,
+                      const std::vector<double>& eps_k,
+                      double ratio_bound = 0.75);
+
+/// Least-squares fit of eps_k ~ 2^{-c*k}; returns c (0 if not fittable).
+double fitted_decay_exponent(const std::vector<std::uint32_t>& ks,
+                             const std::vector<double>& eps_k);
+
+}  // namespace cdse

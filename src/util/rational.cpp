@@ -1,0 +1,95 @@
+#include "util/rational.hpp"
+
+#include <limits>
+#include <numeric>
+#include <ostream>
+
+namespace cdse {
+namespace {
+
+__int128 gcd128(__int128 a, __int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    __int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::int64_t narrow(__int128 v) {
+  if (v > std::numeric_limits<std::int64_t>::max() ||
+      v < std::numeric_limits<std::int64_t>::min()) {
+    throw std::overflow_error("Rational: 64-bit overflow after reduction");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+Rational Rational::from_i128(__int128 num, __int128 den) {
+  if (den == 0) throw std::domain_error("Rational: zero denominator");
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  __int128 g = gcd128(num, den);
+  if (g > 1) {
+    num /= g;
+    den /= g;
+  }
+  Rational r;
+  r.num_ = narrow(num);
+  r.den_ = narrow(den);
+  return r;
+}
+
+Rational::Rational(std::int64_t num, std::int64_t den) {
+  *this = from_i128(num, den);
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  return r;
+}
+
+Rational& Rational::operator+=(const Rational& o) {
+  *this = from_i128(static_cast<__int128>(num_) * o.den_ +
+                        static_cast<__int128>(o.num_) * den_,
+                    static_cast<__int128>(den_) * o.den_);
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& o) { return *this += -o; }
+
+Rational& Rational::operator*=(const Rational& o) {
+  *this = from_i128(static_cast<__int128>(num_) * o.num_,
+                    static_cast<__int128>(den_) * o.den_);
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& o) {
+  if (o.num_ == 0) throw std::domain_error("Rational: division by zero");
+  *this = from_i128(static_cast<__int128>(num_) * o.den_,
+                    static_cast<__int128>(den_) * o.num_);
+  return *this;
+}
+
+bool operator<(const Rational& a, const Rational& b) {
+  return static_cast<__int128>(a.num_) * b.den_ <
+         static_cast<__int128>(b.num_) * a.den_;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+}  // namespace cdse

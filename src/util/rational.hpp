@@ -1,0 +1,72 @@
+#pragma once
+// Exact rational arithmetic for probability computation.
+//
+// The exact cone-measure enumerator (sched/cone_measure.hpp) computes
+// execution probabilities as products/sums of transition weights. Using
+// rationals there means total-variation distances of small systems are
+// *exact*: a claim like "the dummy-adversary insertion has epsilon = 0"
+// (Lemma D.1) is checked as equality, not approximate closeness.
+//
+// Numerator/denominator are int64; intermediate products go through
+// __int128 and results are normalized, which comfortably covers the
+// experiment systems (transition weights are small fractions). Overflow
+// beyond that throws std::overflow_error rather than silently wrapping.
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+namespace cdse {
+
+class Rational {
+ public:
+  constexpr Rational() : num_(0), den_(1) {}
+  constexpr Rational(std::int64_t n) : num_(n), den_(1) {}  // NOLINT implicit
+  Rational(std::int64_t num, std::int64_t den);
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  double to_double() const { return static_cast<double>(num_) / den_; }
+  std::string to_string() const;
+
+  bool is_zero() const { return num_ == 0; }
+
+  Rational operator-() const;
+  Rational& operator+=(const Rational& o);
+  Rational& operator-=(const Rational& o);
+  Rational& operator*=(const Rational& o);
+  Rational& operator/=(const Rational& o);
+
+  friend Rational operator+(Rational a, const Rational& b) { return a += b; }
+  friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
+  friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
+  friend Rational operator/(Rational a, const Rational& b) { return a /= b; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Rational& a, const Rational& b);
+  friend bool operator<=(const Rational& a, const Rational& b) {
+    return a < b || a == b;
+  }
+  friend bool operator>(const Rational& a, const Rational& b) { return b < a; }
+  friend bool operator>=(const Rational& a, const Rational& b) {
+    return b <= a;
+  }
+
+  static Rational abs(const Rational& a) { return a.num_ < 0 ? -a : a; }
+
+ private:
+  static Rational from_i128(__int128 num, __int128 den);
+  std::int64_t num_;
+  std::int64_t den_;  // invariant: den_ > 0, gcd(|num_|, den_) == 1
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace cdse

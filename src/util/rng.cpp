@@ -1,0 +1,53 @@
+#include "util/rng.hpp"
+
+namespace cdse {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Xoshiro256 Xoshiro256::for_stream(std::uint64_t seed, std::uint64_t stream) {
+  // Mix the stream index through splitmix before seeding so adjacent
+  // streams share no low-entropy structure.
+  std::uint64_t sm = seed ^ (0x6a09e667f3bcc909ULL * (stream + 1));
+  return Xoshiro256(splitmix64(sm));
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t n) {
+  // Lemire-style rejection-free-ish bounded draw; bias is negligible for
+  // the small n used by schedulers, but we keep the multiply-shift form.
+  unsigned __int128 m = static_cast<unsigned __int128>((*this)()) * n;
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace cdse

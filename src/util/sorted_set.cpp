@@ -1,0 +1,17 @@
+#include "util/sorted_set.hpp"
+
+// Header-only; this translation unit exists so the target has a stable
+// archive member and the header is compiled standalone at least once.
+namespace cdse::set {
+namespace {
+[[maybe_unused]] void instantiation_smoke() {
+  SortedSet<int> a{1, 2, 3};
+  SortedSet<int> b{2, 4};
+  (void)unite(a, b);
+  (void)intersect(a, b);
+  (void)subtract(a, b);
+  (void)disjoint(a, b);
+  (void)subset(a, b);
+}
+}  // namespace
+}  // namespace cdse::set

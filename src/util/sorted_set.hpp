@@ -1,0 +1,102 @@
+#pragma once
+// Algebra over sets represented as sorted, duplicate-free vectors.
+//
+// Signatures (Def 2.1), hidden-action sets (Def 2.16) and creation sets
+// (Def 2.14) are small countable sets manipulated by union / intersection /
+// difference during every composition step; sorted vectors make those
+// operations linear merges with no allocator churn on the hot path.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace cdse {
+
+template <typename T>
+using SortedSet = std::vector<T>;  // invariant: sorted ascending, unique
+
+namespace set {
+
+template <typename T>
+bool is_sorted_set(const SortedSet<T>& a) {
+  for (std::size_t i = 1; i < a.size(); ++i)
+    if (!(a[i - 1] < a[i])) return false;
+  return true;
+}
+
+template <typename T>
+void normalize(SortedSet<T>& a) {
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+}
+
+template <typename T>
+bool contains(const SortedSet<T>& a, const T& x) {
+  return std::binary_search(a.begin(), a.end(), x);
+}
+
+template <typename T>
+SortedSet<T> unite(const SortedSet<T>& a, const SortedSet<T>& b) {
+  SortedSet<T> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+template <typename T>
+SortedSet<T> intersect(const SortedSet<T>& a, const SortedSet<T>& b) {
+  SortedSet<T> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+template <typename T>
+SortedSet<T> subtract(const SortedSet<T>& a, const SortedSet<T>& b) {
+  SortedSet<T> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+template <typename T>
+bool disjoint(const SortedSet<T>& a, const SortedSet<T>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib)
+      ++ia;
+    else if (*ib < *ia)
+      ++ib;
+    else
+      return false;
+  }
+  return true;
+}
+
+template <typename T>
+bool subset(const SortedSet<T>& a, const SortedSet<T>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+/// Inserts x, keeping the invariant. Returns false if already present.
+template <typename T>
+bool insert(SortedSet<T>& a, const T& x) {
+  auto it = std::lower_bound(a.begin(), a.end(), x);
+  if (it != a.end() && *it == x) return false;
+  a.insert(it, x);
+  return true;
+}
+
+/// Removes x if present. Returns true when removed.
+template <typename T>
+bool erase(SortedSet<T>& a, const T& x) {
+  auto it = std::lower_bound(a.begin(), a.end(), x);
+  if (it == a.end() || !(*it == x)) return false;
+  a.erase(it);
+  return true;
+}
+
+}  // namespace set
+}  // namespace cdse

@@ -1,0 +1,54 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+namespace cdse {
+
+void RunningStat::add(double x) {
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double hoeffding_radius(std::size_t n, double delta) {
+  if (n == 0) return 1.0;
+  return std::sqrt(std::log(2.0 / delta) / (2.0 * static_cast<double>(n)));
+}
+
+LinearFit fit_line(const std::vector<double>& xs,
+                   const std::vector<double>& ys) {
+  LinearFit f;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return f;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) return f;
+  f.slope = (dn * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / dn;
+  const double ss_tot = syy - sy * sy / dn;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = ys[i] - (f.intercept + f.slope * xs[i]);
+    ss_res += e * e;
+  }
+  f.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+}  // namespace cdse

@@ -1,0 +1,42 @@
+#pragma once
+// Small statistics toolkit for the experiment harnesses.
+//
+// - RunningStat: streaming mean/variance (Welford).
+// - hoeffding_radius: two-sided confidence radius for a [0,1]-bounded mean,
+//   used to report sampled total-variation estimates with error bars.
+// - LinearFit: least-squares y = a + b*x, used to fit the c_comp / c_hide
+//   constants of Lemmas 4.3 and 4.5 from measured costs.
+
+#include <cstddef>
+#include <vector>
+
+namespace cdse {
+
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  // sample variance; 0 when n < 2
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Hoeffding: with probability >= 1 - delta, |empirical - true| <= radius
+/// for n i.i.d. samples bounded in [0, 1].
+double hoeffding_radius(std::size_t n, double delta = 1e-6);
+
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+
+LinearFit fit_line(const std::vector<double>& xs,
+                   const std::vector<double>& ys);
+
+}  // namespace cdse

@@ -1,0 +1,56 @@
+#pragma once
+// Fixed-size thread pool and a static-partition parallel_for.
+//
+// Monte-Carlo sampling and the epsilon(k) family sweeps are embarrassingly
+// parallel over independent RNG streams; a static partition keeps the
+// per-trial bookkeeping allocation-free and deterministic. The pool is
+// intentionally minimal (no work stealing): trial costs are uniform.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cdse {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; tasks must not throw (std::terminate otherwise).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs body(chunk_index, begin, end) over [0, n) split into one chunk per
+/// worker. body must be thread-safe across chunks. Runs inline when the
+/// pool has a single worker or n is tiny.
+void parallel_for_chunks(
+    ThreadPool& pool, std::size_t n,
+    const std::function<void(std::size_t chunk, std::size_t begin,
+                             std::size_t end)>& body);
+
+}  // namespace cdse

@@ -1,0 +1,104 @@
+// Backbone-lite confirmation race (protocols/backbone.hpp).
+
+#include "protocols/backbone.hpp"
+
+#include <gtest/gtest.h>
+
+#include "impl/balance.hpp"
+#include "sched/cone_measure.hpp"
+#include "sched/schedulers.hpp"
+
+namespace cdse {
+namespace {
+
+/// Drives submit then mines to resolution.
+SchedulerPtr race_driver(const std::string& tag, std::size_t bound) {
+  return std::make_shared<PriorityScheduler>(
+      std::vector<ActionId>{act("submit_" + tag), act("mine_" + tag),
+                            act("confirmed_" + tag), act("forked_" + tag)},
+      bound, /*local_only=*/false);
+}
+
+TEST(Backbone, RejectsBadParameters) {
+  EXPECT_THROW(make_confirmation_race("bb_a", 0, Rational(1, 4)),
+               std::invalid_argument);
+  EXPECT_THROW(make_confirmation_race("bb_b", 2, Rational(3, 2)),
+               std::invalid_argument);
+}
+
+TEST(Backbone, ClosedFormMatchesHandValues) {
+  // depth 1: fork iff the first block is adversarial.
+  EXPECT_EQ(exact_fork_probability(1, Rational(1, 4)), Rational(1, 4));
+  // depth 2, beta = 1/2: symmetric race -> 1/2.
+  EXPECT_EQ(exact_fork_probability(2, Rational(1, 2)), Rational(1, 2));
+  // beta = 0: never forks; beta = 1: always forks.
+  EXPECT_EQ(exact_fork_probability(5, Rational(0)), Rational(0));
+  EXPECT_EQ(exact_fork_probability(5, Rational(1)), Rational(1));
+  // depth 2, beta = 1/4: b^2 + C(2,1) b^2 a = 1/16 + 2*(1/16)*(3/4).
+  EXPECT_EQ(exact_fork_probability(2, Rational(1, 4)),
+            Rational(1, 16) + Rational(2) * Rational(1, 16) *
+                                  Rational(3, 4));
+}
+
+TEST(Backbone, AutomatonMatchesClosedForm) {
+  for (std::uint32_t depth : {1u, 2u, 3u, 4u}) {
+    const std::string tag = "bb_c" + std::to_string(depth);
+    auto race = make_confirmation_race(tag, depth, Rational(1, 4));
+    auto sched = race_driver(tag, 3 * depth + 4);
+    const Rational p_fork = exact_action_probability(
+        *race, *sched, act("forked_" + tag), 3 * depth + 6);
+    EXPECT_EQ(p_fork, exact_fork_probability(depth, Rational(1, 4)))
+        << "depth=" << depth;
+    // The race always resolves within 2*depth - 1 mining steps.
+    const Rational p_confirmed = exact_action_probability(
+        *race, *sched, act("confirmed_" + tag), 3 * depth + 6);
+    EXPECT_EQ(p_fork + p_confirmed, Rational(1));
+  }
+}
+
+TEST(Backbone, MinorityAdversaryForkDecaysGeometrically) {
+  const Rational beta(1, 4);
+  Rational prev(1);
+  for (std::uint32_t depth = 1; depth <= 8; ++depth) {
+    const Rational p = exact_fork_probability(depth, beta);
+    EXPECT_LT(p, prev) << "depth=" << depth;
+    // Decay at least by the adversary's per-round handicap.
+    EXPECT_LE(p, prev * Rational(3, 4)) << "depth=" << depth;
+    prev = p;
+  }
+}
+
+TEST(Backbone, HalfPowerAdversaryDoesNotDecay) {
+  for (std::uint32_t depth : {1u, 3u, 6u}) {
+    EXPECT_EQ(exact_fork_probability(depth, Rational(1, 2)),
+              Rational(1, 2));
+  }
+}
+
+TEST(Backbone, ImplementationEpsilonIsForkProbability) {
+  const std::uint32_t depth = 3;
+  const std::string rt = "bb_d";
+  const std::string it = "bb_e";
+  auto real = make_confirmation_race(rt, depth, Rational(1, 4));
+  auto ideal = make_ideal_ledger(it);
+  auto sr = race_driver(rt, 3 * depth + 4);
+  auto si = race_driver(it, 4);
+  // Compare through the accept-like perception "was it confirmed".
+  AcceptInsight fr(act("confirmed_" + rt));
+  AcceptInsight fi(act("confirmed_" + it));
+  const auto dr = exact_fdist(*real, *sr, fr, 3 * depth + 6);
+  const auto di = exact_fdist(*ideal, *si, fi, 8);
+  EXPECT_EQ(balance_distance(dr, di),
+            exact_fork_probability(depth, Rational(1, 4)));
+}
+
+TEST(Backbone, IdealLedgerAlwaysConfirms) {
+  auto ideal = make_ideal_ledger("bb_f");
+  auto sched = race_driver("bb_f", 4);
+  EXPECT_EQ(exact_action_probability(*ideal, *sched,
+                                     act("confirmed_bb_f"), 8),
+            Rational(1));
+}
+
+}  // namespace
+}  // namespace cdse

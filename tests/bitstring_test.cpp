@@ -1,0 +1,109 @@
+// Bit-string encodings and the Lemma B.1 pairing scheme
+// (util/bitstring.hpp).
+
+#include "util/bitstring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace cdse {
+namespace {
+
+TEST(BitString, FromUintRoundTrip) {
+  for (std::uint64_t v : {0ULL, 1ULL, 2ULL, 41ULL, 1023ULL, 1ULL << 40}) {
+    EXPECT_EQ(BitString::from_uint(v).to_uint(), v) << v;
+  }
+}
+
+TEST(BitString, FromUintLength) {
+  EXPECT_EQ(BitString::from_uint(0).length(), 1u);
+  EXPECT_EQ(BitString::from_uint(1).length(), 1u);
+  EXPECT_EQ(BitString::from_uint(2).length(), 2u);
+  EXPECT_EQ(BitString::from_uint(255).length(), 8u);
+  EXPECT_EQ(BitString::from_uint(256).length(), 9u);
+}
+
+TEST(BitString, FromBytesLength) {
+  EXPECT_EQ(BitString::from_bytes("ab").length(), 16u);
+  EXPECT_EQ(BitString::from_bytes("").length(), 0u);
+}
+
+TEST(BitString, PairLengthMatchesLemmaB1Accounting) {
+  // |pair(a, b)| = 2*(|a| + |b|) + 2: every payload bit followed by a 0,
+  // parts separated by "11".
+  const BitString a = BitString::from_uint(13);  // 4 bits
+  const BitString b = BitString::from_uint(3);   // 2 bits
+  EXPECT_EQ(BitString::pair(a, b).length(), 2 * (4 + 2) + 2u);
+}
+
+TEST(BitString, PairUnpairRoundTrip) {
+  const BitString a = BitString::from_bytes("hello");
+  const BitString b = BitString::from_uint(99);
+  auto [x, y] = BitString::unpair(BitString::pair(a, b));
+  EXPECT_EQ(x, a);
+  EXPECT_EQ(y, b);
+}
+
+TEST(BitString, PairEmptyParts) {
+  const BitString e;
+  const BitString b = BitString::from_uint(5);
+  {
+    auto [x, y] = BitString::unpair(BitString::pair(e, b));
+    EXPECT_EQ(x.length(), 0u);
+    EXPECT_EQ(y, b);
+  }
+  {
+    auto [x, y] = BitString::unpair(BitString::pair(b, e));
+    EXPECT_EQ(x, b);
+    EXPECT_EQ(y.length(), 0u);
+  }
+}
+
+TEST(BitString, UnpairRejectsMalformed) {
+  BitString bogus;
+  bogus.push_bit(true);  // lone bit: no separator possible
+  EXPECT_THROW(BitString::unpair(bogus), std::invalid_argument);
+}
+
+TEST(BitString, PackUnpackRoundTrip) {
+  std::vector<BitString> parts{BitString::from_uint(1),
+                               BitString::from_uint(20),
+                               BitString::from_bytes("xyz"),
+                               BitString()};
+  const BitString packed = BitString::pack(parts);
+  const auto out = BitString::unpack(packed, parts.size());
+  ASSERT_EQ(out.size(), parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) EXPECT_EQ(out[i], parts[i]);
+}
+
+TEST(BitString, ToStringRendersBits) {
+  BitString b;
+  b.push_bit(true);
+  b.push_bit(false);
+  b.push_bit(true);
+  EXPECT_EQ(b.to_string(), "101");
+}
+
+// Randomized pair/unpair round-trip property.
+class BitStringRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitStringRoundTrip, PairIsInjectiveAndInvertible) {
+  Xoshiro256 rng(GetParam() * 131 + 7);
+  BitString a;
+  BitString b;
+  const std::size_t la = rng.below(24);
+  const std::size_t lb = rng.below(24);
+  for (std::size_t i = 0; i < la; ++i) a.push_bit(rng.below(2) != 0);
+  for (std::size_t i = 0; i < lb; ++i) b.push_bit(rng.below(2) != 0);
+  const BitString p = BitString::pair(a, b);
+  EXPECT_EQ(p.length(), 2 * (la + lb) + 2);
+  auto [x, y] = BitString::unpair(p);
+  EXPECT_EQ(x, a);
+  EXPECT_EQ(y, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, BitStringRoundTrip, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace cdse

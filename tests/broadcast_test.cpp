@@ -1,0 +1,140 @@
+// Byzantine-consistent broadcast (protocols/broadcast.hpp), plus the
+// secure-emulation transitivity property (Def 4.26's closing remark).
+
+#include "protocols/broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/pairs.hpp"
+#include "impl/balance.hpp"
+#include "impl/bisim.hpp"
+#include "protocols/environment.hpp"
+#include "psioa/compose.hpp"
+#include "sched/cone_measure.hpp"
+#include "sched/schedulers.hpp"
+#include "secure/adversary.hpp"
+#include "secure/emulation.hpp"
+
+namespace cdse {
+namespace {
+
+SchedulerPtr bc_driver(const std::string& tag, ActionId first) {
+  return std::make_shared<PriorityScheduler>(
+      std::vector<ActionId>{first, act("echo_" + tag),
+                            act("tally_" + tag), act("deliver0_" + tag),
+                            act("deliver1_" + tag),
+                            act("noquorum_" + tag)},
+      8, /*local_only=*/false);
+}
+
+TEST(Broadcast, HonestSenderDeliversItsValue) {
+  auto b = make_bracha_broadcast("bc_a");
+  for (int v = 0; v < 2; ++v) {
+    auto sched = bc_driver("bc_a", act("bcast" + std::to_string(v) +
+                                       "_bc_a"));
+    EXPECT_EQ(exact_action_probability(
+                  *b, *sched,
+                  act("deliver" + std::to_string(v) + "_bc_a"), 10),
+              Rational(1));
+    // Never the other value, never an abort.
+    EXPECT_EQ(exact_action_probability(
+                  *b, *sched,
+                  act("deliver" + std::to_string(1 - v) + "_bc_a"), 10),
+              Rational(0));
+  }
+}
+
+TEST(Broadcast, EquivocationAbortsInsteadOfSplitting) {
+  auto b = make_bracha_broadcast("bc_b");
+  auto sched = bc_driver("bc_b", act("equivocate_bc_b"));
+  EXPECT_EQ(exact_action_probability(*b, *sched, act("noquorum_bc_b"),
+                                     10),
+            Rational(1));
+  EXPECT_EQ(exact_action_probability(*b, *sched, act("deliver0_bc_b"),
+                                     10),
+            Rational(0));
+  EXPECT_EQ(exact_action_probability(*b, *sched, act("deliver1_bc_b"),
+                                     10),
+            Rational(0));
+}
+
+TEST(Broadcast, ProtocolBisimilarToSpec) {
+  // Consistency is deterministic: the quorum walk and the one-shot spec
+  // are fully bisimilar -- a zero-epsilon calibration point.
+  auto protocol = make_bracha_broadcast("bc_c");
+  auto spec = make_ideal_broadcast("bc_c");
+  const BisimResult r = probabilistic_bisimulation(*protocol, *spec, 12);
+  EXPECT_TRUE(r.bisimilar);
+  EXPECT_TRUE(r.exhaustive);
+}
+
+TEST(Broadcast, SecureEmulationWithZeroEpsilon) {
+  const std::string tag = "bc_d";
+  const StructuredPsioa real(
+      make_bracha_broadcast(tag),
+      acts({"bcast0_" + tag, "bcast1_" + tag, "deliver0_" + tag,
+            "deliver1_" + tag, "noquorum_" + tag}),
+      acts({"equivocate_" + tag}), {});
+  const StructuredPsioa ideal(
+      make_ideal_broadcast(tag),
+      acts({"bcast0_" + tag, "bcast1_" + tag, "deliver0_" + tag,
+            "deliver1_" + tag, "noquorum_" + tag}),
+      acts({"equivocate_" + tag}), {});
+  real.validate(10);
+  ideal.validate(10);
+  const PsioaPtr adv =
+      make_sink_adversary(tag + "_adv", {}, acts({"equivocate_" + tag}));
+  const PsioaPtr env = make_probe_env(
+      "env_" + tag, {act("bcast0_" + tag)},
+      acts({"deliver0_" + tag, "deliver1_" + tag, "noquorum_" + tag}),
+      act("acc_" + tag));
+  const EmulationReport report = check_secure_emulation(
+      real, adv, ideal, adv, {{"probe", env}},
+      {{"uniform", std::make_shared<UniformScheduler>(10, true)}},
+      same_scheduler(), AcceptInsight(act("acc_" + tag)), 14);
+  EXPECT_EQ(report.max_eps, Rational(0));
+}
+
+TEST(SecureEmulationChain, TransitivityAcrossThreeSystems) {
+  // Def 4.26's closing remark: <=_SE is transitive because <=_{neg,pt}
+  // is. Chain MAC(k=2) <= MAC(ideal-ish middle: k=4) <= ideal and check
+  // eps(1,3) <= eps(1,2) + eps(2,3) on the hidden compositions.
+  const std::string tag = "bc_e";
+  const RealIdealPair strong = make_otmac_pair(4, tag);
+  const RealIdealPair weak = make_otmac_pair(2, tag + "x");
+  // Build three systems over ONE action vocabulary (tag): weak-real,
+  // strong-real, ideal -- by instantiating the MAC automaton directly.
+  auto sys = [&](const char* name, const Rational& win) {
+    return StructuredPsioa(
+        make_otmac_automaton(std::string(name) + "_" + tag, tag, win),
+        acts({"auth_" + tag, "forged_" + tag, "rejected_" + tag}),
+        acts({"forge_" + tag}), {});
+  };
+  const StructuredPsioa s1 = sys("chain1", Rational(1, 4));
+  const StructuredPsioa s2 = sys("chain2", Rational(1, 16));
+  const StructuredPsioa s3 = sys("chain3", Rational(0));
+  (void)strong;
+  (void)weak;
+  const PsioaPtr adv =
+      make_sink_adversary(tag + "_adv", {}, acts({"forge_" + tag}));
+  const PsioaPtr env = make_probe_env_matching(
+      "env_" + tag, {act("auth_" + tag)}, acts({"rejected_" + tag}),
+      act("forged_" + tag), act("acc_" + tag));
+  SequenceScheduler word({act("auth_" + tag), act("forge_" + tag),
+                          act("forged_" + tag), act("acc_" + tag)},
+                         true);
+  AcceptInsight f(act("acc_" + tag));
+  auto hide1 = compose(env, hidden_adversary_composition(s1, adv));
+  auto hide2 = compose(env, hidden_adversary_composition(s2, adv));
+  auto hide3 = compose(env, hidden_adversary_composition(s3, adv));
+  const TransitivityRow row =
+      check_transitivity_case(*hide1, *hide2, *hide3, word, f, 12);
+  EXPECT_TRUE(row.triangle_holds);
+  EXPECT_EQ(row.eps12, Rational(1, 4) - Rational(1, 16));
+  EXPECT_EQ(row.eps23, Rational(1, 16));
+  EXPECT_EQ(row.eps13, Rational(1, 4));
+  EXPECT_EQ(row.eps13, row.eps12 + row.eps23);  // tight chain
+}
+
+}  // namespace
+}  // namespace cdse

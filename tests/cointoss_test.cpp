@@ -1,0 +1,131 @@
+// Blum coin toss over the commitment functionality
+// (protocols/cointoss.hpp): a concrete composition case study.
+
+#include "protocols/cointoss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "impl/balance.hpp"
+#include "protocols/environment.hpp"
+#include "sched/cone_measure.hpp"
+#include "sched/schedulers.hpp"
+#include "secure/adversary.hpp"
+#include "test_util.hpp"
+
+namespace cdse {
+namespace {
+
+/// Deterministic driver: toss, adversary commits, protocol runs to the
+/// result; the priority order lets the biaser interleave its flip.
+SchedulerPtr driver(const std::string& tag, std::size_t bound = 12) {
+  return std::make_shared<PriorityScheduler>(
+      std::vector<ActionId>{
+          act("toss_" + tag), act("commit0_" + tag), act("pickb_" + tag),
+          act("announceB0_" + tag), act("announceB1_" + tag),
+          act("flipcmd_" + tag), act("reveal_" + tag),
+          act("open0_" + tag), act("open1_" + tag),
+          act("result0_" + tag), act("result1_" + tag),
+          act("acc_" + tag)},
+      bound, /*local_only=*/true);
+}
+
+TEST(CoinToss, StructuredVocabulariesValidate) {
+  const CoinTossPair ct = make_cointoss_pair(2, "ct_a");
+  EXPECT_NO_THROW(ct.real.validate(12));
+  EXPECT_NO_THROW(ct.ideal.validate(12));
+  EXPECT_EQ(ct.exact_bias, Rational(1, 8));
+}
+
+TEST(CoinToss, HonestRunIsUniform) {
+  // Without a flip request the toss is fair on both instances: the
+  // committer's bit is XORed with a uniform honest bit.
+  for (bool real : {true, false}) {
+    const std::string tag = real ? "ct_b1" : "ct_b2";
+    const CoinTossPair ct = make_cointoss_pair(3, tag);
+    const StructuredPsioa& side = real ? ct.real : ct.ideal;
+    // Honest committer: commits once, never equivocates. A one-shot
+    // emitter drives the toss so the whole system is closed and only
+    // locally controlled actions are scheduled (no ghost inputs).
+    auto adv = make_honest_committer(tag);
+    auto comp = compose(testing::make_emitter("tosser_" + tag,
+                                              "toss_" + tag),
+                        compose(side.ptr(), adv));
+    PriorityScheduler sched(
+        {act("toss_" + tag), act("commit0_" + tag), act("pickb_" + tag),
+         act("announceB0_" + tag), act("announceB1_" + tag),
+         act("reveal_" + tag), act("open0_" + tag), act("open1_" + tag),
+         act("result0_" + tag), act("result1_" + tag)},
+        12, /*local_only=*/true);
+    EXPECT_EQ(exact_action_probability(*comp, sched,
+                                       act("result1_" + tag), 16),
+              Rational(1, 2));
+  }
+}
+
+TEST(CoinToss, BiaserAchievesExactBias) {
+  const std::string tag = "ct_c";
+  const CoinTossPair ct = make_cointoss_pair(2, tag);
+  const PsioaPtr biaser = make_biaser_adversary(tag);
+  EXPECT_TRUE(check_adversary_for(ct.real, biaser, 10).ok);
+  auto env = make_probe_env_matching(
+      "env_" + tag, {act("toss_" + tag)}, acts({"result0_" + tag}),
+      act("result1_" + tag), act("acc_" + tag));
+  auto real_sys = compose(env, compose(ct.real.ptr(), biaser));
+  auto ideal_sys = compose(env, compose(ct.ideal.ptr(), biaser));
+  const SchedulerPtr sched = driver(tag);
+  // Real: P[result1] = 1/2 + p/2; ideal: exactly 1/2.
+  AcceptInsight f(act("acc_" + tag));
+  const auto real_dist = exact_fdist(*real_sys, *sched, f, 20);
+  const auto ideal_dist = exact_fdist(*ideal_sys, *sched, f, 20);
+  EXPECT_EQ(real_dist.mass("1"), Rational(1, 2) + Rational(1, 8));
+  EXPECT_EQ(ideal_dist.mass("1"), Rational(1, 2));
+  EXPECT_EQ(balance_distance(real_dist, ideal_dist), ct.exact_bias);
+}
+
+TEST(CoinToss, Lemma413BudgetHolds) {
+  // The protocol's epsilon is at most the commitment's own advantage --
+  // the composability bound, here with slack factor exactly 1/2.
+  for (std::uint32_t k : {1u, 2u, 3u, 4u}) {
+    const std::string tag = "ct_d" + std::to_string(k);
+    const CoinTossPair ct = make_cointoss_pair(k, tag);
+    const PsioaPtr biaser = make_biaser_adversary(tag);
+    auto env = make_probe_env_matching(
+        "env_" + tag, {act("toss_" + tag)}, acts({"result0_" + tag}),
+        act("result1_" + tag), act("acc_" + tag));
+    auto real_sys = compose(env, compose(ct.real.ptr(), biaser));
+    auto ideal_sys = compose(env, compose(ct.ideal.ptr(), biaser));
+    const SchedulerPtr sched = driver(tag);
+    AcceptInsight f(act("acc_" + tag));
+    const Rational eps = exact_balance_epsilon(*real_sys, *sched,
+                                               *ideal_sys, *sched, f, 20);
+    EXPECT_EQ(eps, ct.exact_bias) << "k=" << k;
+    EXPECT_LE(eps, ct.commitment_advantage) << "k=" << k;
+    EXPECT_EQ(eps, ct.commitment_advantage * Rational(1, 2));
+  }
+}
+
+TEST(CoinToss, PartyLogicXorsCorrectly) {
+  auto party = make_cointoss_party("ct_e");
+  // Walk: toss, commit, pick (land on announcing1), announce, reveal,
+  // open0 -> result must be 0 XOR 1 = 1.
+  State q = party->start_state();
+  q = party->transition(q, act("toss_ct_e")).support()[0];
+  q = party->transition(q, act("commit1_ct_e")).support()[0];
+  const StateDist pick = party->transition(q, act("pickb_ct_e"));
+  State announcing1 = 0;
+  bool found = false;
+  for (State s : pick.support()) {
+    if (party->state_label(s) == "announcing1") {
+      announcing1 = s;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+  q = party->transition(announcing1, act("announceB1_ct_e")).support()[0];
+  q = party->transition(q, act("reveal_ct_e")).support()[0];
+  q = party->transition(q, act("open0_ct_e")).support()[0];
+  EXPECT_EQ(party->state_label(q), "resolving1");
+}
+
+}  // namespace
+}  // namespace cdse

@@ -1,0 +1,156 @@
+// Parallel composition (psioa/compose.hpp; Defs 2.5, 2.18).
+
+#include "psioa/compose.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/channel.hpp"
+#include "protocols/coinflip.hpp"
+#include "test_util.hpp"
+
+namespace cdse {
+namespace {
+
+using testing::make_bernoulli;
+using testing::make_emitter;
+using testing::make_listener;
+
+TEST(Compose, EmptyListRejected) {
+  EXPECT_THROW(compose(std::vector<PsioaPtr>{}), std::invalid_argument);
+}
+
+TEST(Compose, StartStateIsTupleOfStarts) {
+  auto e = make_emitter("c_em1", "c_msg1");
+  auto l = make_listener("c_li1", "c_msg1");
+  auto c = compose(e, l);
+  const State q0 = c->start_state();
+  EXPECT_EQ(c->project(q0, 0), e->start_state());
+  EXPECT_EQ(c->project(q0, 1), l->start_state());
+  EXPECT_EQ(c->component_count(), 2u);
+}
+
+TEST(Compose, SignatureFollowsDef24) {
+  auto e = make_emitter("c_em2", "c_msg2");
+  auto l = make_listener("c_li2", "c_msg2");
+  auto c = compose(e, l);
+  const Signature sig = c->signature(c->start_state());
+  // msg is output of the emitter: absorbed from the input side.
+  EXPECT_EQ(sig.out, acts({"c_msg2"}));
+  EXPECT_TRUE(sig.in.empty());
+}
+
+TEST(Compose, SharedActionMovesBothComponents) {
+  auto e = make_emitter("c_em3", "c_msg3");
+  auto l = make_listener("c_li3", "c_msg3");
+  auto c = compose(e, l);
+  const StateDist d = c->transition(c->start_state(), act("c_msg3"));
+  ASSERT_EQ(d.support_size(), 1u);
+  const State q1 = d.support()[0];
+  EXPECT_EQ(e->state_label(c->project(q1, 0)), "spent");
+  EXPECT_EQ(l->state_label(c->project(q1, 1)), "idle");
+}
+
+TEST(Compose, NonParticipantStaysViaDirac) {
+  auto e = make_emitter("c_em4", "c_msg4");
+  auto other = make_listener("c_li4", "c_unrelated4");
+  auto c = compose(e, other);
+  const StateDist d = c->transition(c->start_state(), act("c_msg4"));
+  ASSERT_EQ(d.support_size(), 1u);
+  EXPECT_EQ(c->project(d.support()[0], 1), other->start_state());
+}
+
+TEST(Compose, ProductOfProbabilisticTransitions) {
+  // Two Bernoulli automata triggered by one shared input action.
+  auto b1 = make_bernoulli("c_b1", "c_go5", "c_y51", "c_n51",
+                           Rational(1, 2));
+  auto b2 = make_bernoulli("c_b2", "c_go5", "c_y52", "c_n52",
+                           Rational(1, 3));
+  auto c = compose(b1, b2);
+  const StateDist d = c->transition(c->start_state(), act("c_go5"));
+  EXPECT_EQ(d.support_size(), 4u);
+  EXPECT_EQ(d.total(), Rational(1));
+  // P[yes1, yes2] = 1/2 * 1/3.
+  Rational yy;
+  for (const auto& [q, w] : d.entries()) {
+    if (b1->state_label(c->project(q, 0)) == "yes" &&
+        b2->state_label(c->project(q, 1)) == "yes") {
+      yy = w;
+    }
+  }
+  EXPECT_EQ(yy, Rational(1, 6));
+}
+
+TEST(Compose, OutputOutputClashThrowsOnContact) {
+  auto e1 = make_emitter("c_em6a", "c_msg6");
+  auto e2 = make_emitter("c_em6b", "c_msg6");
+  auto c = compose(e1, e2);
+  EXPECT_THROW(c->signature(c->start_state()), IncompatibilityError);
+}
+
+TEST(Compose, PartiallyCompatibleExplorerDetectsDeepClash) {
+  // Compatible at the start, incompatible after both emitters fire.
+  // Construct: A emits x then wants to emit z; B emits y then z.
+  auto mk = [](const std::string& name, const std::string& first) {
+    auto a = std::make_shared<ExplicitPsioa>(name);
+    const State s0 = a->add_state("s0");
+    const State s1 = a->add_state("s1");
+    const State s2 = a->add_state("s2");
+    a->set_start(s0);
+    Signature sig0;
+    sig0.out = acts({first});
+    a->set_signature(s0, sig0);
+    Signature sig1;
+    sig1.out = acts({"c_clash7"});
+    a->set_signature(s1, sig1);
+    a->set_signature(s2, Signature{});
+    a->add_step(s0, act(first), s1);
+    a->add_step(s1, act("c_clash7"), s2);
+    a->validate();
+    return a;
+  };
+  EXPECT_FALSE(partially_compatible({mk("c_pa7", "c_x7"), mk("c_pb7", "c_y7")},
+                                    4));
+  // A lone automaton is trivially partially compatible.
+  EXPECT_TRUE(partially_compatible({mk("c_pc7", "c_z7")}, 4));
+}
+
+TEST(Compose, StateLabelAndEncodingAreComposite) {
+  auto e = make_emitter("c_em8", "c_msg8");
+  auto l = make_listener("c_li8", "c_msg8");
+  auto c = compose(e, l);
+  const State q0 = c->start_state();
+  EXPECT_EQ(c->state_label(q0), "(ready, idle)");
+  // Encoding is the pairing of the component encodings.
+  const BitString expected = BitString::pack(
+      {e->encode_state(e->start_state()), l->encode_state(l->start_state())});
+  EXPECT_EQ(c->encode_state(q0), expected);
+}
+
+TEST(Compose, ThreeWayAssociativeBehavior) {
+  // (coin || channel || listener): flip and route a message; exercise
+  // n-ary composition and projections.
+  auto coin = make_coin("c_t9", Rational(1, 2));
+  auto ch = make_channel("c_t9");
+  auto li = make_listener("c_li9", "recv0_c_t9");
+  auto c = compose(coin, ch, li);
+  const Signature sig = c->signature(c->start_state());
+  EXPECT_TRUE(sig.is_input(act("flip_c_t9")));
+  EXPECT_TRUE(sig.is_input(act("send0_c_t9")));
+  const StateDist d = c->transition(c->start_state(), act("send0_c_t9"));
+  ASSERT_EQ(d.support_size(), 1u);
+  const Signature sig2 = c->signature(d.support()[0]);
+  EXPECT_TRUE(sig2.is_output(act("recv0_c_t9")));
+}
+
+TEST(Compose, InternTupleIsStable) {
+  auto e = make_emitter("c_em10", "c_msg10");
+  auto l = make_listener("c_li10", "c_msg10");
+  auto c = compose(e, l);
+  const State q0 = c->start_state();
+  EXPECT_EQ(c->intern_tuple({e->start_state(), l->start_state()}), q0);
+  EXPECT_EQ(c->tuple(q0).size(), 2u);
+  EXPECT_THROW(c->tuple(9999), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cdse

@@ -1,0 +1,141 @@
+// The crypto substrate: real/ideal pairs and the weak PRG
+// (crypto/pairs.hpp, crypto/prg.hpp).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crypto/pairs.hpp"
+#include "crypto/prg.hpp"
+#include "sched/cone_measure.hpp"
+#include "sched/schedulers.hpp"
+
+namespace cdse {
+namespace {
+
+TEST(WeakPrg, RejectsOutOfRangeK) {
+  EXPECT_THROW(WeakPrg(0), std::invalid_argument);
+  EXPECT_THROW(WeakPrg(25), std::invalid_argument);
+}
+
+TEST(WeakPrg, ExpandIsDeterministicAndSeedSensitive) {
+  WeakPrg prg(8);
+  EXPECT_EQ(prg.expand(5), prg.expand(5));
+  EXPECT_NE(prg.expand(5), prg.expand(6));
+  EXPECT_EQ(prg.seed_count(), 256u);
+}
+
+TEST(WeakPrg, BiasWithinBirthdayEnvelope) {
+  // A well-mixed k-bit-seed expander has low-bit bias on the order of
+  // 2^{-k/2} (binomial fluctuation over 2^k seeds). The closed form used
+  // by the automaton pairs (2^-k) is a design envelope, not a property
+  // of this mixer; here we check the statistical envelope.
+  for (std::uint32_t k : {4u, 8u, 12u, 16u}) {
+    const double bias = std::abs(WeakPrg(k).exact_one_bias());
+    EXPECT_LE(bias, 2.0 / std::sqrt(static_cast<double>(1ULL << k)))
+        << "k=" << k;
+  }
+}
+
+TEST(WeakPrg, TvFromUniformEnumerates) {
+  WeakPrg prg(6);
+  const double tv1 = prg.exact_tv_from_uniform(1);
+  const double tv8 = prg.exact_tv_from_uniform(8);
+  EXPECT_GE(tv1, 0.0);
+  EXPECT_LE(tv1, 1.0);
+  // More output bits from few seeds: necessarily farther from uniform.
+  EXPECT_GE(tv8, tv1 - 1e-12);
+  // 2^6 seeds cannot cover 2^8 buckets: TV is at least 1 - 64/256.
+  EXPECT_GE(tv8, 0.75 - 1e-12);
+  EXPECT_THROW(prg.exact_tv_from_uniform(17), std::invalid_argument);
+}
+
+TEST(Pairs, RejectOutOfRangeK) {
+  EXPECT_THROW(make_otmac_pair(0, "cr_a"), std::invalid_argument);
+  EXPECT_THROW(make_otmac_pair(63, "cr_b"), std::invalid_argument);
+}
+
+TEST(Pairs, OtmacStructuredVocabulariesValidate) {
+  const RealIdealPair p = make_otmac_pair(4, "cr_c");
+  EXPECT_NO_THROW(p.real.validate(8));
+  EXPECT_NO_THROW(p.ideal.validate(8));
+  EXPECT_EQ(p.exact_advantage, Rational(1, 16));
+  EXPECT_EQ(p.real.adv_in_vocab(), acts({"forge_cr_c"}));
+}
+
+TEST(Pairs, OtpStructuredVocabulariesValidate) {
+  const RealIdealPair p = make_otp_pair(4, "cr_d");
+  EXPECT_NO_THROW(p.real.validate(8));
+  EXPECT_NO_THROW(p.ideal.validate(8));
+  EXPECT_EQ(p.real.adv_out_vocab(),
+            acts({"cipher0_cr_d", "cipher1_cr_d"}));
+}
+
+TEST(Pairs, CommitmentStructuredVocabulariesValidate) {
+  const RealIdealPair p = make_commitment_pair(4, "cr_e");
+  EXPECT_NO_THROW(p.real.validate(8));
+  EXPECT_NO_THROW(p.ideal.validate(8));
+}
+
+TEST(Pairs, OtmacForgeryProbabilityIsClosedForm) {
+  const RealIdealPair p = make_otmac_pair(5, "cr_f");
+  SequenceScheduler word(
+      {act("auth_cr_f"), act("forge_cr_f"), act("forged_cr_f")});
+  EXPECT_EQ(exact_action_probability(p.real.automaton(), word,
+                                     act("forged_cr_f"), 10),
+            Rational(1, 32));
+  EXPECT_EQ(exact_action_probability(p.ideal.automaton(), word,
+                                     act("forged_cr_f"), 10),
+            Rational(0));
+}
+
+TEST(Pairs, OtpCipherBiasIsClosedForm) {
+  const RealIdealPair p = make_otp_pair(3, "cr_g");
+  SequenceScheduler word({act("send0_cr_g"), act("rand_cr_g"),
+                          act("cipher1_cr_g")});
+  // P[cipher != message] = 1/2 + 2^-3 for the real pad.
+  EXPECT_EQ(exact_action_probability(p.real.automaton(), word,
+                                     act("cipher1_cr_g"), 10),
+            Rational(1, 2) + Rational(1, 8));
+  EXPECT_EQ(exact_action_probability(p.ideal.automaton(), word,
+                                     act("cipher1_cr_g"), 10),
+            Rational(1, 2));
+}
+
+TEST(Pairs, CommitmentFlipProbabilityIsClosedForm) {
+  const RealIdealPair p = make_commitment_pair(4, "cr_h");
+  SequenceScheduler word({act("commit0_cr_h"), act("flipcmd_cr_h"),
+                          act("reveal_cr_h"), act("open1_cr_h")});
+  EXPECT_EQ(exact_action_probability(p.real.automaton(), word,
+                                     act("open1_cr_h"), 10),
+            Rational(1, 16));
+  EXPECT_EQ(exact_action_probability(p.ideal.automaton(), word,
+                                     act("open1_cr_h"), 10),
+            Rational(0));
+}
+
+TEST(Pairs, PerfectPairHasIdenticalFdists) {
+  const RealIdealPair p = make_perfect_otp_pair("cr_i");
+  UniformScheduler sched(8, true);
+  TraceInsight f;
+  // Drive both with a shared-vocabulary environment-free run; the full
+  // local uniform run gives identical trace distributions.
+  const auto real_dist =
+      exact_fdist(p.real.automaton(), sched, f, 12);
+  const auto ideal_dist =
+      exact_fdist(p.ideal.automaton(), sched, f, 12);
+  EXPECT_EQ(balance_distance(real_dist, ideal_dist), Rational(0));
+  EXPECT_EQ(p.exact_advantage, Rational(0));
+}
+
+TEST(Pairs, AdvantageScalesExactlyWithK) {
+  for (std::uint32_t k : {1u, 2u, 6u, 10u, 30u, 62u}) {
+    const RealIdealPair p =
+        make_otmac_pair(k, "cr_j" + std::to_string(k));
+    EXPECT_EQ(p.exact_advantage,
+              Rational(1, static_cast<std::int64_t>(1) << k));
+  }
+}
+
+}  // namespace
+}  // namespace cdse

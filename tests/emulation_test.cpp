@@ -1,0 +1,226 @@
+// Dynamic secure emulation and Theorem 4.30's composability construction
+// (secure/emulation.hpp; Defs 4.26-4.27, Theorem 4.30).
+
+#include "secure/emulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/pairs.hpp"
+#include "crypto/relay.hpp"
+#include "protocols/environment.hpp"
+#include "sched/schedulers.hpp"
+#include "secure/adversary.hpp"
+#include "secure/dummy.hpp"
+
+namespace cdse {
+namespace {
+
+SchedulerPtr word(std::initializer_list<std::string> actions) {
+  std::vector<ActionId> w;
+  for (const auto& a : actions) w.push_back(act(a));
+  return std::make_shared<SequenceScheduler>(std::move(w),
+                                             /*local_only=*/true);
+}
+
+TEST(HiddenAdversaryComposition, InternalizesAdversaryVocabulary) {
+  const RealIdealPair mac = make_otmac_pair(2, "em_a");
+  const PsioaPtr adv =
+      make_sink_adversary("em_a_adv", {}, acts({"forge_em_a"}));
+  const PsioaPtr sys = hidden_adversary_composition(mac.real, adv);
+  const Signature sig = sys->signature(sys->start_state());
+  EXPECT_FALSE(sig.is_output(act("forge_em_a")));
+  EXPECT_TRUE(sig.is_input(act("auth_em_a")));
+}
+
+TEST(SecureEmulation, MacEpsilonIsExactlyTwoToMinusK) {
+  const std::string tag = "em_b";
+  const RealIdealPair mac = make_otmac_pair(3, tag);
+  const PsioaPtr adv =
+      make_sink_adversary(tag + "_adv", {}, acts({"forge_" + tag}));
+  const PsioaPtr env = make_probe_env_matching(
+      "env_" + tag, {act("auth_" + tag)}, acts({"rejected_" + tag}),
+      act("forged_" + tag), act("acc_" + tag));
+  const EmulationReport report = check_secure_emulation(
+      mac.real, adv, mac.ideal, adv, {{"probe", env}},
+      {{"word", word({"auth_" + tag, "forge_" + tag, "forged_" + tag,
+                      "acc_" + tag})}},
+      same_scheduler(), AcceptInsight(act("acc_" + tag)), 12);
+  EXPECT_EQ(report.max_eps, mac.exact_advantage);
+  EXPECT_EQ(report.max_eps, Rational(1, 8));
+}
+
+TEST(SecureEmulation, OtpWithRelayEpsilonIsBias) {
+  const std::string tag = "em_c";
+  const RealIdealPair otp = make_otp_pair(3, tag);
+  const PsioaPtr relay = make_relay_adversary(
+      "relay_" + tag, {{act("cipher0_" + tag), act("tell0_" + tag)},
+                       {act("cipher1_" + tag), act("tell1_" + tag)}});
+  const PsioaPtr env = make_probe_env_matching(
+      "env_" + tag, {act("send0_" + tag)}, acts({"tell0_" + tag}),
+      act("tell1_" + tag), act("acc_" + tag));
+  // Relay outputs (tell*) are not adversary actions of the OTP pair, so
+  // they stay visible to the environment after hiding.
+  const EmulationReport report = check_secure_emulation(
+      otp.real, relay, otp.ideal, relay, {{"probe", env}},
+      {{"uniform", std::make_shared<UniformScheduler>(10, true)}},
+      same_scheduler(), AcceptInsight(act("acc_" + tag)), 14);
+  EXPECT_EQ(report.max_eps, otp.exact_advantage);
+  EXPECT_EQ(report.max_eps, Rational(1, 8));
+}
+
+TEST(SecureEmulation, CommitmentEpsilonIsExact) {
+  const std::string tag = "em_d";
+  const RealIdealPair com = make_commitment_pair(2, tag);
+  const PsioaPtr adv =
+      make_sink_adversary(tag + "_adv", {}, acts({"flipcmd_" + tag}));
+  const PsioaPtr env = make_probe_env_matching(
+      "env_" + tag, {act("commit0_" + tag), act("reveal_" + tag)},
+      acts({"open0_" + tag}), act("open1_" + tag), act("acc_" + tag));
+  const EmulationReport report = check_secure_emulation(
+      com.real, adv, com.ideal, adv, {{"probe", env}},
+      {{"word", word({"commit0_" + tag, "flipcmd_" + tag, "reveal_" + tag,
+                      "open1_" + tag, "acc_" + tag})}},
+      same_scheduler(), AcceptInsight(act("acc_" + tag)), 12);
+  EXPECT_EQ(report.max_eps, Rational(1, 4));
+}
+
+TEST(SecureEmulation, PerfectPairEmulatesWithZero) {
+  const std::string tag = "em_e";
+  const RealIdealPair p = make_perfect_otp_pair(tag);
+  const PsioaPtr relay = make_relay_adversary(
+      "relay_" + tag, {{act("cipher0_" + tag), act("tell0_" + tag)},
+                       {act("cipher1_" + tag), act("tell1_" + tag)}});
+  const PsioaPtr env = make_probe_env_matching(
+      "env_" + tag, {act("send0_" + tag)}, acts({"tell0_" + tag}),
+      act("tell1_" + tag), act("acc_" + tag));
+  const EmulationReport report = check_secure_emulation(
+      p.real, relay, p.ideal, relay, {{"probe", env}},
+      {{"uniform", std::make_shared<UniformScheduler>(10, true)}},
+      same_scheduler(), AcceptInsight(act("acc_" + tag)), 14);
+  EXPECT_EQ(report.max_eps, Rational(0));
+}
+
+/// Theorem 4.30 scenario: two pairs composed, the composite adversary
+/// speaking both command vocabularies, and an environment arming on
+/// either break.
+struct CompositeScenario {
+  RealIdealPair mac;
+  RealIdealPair com;
+  StructuredPsioa real_hat;
+  StructuredPsioa ideal_hat;
+  PsioaPtr adv;
+  PsioaPtr env;
+  std::string tm, tc;
+
+  explicit CompositeScenario(const std::string& base)
+      : mac(make_otmac_pair(2, base + "m")),
+        com(make_commitment_pair(3, base + "c")),
+        real_hat(compose_structured(mac.real, com.real)),
+        ideal_hat(compose_structured(mac.ideal, com.ideal)),
+        tm(base + "m"),
+        tc(base + "c") {
+    adv = make_sink_adversary(
+        base + "_adv", {},
+        acts({"forge_" + tm, "flipcmd_" + tc}));
+    env = make_probe_env(
+        "env_" + base,
+        {act("auth_" + tm), act("commit0_" + tc), act("reveal_" + tc)},
+        acts({"forged_" + tm, "open1_" + tc}), act("acc_" + base));
+  }
+};
+
+TEST(Theorem430, DirectSimulatorRespectsEpsilonBudget) {
+  CompositeScenario sc("em_f");
+  // Two distinguishing strategies, one per component.
+  std::vector<LabeledScheduler> scheds;
+  scheds.push_back({"attack-mac",
+                    word({"auth_" + sc.tm, "forge_" + sc.tm,
+                          "forged_" + sc.tm, "acc_em_f"})});
+  scheds.push_back({"attack-com",
+                    word({"auth_" + sc.tm, "commit0_" + sc.tc, "flipcmd_" + sc.tc,
+                          "reveal_" + sc.tc, "open1_" + sc.tc,
+                          "acc_em_f"})});
+  const EmulationReport report = check_secure_emulation(
+      sc.real_hat, sc.adv, sc.ideal_hat, sc.adv, {{"probe", sc.env}},
+      scheds, same_scheduler(), AcceptInsight(act("acc_em_f")), 16);
+  // The budget of Theorem 4.30: at most the sum of the pair advantages,
+  // reached here at the max (sequential attacks do not stack).
+  EXPECT_LE(report.max_eps,
+            sc.mac.exact_advantage + sc.com.exact_advantage);
+  EXPECT_EQ(report.max_eps, Rational(1, 4));  // the MAC attack dominates
+  // The commitment attack contributes its own exact advantage.
+  bool found = false;
+  for (const auto& row : report.impl.rows) {
+    if (row.sched == "attack-com") {
+      EXPECT_EQ(row.eps, Rational(1, 8));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Theorem430, ConstructedSimulatorMatchesDirectOne) {
+  CompositeScenario sc("em_g");
+  // Sim = hide(DSim_mac || DSim_com || g(Adv), g(AAct)) with
+  // DSim_i = Dummy(B_i, g_i) -- the proof's construction.
+  const ActionBijection g =
+      ActionBijection::with_suffix(sc.real_hat.aact_vocab(), "#r");
+  std::vector<PsioaPtr> dsims{make_dummy_adversary(sc.mac.ideal, g),
+                              make_dummy_adversary(sc.com.ideal, g)};
+  const PsioaPtr sim = theorem_simulator(std::move(dsims), sc.adv, g);
+
+  // The matching scheduler expands each adversary command a into the
+  // two-step g(a), a (renamed emission by g(Adv), then the dummy's
+  // forward) -- Forward^s specialized to word schedulers.
+  auto expand = [&](std::initializer_list<std::string> actions) {
+    std::vector<ActionId> w;
+    for (const auto& s : actions) {
+      const ActionId a = act(s);
+      if (set::contains(sc.real_hat.adv_in_vocab(), a)) {
+        w.push_back(g.apply(a));
+      }
+      w.push_back(a);
+    }
+    return std::make_shared<SequenceScheduler>(std::move(w), true);
+  };
+  const PsioaPtr lhs = hidden_adversary_composition(sc.real_hat, sc.adv);
+  const PsioaPtr rhs = hidden_adversary_composition(sc.ideal_hat, sim);
+  auto l = compose(sc.env, lhs);
+  auto r = compose(sc.env, rhs);
+  AcceptInsight f(act("acc_em_g"));
+
+  const auto w_mac_l = word({"auth_" + sc.tm, "forge_" + sc.tm,
+                             "forged_" + sc.tm, "acc_em_g"});
+  const auto w_mac_r = expand({"auth_" + sc.tm, "forge_" + sc.tm,
+                               "forged_" + sc.tm, "acc_em_g"});
+  const Rational eps_mac =
+      exact_balance_epsilon(*l, *w_mac_l, *r, *w_mac_r, f, 20);
+  EXPECT_EQ(eps_mac, sc.mac.exact_advantage);
+
+  const auto w_com_l = word({"auth_" + sc.tm, "commit0_" + sc.tc,
+                             "flipcmd_" + sc.tc, "reveal_" + sc.tc,
+                             "open1_" + sc.tc, "acc_em_g"});
+  const auto w_com_r = expand({"auth_" + sc.tm, "commit0_" + sc.tc,
+                               "flipcmd_" + sc.tc, "reveal_" + sc.tc,
+                               "open1_" + sc.tc, "acc_em_g"});
+  const Rational eps_com =
+      exact_balance_epsilon(*l, *w_com_l, *r, *w_com_r, f, 20);
+  EXPECT_EQ(eps_com, sc.com.exact_advantage);
+}
+
+TEST(Theorem430, SimulatorHidesRenamedVocabulary) {
+  CompositeScenario sc("em_h");
+  const ActionBijection g =
+      ActionBijection::with_suffix(sc.real_hat.aact_vocab(), "#r");
+  std::vector<PsioaPtr> dsims{make_dummy_adversary(sc.mac.ideal, g),
+                              make_dummy_adversary(sc.com.ideal, g)};
+  const PsioaPtr sim = theorem_simulator(std::move(dsims), sc.adv, g);
+  const Signature sig = sim->signature(sim->start_state());
+  // The renamed command channel is internalized; the raw commands the
+  // ideal system consumes remain outputs.
+  EXPECT_FALSE(sig.is_output(act("forge_em_hm#r")));
+  EXPECT_TRUE(check_adversary_for(sc.ideal_hat, sim, 2).ok);
+}
+
+}  // namespace
+}  // namespace cdse

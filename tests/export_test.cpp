@@ -1,0 +1,87 @@
+// DOT / CSV exporters (psioa/export.hpp).
+
+#include "psioa/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "protocols/coinflip.hpp"
+#include "sched/cone_measure.hpp"
+#include "sched/schedulers.hpp"
+#include "test_util.hpp"
+
+namespace cdse {
+namespace {
+
+TEST(Export, DotContainsStatesAndActions) {
+  auto coin = make_coin("ex_a", Rational(1, 3));
+  const std::string dot = to_dot(*coin);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("idle"), std::string::npos);
+  EXPECT_NE(dot.find("tossing"), std::string::npos);
+  EXPECT_NE(dot.find("flip_ex_a"), std::string::npos);
+  // Probabilistic branch annotated with exact weights.
+  EXPECT_NE(dot.find("[1/3]"), std::string::npos);
+  EXPECT_NE(dot.find("[2/3]"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(Export, DotEdgeStylesEncodeActionClass) {
+  auto coin = make_coin("ex_b", Rational(1, 2));
+  const std::string dot = to_dot(*coin);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // input flip
+  EXPECT_NE(dot.find("style=dotted"), std::string::npos);  // internal toss
+  EXPECT_NE(dot.find("style=solid"), std::string::npos);   // output head
+}
+
+TEST(Export, DotRespectsStateCap) {
+  auto coin = make_coin("ex_c", Rational(1, 2));
+  DotOptions opts;
+  opts.max_states = 1;
+  const std::string dot = to_dot(*coin, opts);
+  // Only the start node is declared with a label line for q0.
+  EXPECT_NE(dot.find("style=bold"), std::string::npos);
+  EXPECT_EQ(dot.find("tails"), std::string::npos);
+}
+
+TEST(Export, DotEscapesQuotes) {
+  auto a = std::make_shared<ExplicitPsioa>("ex\"quoted");
+  const State s = a->add_state("st\"ate");
+  a->set_start(s);
+  Signature sig;
+  sig.in = acts({"ex_d_act"});
+  a->set_signature(s, sig);
+  a->add_step(s, act("ex_d_act"), s);
+  a->validate();
+  const std::string dot = to_dot(*a);
+  EXPECT_NE(dot.find("ex\\\"quoted"), std::string::npos);
+  EXPECT_NE(dot.find("st\\\"ate"), std::string::npos);
+}
+
+TEST(Export, CsvExactDistribution) {
+  auto coin = make_coin("ex_e", Rational(1, 4));
+  UniformScheduler sched(3);
+  TraceInsight f;
+  const auto dist = exact_fdist(*coin, sched, f, 8);
+  std::ostringstream os;
+  write_csv(os, dist, "trace");
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("trace,probability"), std::string::npos);
+  EXPECT_NE(csv.find(",1/4"), std::string::npos);
+  EXPECT_NE(csv.find(",3/4"), std::string::npos);
+}
+
+TEST(Export, CsvSampledDistribution) {
+  Disc<std::string, double> d;
+  d.add("a", 0.25);
+  d.add("b", 0.75);
+  std::ostringstream os;
+  write_csv(os, d);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("value,probability"), std::string::npos);
+  EXPECT_NE(csv.find("\"a\",0.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdse

@@ -1,0 +1,118 @@
+// <=_{neg,pt} family sweeps (impl/family_sweep.hpp; Def 4.12).
+
+#include "impl/family_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/pairs.hpp"
+#include "protocols/environment.hpp"
+#include "secure/adversary.hpp"
+#include "psioa/compose.hpp"
+#include "sched/schedulers.hpp"
+
+namespace cdse {
+namespace {
+
+/// E_k || MAC_k with the canonical forgery distinguisher; `real` selects
+/// the side.
+PsioaFamily mac_side_family(const std::string& base, bool real) {
+  return PsioaFamily{
+      base + (real ? "_real" : "_ideal"),
+      [base, real](std::uint32_t k) -> PsioaPtr {
+        const std::string tag = base + std::to_string(k);
+        const RealIdealPair pair = make_otmac_pair(k, tag);
+        auto env = make_probe_env_matching(
+            "env_" + tag, {act("auth_" + tag)}, acts({"rejected_" + tag}),
+            act("forged_" + tag), act("acc_" + tag));
+        auto adv = make_sink_adversary(tag + "_adv", {},
+                                       acts({"forge_" + tag}));
+        const StructuredPsioa& side = real ? pair.real : pair.ideal;
+        return compose(env, compose(side.ptr(), adv));
+      }};
+}
+
+SchedulerFamily mac_word_family(const std::string& base) {
+  return SchedulerFamily{
+      "word", [base](std::uint32_t k) -> SchedulerPtr {
+        const std::string tag = base + std::to_string(k);
+        return std::make_shared<SequenceScheduler>(
+            std::vector<ActionId>{act("auth_" + tag), act("forge_" + tag),
+                                  act("forged_" + tag), act("acc_" + tag)},
+            /*local_only=*/true);
+      }};
+}
+
+TEST(FamilySweep, MacEpsilonIsExactlyTwoToMinusKAcrossK) {
+  const std::string base = "fs_a";
+  ThreadPool pool(2);
+  const std::vector<std::uint32_t> ks{1, 2, 3, 4, 5, 6};
+  const FamilySweepReport report = family_epsilon_sweep(
+      mac_side_family(base, true), mac_side_family(base, false),
+      mac_word_family(base), TraceInsight(), ks, 12,
+      /*exact_upto=*/6, /*trials=*/0, /*seed=*/1, pool);
+  ASSERT_EQ(report.rows.size(), ks.size());
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    ASSERT_TRUE(report.rows[i].exact.has_value());
+    EXPECT_EQ(*report.rows[i].exact,
+              Rational(1, static_cast<std::int64_t>(1) << ks[i]))
+        << "k=" << ks[i];
+  }
+  EXPECT_TRUE(report.negligible_looking);
+  EXPECT_NEAR(report.fitted_exponent, 1.0, 1e-9);
+}
+
+TEST(FamilySweep, SampledRowsCarryErrorRadius) {
+  const std::string base = "fs_b";
+  ThreadPool pool(2);
+  const std::vector<std::uint32_t> ks{1, 2, 3};
+  const FamilySweepReport report = family_epsilon_sweep(
+      mac_side_family(base, true), mac_side_family(base, false),
+      mac_word_family(base), TraceInsight(), ks, 12,
+      /*exact_upto=*/1, /*trials=*/20000, /*seed=*/7, pool);
+  ASSERT_EQ(report.rows.size(), 3u);
+  EXPECT_TRUE(report.rows[0].exact.has_value());
+  EXPECT_FALSE(report.rows[1].exact.has_value());
+  EXPECT_GT(report.rows[1].radius, 0.0);
+  EXPECT_NEAR(report.rows[1].sampled, 0.25, 0.02);
+  EXPECT_NEAR(report.rows[2].sampled, 0.125, 0.02);
+}
+
+TEST(FamilySweep, ConstantGapFamilyIsNotNegligible) {
+  // A family whose advantage does not decay must be rejected.
+  const std::string base = "fs_c";
+  PsioaFamily real{
+      "const_real", [base](std::uint32_t k) -> PsioaPtr {
+        const std::string tag = base + std::to_string(k);
+        const RealIdealPair pair = make_otmac_pair(1, tag);  // fixed k=1
+        auto env = make_probe_env_matching(
+            "env_" + tag, {act("auth_" + tag)}, acts({"rejected_" + tag}),
+            act("forged_" + tag), act("acc_" + tag));
+        auto adv = make_sink_adversary(tag + "_adv", {},
+                                       acts({"forge_" + tag}));
+        return compose(env, compose(pair.real.ptr(), adv));
+      }};
+  PsioaFamily ideal{
+      "const_ideal", [base](std::uint32_t k) -> PsioaPtr {
+        const std::string tag = base + std::to_string(k);
+        const RealIdealPair pair = make_otmac_pair(1, tag);
+        auto env = make_probe_env_matching(
+            "env_" + tag, {act("auth_" + tag)}, acts({"rejected_" + tag}),
+            act("forged_" + tag), act("acc_" + tag));
+        auto adv = make_sink_adversary(tag + "_adv2", {},
+                                       acts({"forge_" + tag}));
+        return compose(env, compose(pair.ideal.ptr(), adv));
+      }};
+  ThreadPool pool(2);
+  const std::vector<std::uint32_t> ks{1, 2, 3, 4};
+  const FamilySweepReport report = family_epsilon_sweep(
+      real, ideal, mac_word_family(base), TraceInsight(), ks, 12, 4, 0, 1,
+      pool);
+  EXPECT_FALSE(report.negligible_looking);
+  for (const auto& row : report.rows) {
+    ASSERT_TRUE(row.exact.has_value());
+    EXPECT_EQ(*row.exact, Rational(1, 2));
+  }
+}
+
+}  // namespace
+}  // namespace cdse

@@ -1,0 +1,149 @@
+// Approximate implementation relation (impl/implementation.hpp;
+// Def 4.12, Lemma 4.13, Theorem 4.16).
+
+#include "impl/implementation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/environment.hpp"
+#include "sched/schedulers.hpp"
+#include "test_util.hpp"
+
+namespace cdse {
+namespace {
+
+using testing::make_bernoulli;
+using testing::make_listener;
+
+/// Bernoulli automaton family over a shared action vocabulary `tag`.
+PsioaPtr bern(const std::string& inst, const std::string& tag,
+              const Rational& p) {
+  return make_bernoulli(inst, "go_" + tag, "yes_" + tag, "no_" + tag, p);
+}
+
+std::vector<LabeledPsioa> probe_envs(const std::string& tag) {
+  return {{"probe",
+           make_probe_env_matching("env_" + tag, {act("go_" + tag)},
+                                   acts({"no_" + tag}), act("yes_" + tag),
+                                   act("acc_" + tag))}};
+}
+
+std::vector<LabeledScheduler> local_uniform(std::size_t depth) {
+  return {{"uniform", std::make_shared<UniformScheduler>(depth, true)}};
+}
+
+TEST(Implementation, IdenticalAutomataHaveZeroEpsilon) {
+  const std::string tag = "impl_a";
+  const auto report = check_implementation(
+      bern("impl_a1", tag, Rational(1, 3)),
+      bern("impl_a2", tag, Rational(1, 3)), probe_envs(tag),
+      local_uniform(8), same_scheduler(), AcceptInsight(act("acc_" + tag)),
+      12);
+  EXPECT_EQ(report.max_eps, Rational(0));
+  EXPECT_TRUE(report.holds_with(Rational(0)));
+  ASSERT_EQ(report.rows.size(), 1u);
+  EXPECT_EQ(report.rows[0].env, "probe");
+}
+
+TEST(Implementation, EpsilonEqualsBiasGap) {
+  const std::string tag = "impl_b";
+  const auto report = check_implementation(
+      bern("impl_b1", tag, Rational(1, 4)),
+      bern("impl_b2", tag, Rational(3, 4)), probe_envs(tag),
+      local_uniform(8), same_scheduler(), AcceptInsight(act("acc_" + tag)),
+      12);
+  EXPECT_EQ(report.max_eps, Rational(1, 2));
+  EXPECT_TRUE(report.holds_with(Rational(1, 2)));
+  EXPECT_FALSE(report.holds_with(Rational(1, 3)));
+}
+
+TEST(Implementation, MaxOverMultipleEnvironmentsAndSchedulers) {
+  const std::string tag = "impl_c";
+  // A second, blind environment that never arms: epsilon 0 for it.
+  auto blind = make_probe_env_matching(
+      "env_blind_" + tag, {act("go_" + tag)}, acts({"no_" + tag}),
+      act("never_" + tag), act("acc_" + tag));
+  std::vector<LabeledPsioa> envs = probe_envs(tag);
+  envs.push_back({"blind", blind});
+  std::vector<LabeledScheduler> scheds = local_uniform(8);
+  scheds.push_back({"short", std::make_shared<UniformScheduler>(1, true)});
+  const auto report = check_implementation(
+      bern("impl_c1", tag, Rational(0, 1)),
+      bern("impl_c2", tag, Rational(1, 1)), envs, scheds, same_scheduler(),
+      AcceptInsight(act("acc_" + tag)), 12);
+  ASSERT_EQ(report.rows.size(), 4u);
+  EXPECT_EQ(report.max_eps, Rational(1));
+  // The blind environment contributes zero rows.
+  for (const auto& row : report.rows) {
+    if (row.env == "blind") {
+      EXPECT_EQ(row.eps, Rational(0));
+    }
+  }
+}
+
+TEST(Implementation, Lemma413ContextCannotIncreaseEpsilon) {
+  // For every context A3 compatible with both sides, the epsilon of
+  // (E || A3 || A1) vs (E || A3 || A2) is at most the context-free one.
+  const std::string tag = "impl_d";
+  auto a1 = bern("impl_d1", tag, Rational(1, 8));
+  auto a2 = bern("impl_d2", tag, Rational(7, 8));
+  const auto base = check_implementation(
+      a1, a2, probe_envs(tag), local_uniform(10), same_scheduler(),
+      AcceptInsight(act("acc_" + tag)), 14);
+  // Context: an unrelated listener plus an unrelated bernoulli.
+  for (PsioaPtr ctx :
+       {PsioaPtr(make_listener("impl_d_ctx1", "ctx_noise_d")),
+        PsioaPtr(bern("impl_d_ctx2", "impl_d_ctx", Rational(1, 2)))}) {
+    const auto with_ctx = check_implementation(
+        compose(ctx, a1), compose(ctx, a2), probe_envs(tag),
+        local_uniform(10), same_scheduler(),
+        AcceptInsight(act("acc_" + tag)), 14);
+    EXPECT_LE(with_ctx.max_eps, base.max_eps)
+        << "context " << ctx->name() << " amplified distinguishability";
+  }
+}
+
+TEST(Implementation, Theorem416TransitivityTriangle) {
+  const std::string tag = "impl_e";
+  auto e = probe_envs(tag)[0].automaton;
+  auto s1 = compose(e, bern("impl_e1", tag, Rational(1, 8)));
+  auto s2 = compose(e, bern("impl_e2", tag, Rational(1, 2)));
+  auto s3 = compose(e, bern("impl_e3", tag, Rational(7, 8)));
+  UniformScheduler sched(8, true);
+  const TransitivityRow row = check_transitivity_case(
+      *s1, *s2, *s3, sched, AcceptInsight(act("acc_" + tag)), 12);
+  EXPECT_TRUE(row.triangle_holds);
+  EXPECT_EQ(row.eps12, Rational(3, 8));
+  EXPECT_EQ(row.eps23, Rational(3, 8));
+  EXPECT_EQ(row.eps13, Rational(3, 4));
+  // This chain is tight: eps13 == eps12 + eps23.
+  EXPECT_EQ(row.eps13, row.eps12 + row.eps23);
+}
+
+// Transitivity over a grid of bias triples: the triangle inequality of
+// Theorem 4.16 must hold for every chain.
+class TransitivityGrid : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransitivityGrid, TriangleHolds) {
+  const int i = GetParam();
+  const Rational p1(i % 5, 8);
+  const Rational p2((i * 3) % 9, 8);
+  const Rational p3((i * 7) % 8, 8);
+  const std::string tag = "impl_g" + std::to_string(i);
+  auto e = make_probe_env_matching("env_" + tag, {act("go_" + tag)},
+                                   acts({"no_" + tag}), act("yes_" + tag),
+                                   act("acc_" + tag));
+  auto s1 = compose(e, bern(tag + "_1", tag, p1));
+  auto s2 = compose(e, bern(tag + "_2", tag, p2));
+  auto s3 = compose(e, bern(tag + "_3", tag, p3));
+  UniformScheduler sched(8, true);
+  const TransitivityRow row = check_transitivity_case(
+      *s1, *s2, *s3, sched, AcceptInsight(act("acc_" + tag)), 12);
+  EXPECT_TRUE(row.triangle_holds)
+      << "p1=" << p1 << " p2=" << p2 << " p3=" << p3;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, TransitivityGrid, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace cdse

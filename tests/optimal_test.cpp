@@ -1,0 +1,90 @@
+// Optimal-distinguisher search (impl/optimal.hpp).
+
+#include "impl/optimal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/pairs.hpp"
+#include "protocols/environment.hpp"
+#include "psioa/compose.hpp"
+#include "secure/adversary.hpp"
+#include "secure/emulation.hpp"
+
+namespace cdse {
+namespace {
+
+TEST(OptimalSearch, IdenticalSystemsHaveZeroOptimum) {
+  const RealIdealPair p1 = make_otmac_pair(2, "op_a1");
+  const RealIdealPair p2 = make_otmac_pair(2, "op_a1b");
+  // Compare real-vs-real of equal parameter (different instances, same
+  // vocabulary is required: reuse one pair's real against itself).
+  auto adv = make_sink_adversary("op_a_adv", {}, acts({"forge_op_a1"}));
+  (void)p2;
+  PsioaPtr sys = hidden_adversary_composition(p1.real, adv);
+  const std::vector<ActionId> alphabet{
+      act("auth_op_a1"), act("forge_op_a1"), act("forged_op_a1"),
+      act("rejected_op_a1")};
+  TraceInsight f;
+  const BestDistinguisher best =
+      search_best_word(*sys, *sys, alphabet, 4, f, 10);
+  EXPECT_EQ(best.eps, Rational(0));
+  EXPECT_GT(best.words_evaluated, 1u);
+}
+
+TEST(OptimalSearch, FindsCanonicalMacAttack) {
+  const RealIdealPair pair = make_otmac_pair(2, "op_b");
+  auto adv = make_sink_adversary("op_b_adv", {}, acts({"forge_op_b"}));
+  PsioaPtr lhs = hidden_adversary_composition(pair.real, adv);
+  PsioaPtr rhs = hidden_adversary_composition(pair.ideal, adv);
+  const std::vector<ActionId> alphabet{
+      act("auth_op_b"), act("forge_op_b"), act("forged_op_b"),
+      act("rejected_op_b")};
+  TraceInsight f;
+  const BestDistinguisher best =
+      search_best_word(*lhs, *rhs, alphabet, 4, f, 10);
+  // The optimum over off-line schedulers is exactly the MAC advantage,
+  // and the canonical auth-forge-report word achieves it.
+  EXPECT_EQ(best.eps, Rational(1, 4));
+  ASSERT_GE(best.word.size(), 2u);
+  EXPECT_EQ(best.word[0], act("auth_op_b"));
+  EXPECT_EQ(best.word[1], act("forge_op_b"));
+}
+
+TEST(OptimalSearch, NoWordBeatsTheClosedFormAdvantage) {
+  const RealIdealPair pair = make_otmac_pair(3, "op_c");
+  auto adv = make_sink_adversary("op_c_adv", {}, acts({"forge_op_c"}));
+  PsioaPtr lhs = hidden_adversary_composition(pair.real, adv);
+  PsioaPtr rhs = hidden_adversary_composition(pair.ideal, adv);
+  const std::vector<ActionId> alphabet{
+      act("auth_op_c"), act("forge_op_c"), act("forged_op_c"),
+      act("rejected_op_c")};
+  TraceInsight f;
+  const BestDistinguisher best =
+      search_best_word(*lhs, *rhs, alphabet, 5, f, 12);
+  EXPECT_EQ(best.eps, pair.exact_advantage);  // never exceeded
+}
+
+TEST(OptimalSearch, PruningStillExploresUsefulWords) {
+  const RealIdealPair pair = make_otmac_pair(1, "op_d");
+  auto adv = make_sink_adversary("op_d_adv", {}, acts({"forge_op_d"}));
+  PsioaPtr lhs = hidden_adversary_composition(pair.real, adv);
+  PsioaPtr rhs = hidden_adversary_composition(pair.ideal, adv);
+  const std::vector<ActionId> alphabet{act("auth_op_d"),
+                                       act("forge_op_d"),
+                                       act("forged_op_d")};
+  TraceInsight f;
+  const BestDistinguisher four =
+      search_best_word(*lhs, *rhs, alphabet, 4, f, 10);
+  // Word space is 3^0+...+3^4 = 121; pruning must cut it well below.
+  EXPECT_LT(four.words_evaluated, 121u);
+  EXPECT_EQ(four.eps, Rational(1, 2));
+}
+
+TEST(OptimalSearch, WordStringRenders) {
+  BestDistinguisher b;
+  b.word = {act("op_e_x"), act("op_e_y")};
+  EXPECT_EQ(b.word_string(), "op_e_x.op_e_y");
+}
+
+}  // namespace
+}  // namespace cdse

@@ -1,0 +1,274 @@
+// Configurations, intrinsic transitions and PCA constraints
+// (pca/*; Defs 2.9-2.19).
+
+#include <gtest/gtest.h>
+
+#include "pca/check.hpp"
+#include "pca/dynamic_pca.hpp"
+#include "pca/pca_compose.hpp"
+#include "pca/pca_hide.hpp"
+#include "protocols/ledger.hpp"
+#include "test_util.hpp"
+
+namespace cdse {
+namespace {
+
+using testing::make_bernoulli;
+using testing::make_emitter;
+using testing::make_listener;
+
+TEST(Registry, AddLookupAndDuplicateRejection) {
+  AutomatonRegistry reg;
+  const Aid a = reg.add(make_emitter("pr_em1", "pr_m1"));
+  EXPECT_EQ(reg.by_name("pr_em1"), a);
+  EXPECT_TRUE(reg.has("pr_em1"));
+  EXPECT_FALSE(reg.has("pr_nope"));
+  EXPECT_THROW(reg.add(make_emitter("pr_em1", "pr_m1b")), std::logic_error);
+  EXPECT_THROW(reg.by_name("pr_nope"), std::out_of_range);
+  EXPECT_THROW(reg.aut(99), std::out_of_range);
+}
+
+TEST(Configuration, SortsAndRejectsDuplicates) {
+  Configuration c({{2, 0}, {1, 5}});
+  EXPECT_EQ(c.items()[0].first, 1u);
+  EXPECT_EQ(c.state_of(2), 0u);
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(3));
+  EXPECT_THROW(Configuration({{1, 0}, {1, 1}}), std::invalid_argument);
+  EXPECT_THROW(c.state_of(9), std::out_of_range);
+}
+
+TEST(Configuration, WithAndWithout) {
+  Configuration c;
+  c = c.with(3, 7).with(1, 2);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.state_of(3), 7u);
+  c = c.with(3, 8);
+  EXPECT_EQ(c.state_of(3), 8u);
+  c = c.without(1);
+  EXPECT_FALSE(c.contains(1));
+}
+
+class ConfigFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reg_ = std::make_shared<AutomatonRegistry>();
+    em_ = reg_->add(make_emitter("cf_em", "cf_msg"));
+    li_ = reg_->add(make_listener("cf_li", "cf_msg"));
+    bern_ = reg_->add(
+        make_bernoulli("cf_bern", "cf_go", "cf_yes", "cf_no", Rational(1, 2)));
+  }
+  Configuration start_config() const {
+    return Configuration{{{em_, reg_->aut(em_).start_state()},
+                          {li_, reg_->aut(li_).start_state()}}};
+  }
+  RegistryPtr reg_;
+  Aid em_ = 0, li_ = 0, bern_ = 0;
+};
+
+TEST_F(ConfigFixture, CompatibilityAndSignature) {
+  const Configuration c = start_config();
+  EXPECT_TRUE(config_compatible(*reg_, c));
+  const Signature sig = config_signature(*reg_, c);
+  EXPECT_EQ(sig.out, acts({"cf_msg"}));
+  EXPECT_TRUE(sig.in.empty());
+}
+
+TEST_F(ConfigFixture, IncompatibleConfigDetected) {
+  auto reg2 = std::make_shared<AutomatonRegistry>();
+  const Aid e1 = reg2->add(make_emitter("cf_em2a", "cf_clash"));
+  const Aid e2 = reg2->add(make_emitter("cf_em2b", "cf_clash"));
+  Configuration c{{{e1, reg2->aut(e1).start_state()},
+                   {e2, reg2->aut(e2).start_state()}}};
+  EXPECT_FALSE(config_compatible(*reg2, c));
+  EXPECT_THROW(config_signature(*reg2, c), IncompatibilityError);
+}
+
+TEST_F(ConfigFixture, ReduceDropsEmptySignatureAutomata) {
+  // The emitter's "spent" state has an empty signature.
+  Psioa& em = reg_->aut(em_);
+  const State spent =
+      em.transition(em.start_state(), act("cf_msg")).support()[0];
+  Configuration c{{{em_, spent}, {li_, reg_->aut(li_).start_state()}}};
+  EXPECT_FALSE(is_reduced(*reg_, c));
+  const Configuration r = reduce(*reg_, c);
+  EXPECT_FALSE(r.contains(em_));
+  EXPECT_TRUE(r.contains(li_));
+  EXPECT_TRUE(is_reduced(*reg_, r));
+  EXPECT_EQ(reduce(*reg_, r), r);  // idempotent
+}
+
+TEST_F(ConfigFixture, PreservingTransitionMovesParticipants) {
+  const Configuration c = start_config();
+  const ConfigDist d = preserving_transition(*reg_, c, act("cf_msg"));
+  ASSERT_EQ(d.support_size(), 1u);
+  const Configuration c2 = d.support()[0];
+  // No reduction in a preserving transition: the spent emitter remains.
+  EXPECT_TRUE(c2.contains(em_));
+  EXPECT_EQ(reg_->aut(em_).state_label(c2.state_of(em_)), "spent");
+}
+
+TEST_F(ConfigFixture, IntrinsicTransitionReducesAndCreates) {
+  const Configuration c = start_config();
+  const ConfigDist d =
+      intrinsic_transition(*reg_, c, act("cf_msg"), {bern_});
+  ASSERT_EQ(d.support_size(), 1u);
+  const Configuration c2 = d.support()[0];
+  EXPECT_FALSE(c2.contains(em_));  // destroyed (empty signature)
+  EXPECT_TRUE(c2.contains(bern_));  // created at start state
+  EXPECT_EQ(c2.state_of(bern_), reg_->aut(bern_).start_state());
+}
+
+TEST_F(ConfigFixture, IntrinsicTransitionRejectsOverlappingPhi) {
+  const Configuration c = start_config();
+  EXPECT_THROW(intrinsic_transition(*reg_, c, act("cf_msg"), {em_}),
+               std::logic_error);
+}
+
+TEST_F(ConfigFixture, IntrinsicTransitionRequiresReducedSource) {
+  Psioa& em = reg_->aut(em_);
+  const State spent =
+      em.transition(em.start_state(), act("cf_msg")).support()[0];
+  Configuration c{{{em_, spent}, {li_, reg_->aut(li_).start_state()}}};
+  EXPECT_THROW(intrinsic_transition(*reg_, c, act("cf_msg"), {}),
+               std::logic_error);
+}
+
+TEST(DynamicPca, SatisfiesAllConstraints) {
+  const LedgerSystem sys = make_ledger_system(3, "pca_a");
+  const PcaCheckResult res = check_pca_constraints(*sys.dynamic, 8);
+  EXPECT_TRUE(res.ok) << res.violation;
+  EXPECT_GT(res.states_checked, 1u);
+  EXPECT_GT(res.transitions_checked, 1u);
+}
+
+TEST(DynamicPca, CreationHappensOnOpen) {
+  const LedgerSystem sys = make_ledger_system(2, "pca_b");
+  DynamicPca& x = *sys.dynamic;
+  const State q0 = x.start_state();
+  EXPECT_EQ(x.config(q0).size(), 1u);  // just the parent
+  const ActionId open1 = act("open1_pca_b");
+  const auto phi = x.created(q0, open1);
+  ASSERT_EQ(phi.size(), 1u);
+  const StateDist d = x.transition(q0, open1);
+  ASSERT_EQ(d.support_size(), 1u);
+  const Configuration c1 = x.config(d.support()[0]);
+  EXPECT_EQ(c1.size(), 2u);
+  EXPECT_TRUE(c1.contains(phi[0]));
+}
+
+TEST(DynamicPca, DestructionOnClose) {
+  const LedgerSystem sys = make_ledger_system(1, "pca_c");
+  DynamicPca& x = *sys.dynamic;
+  State q = x.start_state();
+  q = x.transition(q, act("open1_pca_c")).support()[0];
+  EXPECT_EQ(x.config(q).size(), 2u);
+  q = x.transition(q, act("close1_pca_c")).support()[0];
+  EXPECT_EQ(x.config(q).size(), 1u);  // subchain destroyed
+  // Its actions are gone from the signature.
+  EXPECT_FALSE(x.signature(q).contains(act("tx1_pca_c")));
+}
+
+TEST(DynamicPca, SignatureFollowsConfiguration) {
+  const LedgerSystem sys = make_ledger_system(1, "pca_d");
+  DynamicPca& x = *sys.dynamic;
+  State q = x.start_state();
+  EXPECT_TRUE(x.signature(q).is_output(act("open1_pca_d")));
+  EXPECT_FALSE(x.signature(q).contains(act("tx1_pca_d")));
+  q = x.transition(q, act("open1_pca_d")).support()[0];
+  EXPECT_TRUE(x.signature(q).is_input(act("tx1_pca_d")));
+}
+
+TEST(DynamicPca, HiddenActionsArePolicyIntersectOutputs) {
+  auto reg = std::make_shared<AutomatonRegistry>();
+  const Aid em = reg->add(make_emitter("pca_e_em", "pca_e_msg"));
+  auto x = std::make_shared<DynamicPca>(
+      "pca_e", reg, std::vector<Aid>{em}, no_creation(),
+      [](const Configuration&) { return acts({"pca_e_msg", "pca_e_other"}); });
+  const State q0 = x->start_state();
+  EXPECT_EQ(x->hidden_actions(q0), acts({"pca_e_msg"}));
+  EXPECT_TRUE(x->signature(q0).is_internal(act("pca_e_msg")));
+  const PcaCheckResult res = check_pca_constraints(*x, 4);
+  EXPECT_TRUE(res.ok) << res.violation;
+}
+
+TEST(PcaHide, AddsHiddenActionsAndKeepsConstraints) {
+  const LedgerSystem sys = make_ledger_system(1, "pca_f");
+  PcaPtr h = hide_pca(sys.dynamic, acts({"open1_pca_f"}));
+  const State q0 = h->start_state();
+  EXPECT_TRUE(h->signature(q0).is_internal(act("open1_pca_f")));
+  EXPECT_EQ(h->hidden_actions(q0), acts({"open1_pca_f"}));
+  const PcaCheckResult res = check_pca_constraints(*h, 6);
+  EXPECT_TRUE(res.ok) << res.violation;
+}
+
+TEST(PcaCompose, ClosureUnderComposition) {
+  // Two independent single-subchain ledgers sharing a registry.
+  auto reg = std::make_shared<AutomatonRegistry>();
+  const Aid p1 = reg->add(make_parent_chain(1, "pca_g1", "_d"));
+  const Aid s1 = reg->add(make_subchain(1, "pca_g1", true));
+  const Aid p2 = reg->add(make_parent_chain(1, "pca_g2", "_d"));
+  const Aid s2 = reg->add(make_subchain(1, "pca_g2", true));
+  auto mk = [&](const std::string& name, Aid parent, Aid sub,
+                const std::string& tag) {
+    CreationPolicy cp = [sub, open = act("open1_" + tag)](
+                            const Configuration& cfg, ActionId a) {
+      std::vector<Aid> phi;
+      if (a == open && !cfg.contains(sub)) phi.push_back(sub);
+      return phi;
+    };
+    return std::make_shared<DynamicPca>(name, reg, std::vector<Aid>{parent},
+                                        cp, no_hiding());
+  };
+  auto x1 = mk("pca_g_x1", p1, s1, "pca_g1");
+  auto x2 = mk("pca_g_x2", p2, s2, "pca_g2");
+  auto comp = compose_pca(x1, x2);
+  const PcaCheckResult res = check_pca_constraints(*comp, 6);
+  EXPECT_TRUE(res.ok) << res.violation;
+  // Union configuration (Def 2.19).
+  const Configuration c0 = comp->config(comp->start_state());
+  EXPECT_EQ(c0.size(), 2u);
+  EXPECT_TRUE(c0.contains(p1));
+  EXPECT_TRUE(c0.contains(p2));
+  // Union creation sets.
+  const auto phi = comp->created(comp->start_state(), act("open1_pca_g1"));
+  ASSERT_EQ(phi.size(), 1u);
+  EXPECT_EQ(phi[0], s1);
+}
+
+TEST(PcaCompose, RequiresSharedRegistry) {
+  const LedgerSystem a = make_ledger_system(1, "pca_h1");
+  const LedgerSystem b = make_ledger_system(1, "pca_h2");
+  EXPECT_THROW(compose_pca(a.dynamic, b.dynamic), std::logic_error);
+}
+
+TEST(PcaCheck, DetectsBrokenCreatedMapping) {
+  // A PCA whose created() disagrees with its transitions must fail the
+  // top/down check. We fake it by wrapping a correct PCA and lying about
+  // created().
+  class LyingPca : public Pca {
+   public:
+    explicit LyingPca(std::shared_ptr<DynamicPca> inner)
+        : Pca("liar", inner->registry_ptr()), inner_(std::move(inner)) {}
+    State start_state() override { return inner_->start_state(); }
+    Signature signature(State q) override { return inner_->signature(q); }
+    StateDist transition(State q, ActionId a) override {
+      return inner_->transition(q, a);
+    }
+    Configuration config(State q) override { return inner_->config(q); }
+    std::vector<Aid> created(State, ActionId) override { return {}; }  // lie
+    ActionSet hidden_actions(State q) override {
+      return inner_->hidden_actions(q);
+    }
+
+   private:
+    std::shared_ptr<DynamicPca> inner_;
+  };
+  const LedgerSystem sys = make_ledger_system(1, "pca_i");
+  LyingPca liar(sys.dynamic);
+  const PcaCheckResult res = check_pca_constraints(liar, 4);
+  EXPECT_FALSE(res.ok);
+}
+
+}  // namespace
+}  // namespace cdse

@@ -1,0 +1,259 @@
+// Protocol substrate: channels, consensus, dynamic ledger
+// (protocols/*).
+
+#include <gtest/gtest.h>
+
+#include "impl/balance.hpp"
+#include "pca/check.hpp"
+#include "protocols/channel.hpp"
+#include "protocols/coinflip.hpp"
+#include "protocols/consensus.hpp"
+#include "protocols/ledger.hpp"
+#include "psioa/compose.hpp"
+#include "psioa/explicit_psioa.hpp"
+#include "sched/cone_measure.hpp"
+#include "sched/schedulers.hpp"
+
+namespace cdse {
+namespace {
+
+TEST(Channel, ReliableDeliversInOrder) {
+  auto ch = make_channel("pt_a");
+  State q = ch->start_state();
+  q = ch->transition(q, act("send1_pt_a")).support()[0];
+  const Signature sig = ch->signature(q);
+  EXPECT_TRUE(sig.is_output(act("recv1_pt_a")));
+  EXPECT_FALSE(sig.contains(act("send0_pt_a")));  // one slot
+  q = ch->transition(q, act("recv1_pt_a")).support()[0];
+  EXPECT_TRUE(ch->signature(q).is_input(act("send0_pt_a")));
+}
+
+TEST(Channel, LossyDropsWithExactProbability) {
+  auto ch = make_lossy_channel("pt_b", Rational(2, 3));
+  const StateDist d =
+      ch->transition(ch->start_state(), act("send0_pt_b"));
+  EXPECT_EQ(d.support_size(), 2u);
+  EXPECT_EQ(d.mass(ch->start_state()), Rational(1, 3));  // dropped
+}
+
+TEST(Channel, LossyDeliveryProbabilityObservable) {
+  auto ch = make_lossy_channel("pt_c", Rational(3, 4));
+  SequenceScheduler word({act("send0_pt_c"), act("recv0_pt_c")});
+  EXPECT_EQ(exact_action_probability(*ch, word, act("recv0_pt_c"), 4),
+            Rational(3, 4));
+}
+
+TEST(Consensus, ValidityUnderAgreement) {
+  auto c = make_benor_consensus("pt_d");
+  SequenceScheduler word({act("proposeA1_pt_d"), act("proposeB1_pt_d"),
+                          act("round_pt_d"), act("decide1_pt_d")});
+  EXPECT_EQ(exact_action_probability(*c, word, act("decide1_pt_d"), 8),
+            Rational(1));
+  // The other value is never decided under agreement on 1.
+  SequenceScheduler word0({act("proposeA1_pt_d"), act("proposeB1_pt_d"),
+                           act("round_pt_d"), act("decide0_pt_d")});
+  EXPECT_EQ(exact_action_probability(*c, word0, act("decide0_pt_d"), 8),
+            Rational(0));
+}
+
+TEST(Consensus, AgreementNeverDecidesBothValues) {
+  // Across every execution of the uniform schedule, at most one decide
+  // action appears.
+  auto c = make_benor_consensus("pt_e");
+  UniformScheduler sched(10);
+  for_each_halted_execution(
+      *c, sched, 12, [&](const ExecFragment& alpha, const Rational&) {
+        int decides = 0;
+        for (ActionId a : alpha.actions()) {
+          if (a == act("decide0_pt_e") || a == act("decide1_pt_e")) {
+            ++decides;
+          }
+        }
+        EXPECT_LE(decides, 1);
+      });
+}
+
+TEST(Consensus, DisagreementDecidesUniformly) {
+  auto c = make_ideal_consensus("pt_f");
+  SequenceScheduler w0({act("proposeA0_pt_f"), act("proposeB1_pt_f"),
+                        act("pick_pt_f"), act("decide0_pt_f")});
+  EXPECT_EQ(exact_action_probability(*c, w0, act("decide0_pt_f"), 8),
+            Rational(1, 2));
+}
+
+TEST(Consensus, BenOrRoundFailureIsGeometric) {
+  auto c = make_benor_consensus("pt_g");
+  // After disagreement, each round resolves with probability 1/2; the
+  // decision value is fair. With budget for r rounds (2 proposals +
+  // r rounds + 1 decide), P[decide0] = (1 - 2^-r) / 2.
+  for (int rounds = 1; rounds <= 4; ++rounds) {
+    PriorityScheduler sched(
+        {act("proposeA0_pt_g"), act("proposeB1_pt_g"), act("round_pt_g"),
+         act("decide0_pt_g")},
+        static_cast<std::size_t>(rounds) + 3);
+    EXPECT_EQ(
+        exact_action_probability(*c, sched, act("decide0_pt_g"), 16),
+        (Rational(1) - Rational(1, 1 << rounds)) * Rational(1, 2))
+        << "rounds=" << rounds;
+  }
+}
+
+TEST(Consensus, BenOrImplementsIdealWithGeometricEpsilon) {
+  // The only observable difference under an r-round budget is the 2^-r
+  // chance that BenOrLite is still undecided: epsilon = 2^-(r+1) on the
+  // decide-0 perception.
+  auto benor = make_benor_consensus("pt_h");
+  auto ideal = make_ideal_consensus("pt_i");
+  for (int rounds = 1; rounds <= 4; ++rounds) {
+    PriorityScheduler wb({act("proposeA0_pt_h"), act("proposeB1_pt_h"),
+                          act("round_pt_h"), act("decide0_pt_h")},
+                         static_cast<std::size_t>(rounds) + 3);
+    PriorityScheduler wi({act("proposeA0_pt_i"), act("proposeB1_pt_i"),
+                          act("pick_pt_i"), act("decide0_pt_i")},
+                         4);
+    AcceptInsight fb(act("decide0_pt_h"));
+    AcceptInsight fi(act("decide0_pt_i"));
+    const auto db = exact_fdist(*benor, wb, fb, 16);
+    const auto di = exact_fdist(*ideal, wi, fi, 16);
+    const Rational eps = balance_distance(db, di);
+    EXPECT_EQ(eps, Rational(1, 2) * Rational(1, 1 << rounds))
+        << "rounds=" << rounds;
+  }
+}
+
+TEST(Ledger, DynamicPcaPassesConstraints) {
+  const LedgerSystem sys = make_ledger_system(2, "pt_j");
+  const PcaCheckResult res = check_pca_constraints(*sys.dynamic, 7);
+  EXPECT_TRUE(res.ok) << res.violation;
+}
+
+TEST(Ledger, DynamicAndStaticTracesCoincideExactly) {
+  // E9's core claim: run-time creation/destruction is externally
+  // indistinguishable from the static composition. Locally controlled
+  // scheduling only: the static listeners' not-yet-wired open inputs
+  // must not fire as ghost stimuli.
+  const LedgerSystem sys = make_ledger_system(2, "pt_k");
+  UniformScheduler sched(6, /*local_only=*/true);
+  TraceInsight f;
+  const auto dyn = exact_fdist(*sys.dynamic, sched, f, 8);
+  const auto stat = exact_fdist(*sys.static_spec, sched, f, 8);
+  EXPECT_EQ(balance_distance(dyn, stat), Rational(0));
+}
+
+TEST(Ledger, DrivenDynamicAndStaticCoincide) {
+  // Compose with a driver that actually exercises tx/close (creation AND
+  // destruction paths), then compare the closed systems.
+  const LedgerSystem sys = make_ledger_system(2, "pt_q");
+  auto mk_driver = [] {
+    auto d = std::make_shared<ExplicitPsioa>("pt_q_driver");
+    const std::vector<ActionId> script{act("tx1_pt_q"), act("ack1_pt_q"),
+                                       act("close1_pt_q"),
+                                       act("tx2_pt_q")};
+    std::vector<State> states;
+    for (std::size_t i = 0; i <= script.size(); ++i) {
+      states.push_back(d->add_state("d" + std::to_string(i)));
+    }
+    d->set_start(states[0]);
+    for (std::size_t i = 0; i < script.size(); ++i) {
+      Signature sig;
+      if (ActionTable::instance().name(script[i]).rfind("ack", 0) == 0) {
+        sig.in = {script[i]};
+      } else {
+        sig.out = {script[i]};
+      }
+      d->set_signature(states[i], sig);
+      d->add_step(states[i], script[i], states[i + 1]);
+    }
+    d->set_signature(states.back(), Signature{});
+    d->validate();
+    return d;
+  };
+  auto dyn_sys = compose(mk_driver(), sys.dynamic);
+  auto stat_sys = compose(mk_driver(), sys.static_spec);
+  UniformScheduler sched(10, /*local_only=*/true);
+  TraceInsight f;
+  const auto dyn = exact_fdist(*dyn_sys, sched, f, 12);
+  const auto stat = exact_fdist(*stat_sys, sched, f, 12);
+  EXPECT_EQ(balance_distance(dyn, stat), Rational(0));
+}
+
+TEST(Ledger, SubchainLifecycle) {
+  auto sub = make_subchain(1, "pt_l", /*dynamic_variant=*/true);
+  State q = sub->start_state();
+  EXPECT_EQ(sub->state_label(q), "live");
+  q = sub->transition(q, act("tx1_pt_l")).support()[0];
+  EXPECT_TRUE(sub->signature(q).is_output(act("ack1_pt_l")));
+  q = sub->transition(q, act("ack1_pt_l")).support()[0];
+  q = sub->transition(q, act("close1_pt_l")).support()[0];
+  EXPECT_TRUE(sub->signature(q).empty());  // destruction sentinel
+}
+
+TEST(Ledger, StaticSubchainWaitsForOpen) {
+  auto sub = make_subchain(1, "pt_m", /*dynamic_variant=*/false);
+  State q = sub->start_state();
+  EXPECT_EQ(sub->state_label(q), "waiting");
+  EXPECT_FALSE(sub->signature(q).contains(act("tx1_pt_m")));
+  q = sub->transition(q, act("open1_pt_m")).support()[0];
+  EXPECT_TRUE(sub->signature(q).is_input(act("tx1_pt_m")));
+}
+
+TEST(Ledger, ParentOpensInOrder) {
+  auto parent = make_parent_chain(3, "pt_n", "_t");
+  State q = parent->start_state();
+  for (int i = 1; i <= 3; ++i) {
+    const std::string open = "open" + std::to_string(i) + "_pt_n";
+    EXPECT_TRUE(parent->signature(q).is_output(act(open)));
+    q = parent->transition(q, act(open)).support()[0];
+  }
+  EXPECT_FALSE(parent->signature(q).empty());  // idles, not destroyed
+}
+
+TEST(Ledger, ReopenAfterCloseRecreatesSubchain) {
+  // Creation policy is guarded by presence; a parent that opens the same
+  // chain twice after a close recreates it.
+  auto reg = std::make_shared<AutomatonRegistry>();
+  auto parent = std::make_shared<ExplicitPsioa>("pt_o_parent");
+  const ActionId a_open = act("open1_pt_o");
+  const State s0 = parent->add_state("s0");
+  parent->set_start(s0);
+  Signature sig;
+  sig.out = {a_open};
+  parent->set_signature(s0, sig);
+  parent->add_step(s0, a_open, s0);  // can open repeatedly
+  parent->validate();
+  const Aid p = reg->add(parent);
+  const Aid s = reg->add(make_subchain(1, "pt_o", true));
+  CreationPolicy cp = [s, a_open](const Configuration& cfg, ActionId a) {
+    std::vector<Aid> phi;
+    if (a == a_open && !cfg.contains(s)) phi.push_back(s);
+    return phi;
+  };
+  DynamicPca x("pt_o_pca", reg, {p}, cp, no_hiding());
+  State q = x.start_state();
+  q = x.transition(q, a_open).support()[0];
+  EXPECT_TRUE(x.config(q).contains(s));
+  q = x.transition(q, act("close1_pt_o")).support()[0];
+  EXPECT_FALSE(x.config(q).contains(s));
+  q = x.transition(q, a_open).support()[0];  // recreate
+  EXPECT_TRUE(x.config(q).contains(s));
+  EXPECT_EQ(x.config(q).state_of(s), reg->aut(s).start_state());
+}
+
+// Trace equivalence of dynamic vs static ledgers across sizes.
+class LedgerSizes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(LedgerSizes, DynamicEqualsStatic) {
+  const std::uint32_t n = GetParam();
+  const LedgerSystem sys =
+      make_ledger_system(n, "pt_p" + std::to_string(n));
+  UniformScheduler sched(5, /*local_only=*/true);
+  TraceInsight f;
+  const auto dyn = exact_fdist(*sys.dynamic, sched, f, 6);
+  const auto stat = exact_fdist(*sys.static_spec, sched, f, 6);
+  EXPECT_EQ(balance_distance(dyn, stat), Rational(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LedgerSizes, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace cdse

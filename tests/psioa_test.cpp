@@ -1,0 +1,187 @@
+// PSIOA core: ExplicitPsioa validation, executions and traces
+// (psioa/psioa.hpp, psioa/execution.hpp; Defs 2.1, 2.2).
+
+#include <gtest/gtest.h>
+
+#include "protocols/coinflip.hpp"
+#include "test_util.hpp"
+
+namespace cdse {
+namespace {
+
+using testing::make_bernoulli;
+
+TEST(ExplicitPsioa, RejectsDuplicateLabels) {
+  ExplicitPsioa a("dup");
+  a.add_state("s");
+  EXPECT_THROW(a.add_state("s"), std::logic_error);
+}
+
+TEST(ExplicitPsioa, RejectsInvalidSignature) {
+  ExplicitPsioa a("badsig");
+  const State s = a.add_state("s");
+  Signature sig;
+  sig.in = acts({"x1"});
+  sig.out = acts({"x1"});
+  EXPECT_THROW(a.set_signature(s, sig), std::logic_error);
+}
+
+TEST(ExplicitPsioa, RejectsTransitionOutsideSignature) {
+  ExplicitPsioa a("notinsig");
+  const State s = a.add_state("s");
+  Signature sig;
+  sig.in = acts({"x2"});
+  a.set_signature(s, sig);
+  EXPECT_THROW(a.add_step(s, act("x3"), s), std::logic_error);
+}
+
+TEST(ExplicitPsioa, RejectsDuplicateTransition) {
+  ExplicitPsioa a("duptrans");
+  const State s = a.add_state("s");
+  Signature sig;
+  sig.in = acts({"x4"});
+  a.set_signature(s, sig);
+  a.add_step(s, act("x4"), s);
+  EXPECT_THROW(a.add_step(s, act("x4"), s), std::logic_error);
+}
+
+TEST(ExplicitPsioa, RejectsSubProbabilityTransition) {
+  ExplicitPsioa a("subprob");
+  const State s = a.add_state("s");
+  Signature sig;
+  sig.in = acts({"x5"});
+  a.set_signature(s, sig);
+  StateDist d;
+  d.add(s, Rational(1, 2));
+  EXPECT_THROW(a.add_transition(s, act("x5"), d), std::logic_error);
+}
+
+TEST(ExplicitPsioa, ValidateDetectsMissingTransition) {
+  // Action enabling (E1): every signature action needs its transition.
+  ExplicitPsioa a("missing");
+  const State s = a.add_state("s");
+  a.set_start(s);
+  Signature sig;
+  sig.in = acts({"x6"});
+  a.set_signature(s, sig);
+  EXPECT_THROW(a.validate(), std::logic_error);
+}
+
+TEST(ExplicitPsioa, ValidateDetectsMissingStart) {
+  ExplicitPsioa a("nostart");
+  const State s = a.add_state("s");
+  Signature sig;
+  a.set_signature(s, sig);
+  EXPECT_THROW(a.validate(), std::logic_error);
+}
+
+TEST(ExplicitPsioa, IsStepQueriesSupport) {
+  auto b = make_bernoulli("bern_isstep", "go_is", "yes_is", "no_is",
+                          Rational(1, 2));
+  const State q0 = b->start_state();
+  const auto supp = b->transition(q0, act("go_is")).support();
+  ASSERT_EQ(supp.size(), 2u);
+  EXPECT_TRUE(b->is_step(q0, act("go_is"), supp[0]));
+  EXPECT_FALSE(b->is_step(q0, act("yes_is"), supp[0]));
+}
+
+TEST(ExplicitPsioa, EncodeStateUsesLabel) {
+  auto b = make_bernoulli("bern_enc", "go_enc", "yes_enc", "no_enc",
+                          Rational(1, 2));
+  EXPECT_EQ(b->encode_state(b->start_state()).length(), 8 * 4u);  // "idle"
+  EXPECT_EQ(b->state_label(b->start_state()), "idle");
+}
+
+TEST(Coin, TransitionProbabilitiesAreExact) {
+  auto coin = make_coin("psioa_t", Rational(1, 3));
+  const State idle = coin->start_state();
+  const StateDist after_flip = coin->transition(idle, act("flip_psioa_t"));
+  ASSERT_EQ(after_flip.support_size(), 1u);
+  const State tossing = after_flip.support()[0];
+  const StateDist resolved = coin->transition(tossing, act("toss_psioa_t"));
+  ASSERT_EQ(resolved.support_size(), 2u);
+  EXPECT_EQ(resolved.total(), Rational(1));
+}
+
+// -- Execution fragments ----------------------------------------------------
+
+ExecFragment flip_exec(Psioa& coin, const std::string& tag, bool head) {
+  ExecFragment alpha(coin.start_state());
+  const State tossing =
+      coin.transition(coin.start_state(), act("flip_" + tag)).support()[0];
+  alpha.append(act("flip_" + tag), tossing);
+  for (State s : coin.transition(tossing, act("toss_" + tag)).support()) {
+    if (coin.state_label(s) == (head ? "heads" : "tails")) {
+      alpha.append(act("toss_" + tag), s);
+      return alpha;
+    }
+  }
+  ADD_FAILURE() << "outcome state not found";
+  return alpha;
+}
+
+TEST(Execution, BasicAccessors) {
+  auto coin = make_coin("exec_a", Rational(1, 2));
+  const ExecFragment alpha = flip_exec(*coin, "exec_a", true);
+  EXPECT_EQ(alpha.length(), 2u);
+  EXPECT_EQ(alpha.fstate(), coin->start_state());
+  EXPECT_EQ(coin->state_label(alpha.lstate()), "heads");
+}
+
+TEST(Execution, IsExecutionChecksStepsAndStart) {
+  auto coin = make_coin("exec_b", Rational(1, 2));
+  const ExecFragment alpha = flip_exec(*coin, "exec_b", false);
+  EXPECT_TRUE(is_execution(*coin, alpha));
+  ExecFragment bogus(alpha.lstate());
+  bogus.append(act("flip_exec_b"), coin->start_state());
+  EXPECT_FALSE(is_execution_fragment(*coin, bogus));
+}
+
+TEST(Execution, PrefixRelation) {
+  auto coin = make_coin("exec_c", Rational(1, 2));
+  const ExecFragment alpha = flip_exec(*coin, "exec_c", true);
+  const ExecFragment p = alpha.prefix(1);
+  EXPECT_TRUE(p.is_prefix_of(alpha));
+  EXPECT_TRUE(p.is_proper_prefix_of(alpha));
+  EXPECT_TRUE(alpha.is_prefix_of(alpha));
+  EXPECT_FALSE(alpha.is_proper_prefix_of(alpha));
+  EXPECT_FALSE(alpha.is_prefix_of(p));
+  EXPECT_THROW(alpha.prefix(5), std::invalid_argument);
+}
+
+TEST(Execution, ConcatRequiresMatchingEndpoints) {
+  auto coin = make_coin("exec_d", Rational(1, 2));
+  const ExecFragment alpha = flip_exec(*coin, "exec_d", true);
+  const ExecFragment head = alpha.prefix(1);
+  // Build the tail starting at head.lstate().
+  ExecFragment tail(head.lstate());
+  tail.append(alpha.actions()[1], alpha.states()[2]);
+  EXPECT_EQ(head.concat(tail), alpha);
+  ExecFragment wrong(coin->start_state());
+  wrong.append(alpha.actions()[0], alpha.states()[1]);
+  EXPECT_THROW(alpha.concat(wrong), std::invalid_argument);
+}
+
+TEST(Execution, TraceRestrictsToExternalActions) {
+  auto coin = make_coin("exec_e", Rational(1, 2));
+  ExecFragment alpha = flip_exec(*coin, "exec_e", true);
+  alpha.append(act("head_exec_e"), coin->start_state());
+  const auto tr = trace_of(*coin, alpha);
+  // toss_* is internal and must not appear.
+  ASSERT_EQ(tr.size(), 2u);
+  EXPECT_EQ(tr[0], act("flip_exec_e"));
+  EXPECT_EQ(tr[1], act("head_exec_e"));
+  EXPECT_EQ(trace_string(tr), "flip_exec_e.head_exec_e");
+}
+
+TEST(Execution, ToStringRendersStatesAndActions) {
+  auto coin = make_coin("exec_f", Rational(1, 2));
+  const ExecFragment alpha = flip_exec(*coin, "exec_f", true);
+  const std::string s = alpha.to_string(*coin);
+  EXPECT_NE(s.find("idle"), std::string::npos);
+  EXPECT_NE(s.find("flip_exec_f"), std::string::npos);
+  EXPECT_NE(s.find("heads"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdse

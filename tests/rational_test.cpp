@@ -1,0 +1,124 @@
+// Exact rational arithmetic (util/rational.hpp).
+
+#include "util/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cdse {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, NormalizesSign) {
+  Rational r(3, -6);
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, NormalizesGcd) {
+  Rational r(12, 18);
+  EXPECT_EQ(r.num(), 2);
+  EXPECT_EQ(r.den(), 3);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), std::domain_error);
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1, 2) / Rational(0), std::domain_error);
+}
+
+TEST(Rational, Addition) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) + Rational(-1, 2), Rational(0));
+}
+
+TEST(Rational, Subtraction) {
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+}
+
+TEST(Rational, Multiplication) {
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+}
+
+TEST(Rational, Division) {
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(1, 2), Rational(1, 2));
+  EXPECT_GT(Rational(2, 3), Rational(1, 2));
+  EXPECT_GE(Rational(-1, 2), Rational(-1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(0));
+}
+
+TEST(Rational, Abs) {
+  EXPECT_EQ(Rational::abs(Rational(-3, 4)), Rational(3, 4));
+  EXPECT_EQ(Rational::abs(Rational(3, 4)), Rational(3, 4));
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+  EXPECT_DOUBLE_EQ(Rational(-1, 8).to_double(), -0.125);
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rational(3, 4).to_string(), "3/4");
+  EXPECT_EQ(Rational(5).to_string(), "5");
+  EXPECT_EQ(Rational(-2, 4).to_string(), "-1/2");
+}
+
+TEST(Rational, LargeIntermediateProductsReduce) {
+  // (1/2^30) * (2^30) = 1 with __int128 intermediates.
+  const Rational tiny(1, 1LL << 30);
+  const Rational big(1LL << 30);
+  EXPECT_EQ(tiny * big, Rational(1));
+}
+
+TEST(Rational, DyadicLadderExact) {
+  // 1/2 + 1/4 + ... + 1/2^40 == 1 - 1/2^40 exactly.
+  Rational sum;
+  for (int i = 1; i <= 40; ++i) sum += Rational(1, 1LL << i);
+  EXPECT_EQ(sum, Rational(1) - Rational(1, 1LL << 40));
+}
+
+TEST(Rational, OverflowAfterReductionThrows) {
+  const std::int64_t big = (1LL << 62);
+  Rational a(big, 1);
+  EXPECT_THROW(a * a, std::overflow_error);
+}
+
+// Field-axiom spot checks over a grid of small rationals.
+class RationalAxioms : public ::testing::TestWithParam<int> {};
+
+TEST_P(RationalAxioms, RingLaws) {
+  const int i = GetParam();
+  const Rational a(i % 7 - 3, (i % 5) + 1);
+  const Rational b((i * 3) % 11 - 5, (i % 3) + 1);
+  const Rational c((i * 7) % 13 - 6, (i % 4) + 1);
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+  EXPECT_EQ((a * b) * c, a * (b * c));
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_EQ(a + Rational(0), a);
+  EXPECT_EQ(a * Rational(1), a);
+  EXPECT_EQ(a - a, Rational(0));
+  if (!b.is_zero()) {
+    EXPECT_EQ((a / b) * b, a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RationalAxioms, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace cdse

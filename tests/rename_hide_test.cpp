@@ -1,0 +1,170 @@
+// Renaming and hiding operators (psioa/rename.hpp, psioa/hide.hpp;
+// Defs 2.6-2.8 and closure Lemma A.1).
+
+#include <gtest/gtest.h>
+
+#include "psioa/hide.hpp"
+#include "psioa/rename.hpp"
+#include "test_util.hpp"
+
+namespace cdse {
+namespace {
+
+using testing::make_bernoulli;
+
+TEST(ActionBijection, AppliesAndInverts) {
+  ActionBijection g;
+  g.add(act("rh_a"), act("rh_a_r"));
+  EXPECT_EQ(g.apply(act("rh_a")), act("rh_a_r"));
+  EXPECT_EQ(g.invert(act("rh_a_r")), act("rh_a"));
+  // Identity outside domain/range.
+  EXPECT_EQ(g.apply(act("rh_other")), act("rh_other"));
+  EXPECT_EQ(g.invert(act("rh_other")), act("rh_other"));
+}
+
+TEST(ActionBijection, RejectsNonInjective) {
+  ActionBijection g;
+  g.add(act("rh_b"), act("rh_b_r"));
+  EXPECT_THROW(g.add(act("rh_b"), act("rh_c_r")), std::logic_error);
+  EXPECT_THROW(g.add(act("rh_c"), act("rh_b_r")), std::logic_error);
+}
+
+TEST(ActionBijection, WithSuffixBuildsFreshNames) {
+  const ActionSet dom = acts({"rh_x", "rh_y"});
+  const ActionBijection g = ActionBijection::with_suffix(dom, "#R");
+  EXPECT_EQ(g.apply(act("rh_x")), act("rh_x#R"));
+  EXPECT_EQ(g.apply(dom), acts({"rh_x#R", "rh_y#R"}));
+}
+
+TEST(ActionBijection, InverseSwapsDirections) {
+  ActionBijection g;
+  g.add(act("rh_d"), act("rh_d_r"));
+  const ActionBijection inv = g.inverse();
+  EXPECT_EQ(inv.apply(act("rh_d_r")), act("rh_d"));
+  EXPECT_EQ(inv.invert(act("rh_d")), act("rh_d_r"));
+}
+
+TEST(ActionBijection, SignatureApplication) {
+  ActionBijection g;
+  g.add(act("rh_in"), act("rh_in_r"));
+  Signature sig;
+  sig.in = acts({"rh_in"});
+  sig.out = acts({"rh_out"});
+  const Signature rs = g.apply(sig);
+  EXPECT_EQ(rs.in, acts({"rh_in_r"}));
+  EXPECT_EQ(rs.out, acts({"rh_out"}));
+}
+
+TEST(ActionBijection, ValidForDetectsCollisions) {
+  ActionBijection g;
+  g.add(act("rh_p"), act("rh_q"));  // maps p onto an existing name q
+  Signature sig;
+  sig.in = acts({"rh_p"});
+  sig.out = acts({"rh_q"});  // q passes through identically -> collision
+  EXPECT_FALSE(g.valid_for(sig));
+  Signature ok;
+  ok.in = acts({"rh_p"});
+  EXPECT_TRUE(g.valid_for(ok));
+}
+
+TEST(RenamedPsioa, LemmaA1Closure) {
+  // r(A) is a PSIOA: signatures valid, transitions defined exactly on the
+  // renamed signature, distributions unchanged.
+  auto b = make_bernoulli("ren1", "ren_go", "ren_yes", "ren_no",
+                          Rational(1, 3));
+  ActionBijection g;
+  g.add(act("ren_go"), act("ren_go_r"));
+  g.add(act("ren_yes"), act("ren_yes_r"));
+  auto r = rename_actions(b, g);
+  EXPECT_EQ(r->start_state(), b->start_state());
+  const Signature rs = r->signature(r->start_state());
+  EXPECT_TRUE(rs.valid());
+  EXPECT_EQ(rs.in, acts({"ren_go_r"}));
+  const StateDist d = r->transition(r->start_state(), act("ren_go_r"));
+  EXPECT_EQ(d, b->transition(b->start_state(), act("ren_go")));
+  // Non-renamed action keeps its name downstream.
+  State yes_state = 0;
+  for (State s : d.support()) {
+    if (b->state_label(s) == "yes") yes_state = s;
+  }
+  EXPECT_EQ(r->signature(yes_state).out, acts({"ren_yes_r"}));
+}
+
+TEST(RenamedPsioa, TransitionOnOldNameThrows) {
+  auto b = make_bernoulli("ren2", "ren2_go", "ren2_yes", "ren2_no",
+                          Rational(1, 2));
+  ActionBijection g;
+  g.add(act("ren2_go"), act("ren2_go_r"));
+  auto r = rename_actions(b, g);
+  EXPECT_THROW(r->transition(r->start_state(), act("ren2_go")),
+               std::logic_error);
+}
+
+TEST(HiddenPsioa, ConstantHidingInternalizesOutputs) {
+  auto b = make_bernoulli("hid1", "hid_go", "hid_yes", "hid_no",
+                          Rational(1, 2));
+  auto h = hide_actions(b, acts({"hid_yes"}));
+  const State q0 = h->start_state();
+  // Move to the probabilistic branch.
+  const StateDist d = h->transition(q0, act("hid_go"));
+  for (State s : d.support()) {
+    const Signature sig = h->signature(s);
+    if (b->state_label(s) == "yes") {
+      EXPECT_TRUE(sig.is_internal(act("hid_yes")));
+      EXPECT_FALSE(sig.is_output(act("hid_yes")));
+    }
+    EXPECT_TRUE(sig.valid());
+  }
+}
+
+TEST(HiddenPsioa, HidingIgnoresInputs) {
+  auto b = make_bernoulli("hid2", "hid2_go", "hid2_yes", "hid2_no",
+                          Rational(1, 2));
+  auto h = hide_actions(b, acts({"hid2_go"}));
+  // hid2_go is an input; Def 2.7 only hides outputs.
+  EXPECT_TRUE(h->signature(h->start_state()).is_input(act("hid2_go")));
+}
+
+TEST(HiddenPsioa, StateDependentHiding) {
+  auto b = make_bernoulli("hid3", "hid3_go", "hid3_yes", "hid3_no",
+                          Rational(1, 2));
+  // Hide the yes-report only in the "yes" state.
+  PsioaPtr base = b;
+  auto h = std::make_shared<HiddenPsioa>(base, [b](State q) {
+    return b->state_label(q) == "yes" ? acts({"hid3_yes"}) : ActionSet{};
+  });
+  const StateDist d = h->transition(h->start_state(), act("hid3_go"));
+  for (State s : d.support()) {
+    if (b->state_label(s) == "yes") {
+      EXPECT_EQ(h->hidden_at(s), acts({"hid3_yes"}));
+    } else {
+      EXPECT_TRUE(h->hidden_at(s).empty());
+    }
+  }
+}
+
+TEST(HiddenPsioa, DynamicsUnchanged) {
+  auto b = make_bernoulli("hid4", "hid4_go", "hid4_yes", "hid4_no",
+                          Rational(1, 4));
+  auto h = hide_actions(b, acts({"hid4_yes", "hid4_no"}));
+  EXPECT_EQ(h->transition(h->start_state(), act("hid4_go")),
+            b->transition(b->start_state(), act("hid4_go")));
+  EXPECT_EQ(h->encode_state(h->start_state()),
+            b->encode_state(b->start_state()));
+}
+
+TEST(Operators, HideAfterRenameComposes) {
+  auto b = make_bernoulli("hr1", "hr_go", "hr_yes", "hr_no", Rational(1, 2));
+  ActionBijection g;
+  g.add(act("hr_yes"), act("hr_yes_r"));
+  auto hr = hide_actions(rename_actions(b, g), acts({"hr_yes_r"}));
+  const StateDist d = hr->transition(hr->start_state(), act("hr_go"));
+  for (State s : d.support()) {
+    if (b->state_label(s) == "yes") {
+      EXPECT_TRUE(hr->signature(s).is_internal(act("hr_yes_r")));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cdse

@@ -1,0 +1,144 @@
+// Scheduler implementations (sched/schedulers.hpp; Defs 3.1, 4.6).
+
+#include "sched/schedulers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/coinflip.hpp"
+#include "psioa/compose.hpp"
+#include "test_util.hpp"
+
+namespace cdse {
+namespace {
+
+using testing::make_bernoulli;
+
+TEST(UniformScheduler, UniformOverEnabled) {
+  auto coin = make_coin("sch_a", Rational(1, 2));
+  UniformScheduler sched(10);
+  ExecFragment alpha(coin->start_state());
+  const ActionChoice c = sched.choose(*coin, alpha);
+  ASSERT_EQ(c.support_size(), 1u);  // only flip enabled
+  EXPECT_EQ(c.mass(act("flip_sch_a")), Rational(1));
+}
+
+TEST(UniformScheduler, HaltsAtDepthBound) {
+  auto coin = make_coin("sch_b", Rational(1, 2));
+  UniformScheduler sched(0);
+  ExecFragment alpha(coin->start_state());
+  EXPECT_TRUE(sched.choose(*coin, alpha).empty());
+}
+
+TEST(UniformScheduler, SplitsMassEvenly) {
+  auto b1 = make_bernoulli("sch_c1", "sch_go_c1", "sch_y_c1", "sch_n_c1",
+                           Rational(1, 2));
+  auto b2 = make_bernoulli("sch_c2", "sch_go_c2", "sch_y_c2", "sch_n_c2",
+                           Rational(1, 2));
+  auto c = compose(b1, b2);
+  UniformScheduler sched(10);
+  ExecFragment alpha(c->start_state());
+  const ActionChoice choice = sched.choose(*c, alpha);
+  ASSERT_EQ(choice.support_size(), 2u);
+  EXPECT_EQ(choice.mass(act("sch_go_c1")), Rational(1, 2));
+  EXPECT_EQ(choice.mass(act("sch_go_c2")), Rational(1, 2));
+}
+
+TEST(PriorityScheduler, PicksFirstEnabled) {
+  auto b1 = make_bernoulli("sch_d1", "sch_go_d1", "sch_y_d1", "sch_n_d1",
+                           Rational(1, 2));
+  auto b2 = make_bernoulli("sch_d2", "sch_go_d2", "sch_y_d2", "sch_n_d2",
+                           Rational(1, 2));
+  auto c = compose(b1, b2);
+  PriorityScheduler sched({act("sch_go_d2"), act("sch_go_d1")}, 10);
+  ExecFragment alpha(c->start_state());
+  const ActionChoice choice = sched.choose(*c, alpha);
+  ASSERT_EQ(choice.support_size(), 1u);
+  EXPECT_EQ(choice.mass(act("sch_go_d2")), Rational(1));
+}
+
+TEST(PriorityScheduler, HaltsWhenNothingListedIsEnabled) {
+  auto coin = make_coin("sch_e", Rational(1, 2));
+  PriorityScheduler sched({act("sch_unlisted_e")}, 10);
+  ExecFragment alpha(coin->start_state());
+  EXPECT_TRUE(sched.choose(*coin, alpha).empty());
+}
+
+TEST(SequenceScheduler, FollowsWordThenHalts) {
+  auto coin = make_coin("sch_f", Rational(1, 2));
+  SequenceScheduler sched({act("flip_sch_f"), act("toss_sch_f")});
+  ExecFragment alpha(coin->start_state());
+  const ActionChoice c0 = sched.choose(*coin, alpha);
+  EXPECT_EQ(c0.mass(act("flip_sch_f")), Rational(1));
+  alpha.append(act("flip_sch_f"),
+               coin->transition(coin->start_state(), act("flip_sch_f"))
+                   .support()[0]);
+  const ActionChoice c1 = sched.choose(*coin, alpha);
+  EXPECT_EQ(c1.mass(act("toss_sch_f")), Rational(1));
+}
+
+TEST(SequenceScheduler, HaltsOnDisabledLetter) {
+  auto coin = make_coin("sch_g", Rational(1, 2));
+  SequenceScheduler sched({act("toss_sch_g")});  // not enabled at idle
+  ExecFragment alpha(coin->start_state());
+  EXPECT_TRUE(sched.choose(*coin, alpha).empty());
+}
+
+TEST(TaskScheduler, FiresUniqueEnabledActionOfTask) {
+  auto coin = make_coin("sch_h", Rational(1, 2));
+  TaskScheduler sched({acts({"flip_sch_h", "toss_sch_h"})});
+  ExecFragment alpha(coin->start_state());
+  const ActionChoice c = sched.choose(*coin, alpha);
+  EXPECT_EQ(c.mass(act("flip_sch_h")), Rational(1));
+}
+
+TEST(TaskScheduler, HaltsOnAmbiguousTask) {
+  auto b1 = make_bernoulli("sch_i1", "sch_go_i1", "sch_y_i1", "sch_n_i1",
+                           Rational(1, 2));
+  auto b2 = make_bernoulli("sch_i2", "sch_go_i2", "sch_y_i2", "sch_n_i2",
+                           Rational(1, 2));
+  auto c = compose(b1, b2);
+  TaskScheduler sched({acts({"sch_go_i1", "sch_go_i2"})});
+  ExecFragment alpha(c->start_state());
+  EXPECT_TRUE(sched.choose(*c, alpha).empty());
+}
+
+TEST(BoundedScheduler, Def46StopsAtBound) {
+  auto coin = make_coin("sch_j", Rational(1, 2));
+  auto inner = std::make_shared<UniformScheduler>(100);
+  BoundedScheduler sched(inner, 1);
+  ExecFragment alpha(coin->start_state());
+  EXPECT_FALSE(sched.choose(*coin, alpha).empty());
+  alpha.append(act("flip_sch_j"),
+               coin->transition(coin->start_state(), act("flip_sch_j"))
+                   .support()[0]);
+  EXPECT_TRUE(sched.choose(*coin, alpha).empty());
+  EXPECT_EQ(sched.bound(), 1u);
+}
+
+TEST(ObliviousFnScheduler, SeesOnlyActionWord) {
+  auto coin = make_coin("sch_k", Rational(1, 2));
+  std::vector<std::vector<ActionId>> observed;
+  ObliviousFnScheduler sched(
+      [&observed](const std::vector<ActionId>& word, const ActionSet& en) {
+        observed.push_back(word);
+        ActionChoice c;
+        if (!en.empty()) c.add(en.front(), Rational(1));
+        return c;
+      },
+      "probe");
+  ExecFragment alpha(coin->start_state());
+  (void)sched.choose(*coin, alpha);
+  ASSERT_EQ(observed.size(), 1u);
+  EXPECT_TRUE(observed[0].empty());
+}
+
+TEST(MaxScheduleLength, MeasuresLongestSupportPath) {
+  auto coin = make_coin("sch_l", Rational(1, 2));
+  auto uni = std::make_shared<UniformScheduler>(3);
+  EXPECT_EQ(max_schedule_length(*coin, *uni, 10), 3u);
+  auto uni10 = std::make_shared<UniformScheduler>(100);
+  EXPECT_EQ(max_schedule_length(*coin, *uni10, 5), 5u);  // capped by explorer
+}
+
+}  // namespace
+}  // namespace cdse

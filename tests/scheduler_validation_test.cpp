@@ -1,0 +1,47 @@
+// The exact enumerator validates scheduler outputs (Def 3.1's side
+// conditions): mass only on enabled actions, total at most 1.
+
+#include <gtest/gtest.h>
+
+#include "protocols/coinflip.hpp"
+#include "sched/cone_measure.hpp"
+
+namespace cdse {
+namespace {
+
+class RogueScheduler : public Scheduler {
+ public:
+  enum class Mode { kOverweight, kDisabledAction };
+  explicit RogueScheduler(Mode mode) : mode_(mode) {}
+  ActionChoice choose(Psioa& automaton, const ExecFragment& alpha) override {
+    ActionChoice c;
+    if (mode_ == Mode::kOverweight) {
+      const ActionSet en = automaton.enabled(alpha.lstate());
+      if (!en.empty()) c.add(en.front(), Rational(3, 2));
+    } else {
+      c.add(act("sv_never_enabled"), Rational(1));
+    }
+    return c;
+  }
+  std::string name() const override { return "rogue"; }
+
+ private:
+  Mode mode_;
+};
+
+TEST(SchedulerValidation, OverweightChoiceRejected) {
+  auto coin = make_coin("sv_a", Rational(1, 2));
+  RogueScheduler rogue(RogueScheduler::Mode::kOverweight);
+  TraceInsight f;
+  EXPECT_THROW(exact_fdist(*coin, rogue, f, 4), std::logic_error);
+}
+
+TEST(SchedulerValidation, DisabledActionRejected) {
+  auto coin = make_coin("sv_b", Rational(1, 2));
+  RogueScheduler rogue(RogueScheduler::Mode::kDisabledAction);
+  TraceInsight f;
+  EXPECT_THROW(exact_fdist(*coin, rogue, f, 4), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cdse

@@ -1,0 +1,110 @@
+// Dynamic MAC session service (crypto/service.hpp): secure emulation
+// with run-time creation/destruction of protocol sessions.
+
+#include "crypto/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pca/check.hpp"
+#include "protocols/environment.hpp"
+#include "sched/schedulers.hpp"
+#include "secure/adversary.hpp"
+#include "secure/emulation.hpp"
+
+namespace cdse {
+namespace {
+
+SchedulerPtr word(std::vector<ActionId> w) {
+  return std::make_shared<SequenceScheduler>(std::move(w), true);
+}
+
+TEST(MacService, PcaConstraintsHoldOnBothSides) {
+  const MacServicePair svc = make_mac_service_pair({2, 3}, "sv_a");
+  EXPECT_TRUE(check_pca_constraints(*svc.real_pca, 6).ok);
+  EXPECT_TRUE(check_pca_constraints(*svc.ideal_pca, 6).ok);
+}
+
+TEST(MacService, StructuredVocabulariesValidate) {
+  const MacServicePair svc = make_mac_service_pair({2}, "sv_b");
+  EXPECT_NO_THROW(svc.real.validate(8));
+  EXPECT_NO_THROW(svc.ideal.validate(8));
+}
+
+TEST(MacService, SessionsAreCreatedOnOpenAndDestroyedWhenDone) {
+  const MacServicePair svc = make_mac_service_pair({1}, "sv_c");
+  DynamicPca& x = *svc.real_pca;
+  State q = x.start_state();
+  EXPECT_EQ(x.config(q).size(), 1u);  // hub only
+  q = x.transition(q, act("open_sv_c_0")).support()[0];
+  EXPECT_EQ(x.config(q).size(), 2u);  // session spawned
+  q = x.transition(q, act("auth_sv_c_0")).support()[0];
+  // forge: the session moves to win/lose, both of which still live.
+  const StateDist d = x.transition(q, act("forge_sv_c_0"));
+  for (State q2 : d.support()) {
+    EXPECT_EQ(x.config(q2).size(), 2u);
+    // Resolve the outcome: after reporting, the session reaches "done"
+    // (empty signature) and is garbage-collected by reduce().
+    const Signature sig = x.signature(q2);
+    for (ActionId a : sig.out) {
+      const State q3 = x.transition(q2, a).support()[0];
+      EXPECT_EQ(x.config(q3).size(), 1u) << "session not destroyed";
+    }
+  }
+}
+
+TEST(MacService, ReopenSpawnsFreshSession) {
+  const MacServicePair svc = make_mac_service_pair({1}, "sv_d");
+  DynamicPca& x = *svc.ideal_pca;
+  State q = x.start_state();
+  q = x.transition(q, act("open_sv_d_0")).support()[0];
+  q = x.transition(q, act("auth_sv_d_0")).support()[0];
+  q = x.transition(q, act("forge_sv_d_0")).support()[0];   // -> lose
+  q = x.transition(q, act("rejected_sv_d_0")).support()[0];  // destroyed
+  EXPECT_EQ(x.config(q).size(), 1u);
+  q = x.transition(q, act("open_sv_d_0")).support()[0];  // fresh session
+  EXPECT_EQ(x.config(q).size(), 2u);
+  EXPECT_TRUE(x.signature(q).is_input(act("auth_sv_d_0")));
+}
+
+TEST(MacService, DynamicSecureEmulationEpsilonPerSession) {
+  const MacServicePair svc = make_mac_service_pair({2, 3}, "sv_e");
+  const PsioaPtr adv = make_sink_adversary(
+      "sv_e_adv", {}, acts({"forge_sv_e_0", "forge_sv_e_1"}));
+  // Environment scripts: open session i, auth, watch forged_i.
+  std::vector<LabeledScheduler> scheds;
+  std::vector<LabeledPsioa> envs;
+  const ActionId acc = act("acc_sv_e");
+  envs.push_back(
+      {"probe",
+       make_probe_env("env_sv_e",
+                      {act("open_sv_e_0"), act("auth_sv_e_0"),
+                       act("open_sv_e_1"), act("auth_sv_e_1")},
+                      acts({"forged_sv_e_0", "forged_sv_e_1",
+                            "rejected_sv_e_0", "rejected_sv_e_1"}),
+                      acc)});
+  scheds.push_back(
+      {"attack0", word({act("open_sv_e_0"), act("auth_sv_e_0"),
+                        act("forge_sv_e_0"), act("forged_sv_e_0"), acc})});
+  scheds.push_back(
+      {"attack1", word({act("open_sv_e_0"), act("auth_sv_e_0"),
+                        act("open_sv_e_1"), act("auth_sv_e_1"),
+                        act("forge_sv_e_1"), act("forged_sv_e_1"), acc})});
+  const EmulationReport report = check_secure_emulation(
+      svc.real, adv, svc.ideal, adv, envs, scheds, same_scheduler(),
+      AcceptInsight(acc), 16);
+  ASSERT_EQ(report.impl.rows.size(), 2u);
+  EXPECT_EQ(report.impl.rows[0].eps, svc.session_advantages[0]);  // 1/4
+  EXPECT_EQ(report.impl.rows[1].eps, svc.session_advantages[1]);  // 1/8
+  EXPECT_EQ(report.max_eps, Rational(1, 4));
+}
+
+TEST(MacService, AdversaryCheckPassesForService) {
+  const MacServicePair svc = make_mac_service_pair({2}, "sv_f");
+  const PsioaPtr adv =
+      make_sink_adversary("sv_f_adv", {}, acts({"forge_sv_f_0"}));
+  EXPECT_TRUE(check_adversary_for(svc.real, adv, 6).ok);
+  EXPECT_TRUE(check_adversary_for(svc.ideal, adv, 6).ok);
+}
+
+}  // namespace
+}  // namespace cdse

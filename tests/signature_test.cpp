@@ -1,0 +1,128 @@
+// Signature algebra (psioa/signature.hpp; Defs 2.1, 2.3, 2.4, 2.6).
+
+#include "psioa/signature.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cdse {
+namespace {
+
+Signature sig(std::initializer_list<std::string_view> in,
+              std::initializer_list<std::string_view> out,
+              std::initializer_list<std::string_view> internal) {
+  Signature s;
+  s.in = acts(in);
+  s.out = acts(out);
+  s.internal = acts(internal);
+  return s;
+}
+
+TEST(Signature, ExtAndAll) {
+  const Signature s = sig({"a"}, {"b"}, {"c"});
+  EXPECT_EQ(s.ext(), acts({"a", "b"}));
+  EXPECT_EQ(s.all(), acts({"a", "b", "c"}));
+}
+
+TEST(Signature, MembershipQueries) {
+  const Signature s = sig({"a"}, {"b"}, {"c"});
+  EXPECT_TRUE(s.is_input(act("a")));
+  EXPECT_TRUE(s.is_output(act("b")));
+  EXPECT_TRUE(s.is_internal(act("c")));
+  EXPECT_TRUE(s.is_external(act("a")));
+  EXPECT_FALSE(s.is_external(act("c")));
+  EXPECT_TRUE(s.contains(act("c")));
+  EXPECT_FALSE(s.contains(act("zzz_unused")));
+}
+
+TEST(Signature, EmptyDetectsDestructionSentinel) {
+  EXPECT_TRUE(Signature{}.empty());
+  EXPECT_FALSE(sig({"a"}, {}, {}).empty());
+}
+
+TEST(Signature, ValidRequiresDisjointClasses) {
+  EXPECT_TRUE(sig({"a"}, {"b"}, {"c"}).valid());
+  Signature bad;
+  bad.in = acts({"a"});
+  bad.out = acts({"a"});
+  EXPECT_FALSE(bad.valid());
+  Signature bad2;
+  bad2.in = acts({"a"});
+  bad2.internal = acts({"a"});
+  EXPECT_FALSE(bad2.valid());
+}
+
+TEST(Compatibility, OutputOutputClashIsIncompatible) {
+  EXPECT_FALSE(compatible(sig({}, {"x"}, {}), sig({}, {"x"}, {})));
+}
+
+TEST(Compatibility, InternalActionMustBePrivate) {
+  EXPECT_FALSE(compatible(sig({"h"}, {}, {}), sig({}, {}, {"h"})));
+  EXPECT_FALSE(compatible(sig({}, {}, {"h"}), sig({}, {"h"}, {})));
+}
+
+TEST(Compatibility, MatchingInputOutputIsCompatible) {
+  EXPECT_TRUE(compatible(sig({"m"}, {}, {}), sig({}, {"m"}, {})));
+  EXPECT_TRUE(compatible(sig({"m"}, {}, {}), sig({"m"}, {}, {})));
+}
+
+TEST(Composition, OutputAbsorbsMatchingInput) {
+  // Def 2.4: in = (in U in') \ (out U out').
+  const Signature c = compose(sig({"m"}, {"y"}, {}), sig({}, {"m"}, {}));
+  EXPECT_EQ(c.in, ActionSet{});
+  EXPECT_EQ(c.out, acts({"m", "y"}));
+  EXPECT_TRUE(c.internal.empty());
+}
+
+TEST(Composition, UnsharedInputsSurvive) {
+  const Signature c = compose(sig({"a", "m"}, {}, {}), sig({}, {"m"}, {}));
+  EXPECT_EQ(c.in, acts({"a"}));
+}
+
+TEST(Composition, IsCommutative) {
+  const Signature s1 = sig({"a", "m"}, {"x"}, {"i"});
+  const Signature s2 = sig({"x"}, {"m"}, {"j"});
+  EXPECT_EQ(compose(s1, s2), compose(s2, s1));
+}
+
+TEST(Composition, IsAssociative) {
+  const Signature s1 = sig({"a"}, {"b"}, {});
+  const Signature s2 = sig({"b"}, {"c"}, {});
+  const Signature s3 = sig({"c"}, {"d"}, {});
+  EXPECT_EQ(compose(compose(s1, s2), s3), compose(s1, compose(s2, s3)));
+}
+
+TEST(Composition, EmptySignatureIsIdentity) {
+  const Signature s = sig({"a"}, {"b"}, {"c"});
+  EXPECT_EQ(compose(s, Signature{}), s);
+  EXPECT_EQ(compose(Signature{}, s), s);
+}
+
+TEST(Hiding, MovesOutputsToInternal) {
+  const Signature h = hide(sig({"a"}, {"b", "c"}, {"i"}), acts({"b"}));
+  EXPECT_EQ(h.in, acts({"a"}));
+  EXPECT_EQ(h.out, acts({"c"}));
+  EXPECT_EQ(h.internal, acts({"b", "i"}));
+}
+
+TEST(Hiding, IgnoresNonOutputs) {
+  const Signature s = sig({"a"}, {"b"}, {});
+  const Signature h = hide(s, acts({"a", "zz_not_there"}));
+  EXPECT_EQ(h, s);
+}
+
+TEST(Hiding, IsIdempotentAndComposes) {
+  const Signature s = sig({}, {"b", "c", "d"}, {});
+  const Signature h1 = hide(hide(s, acts({"b"})), acts({"b"}));
+  EXPECT_EQ(h1, hide(s, acts({"b"})));
+  // hide(hide(s, X), Y) == hide(s, X U Y).
+  EXPECT_EQ(hide(hide(s, acts({"b"})), acts({"c"})),
+            hide(s, acts({"b", "c"})));
+}
+
+TEST(Hiding, PreservesValidity) {
+  const Signature s = sig({"a"}, {"b", "c"}, {"i"});
+  EXPECT_TRUE(hide(s, acts({"b", "c"})).valid());
+}
+
+}  // namespace
+}  // namespace cdse

@@ -1,0 +1,106 @@
+// Sorted-vector set algebra (util/sorted_set.hpp).
+
+#include "util/sorted_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace cdse {
+namespace {
+
+TEST(SortedSet, NormalizeSortsAndDeduplicates) {
+  SortedSet<int> s{3, 1, 2, 3, 1};
+  set::normalize(s);
+  EXPECT_EQ(s, (SortedSet<int>{1, 2, 3}));
+  EXPECT_TRUE(set::is_sorted_set(s));
+}
+
+TEST(SortedSet, Contains) {
+  SortedSet<int> s{1, 3, 5};
+  EXPECT_TRUE(set::contains(s, 3));
+  EXPECT_FALSE(set::contains(s, 4));
+  EXPECT_FALSE(set::contains(SortedSet<int>{}, 1));
+}
+
+TEST(SortedSet, Unite) {
+  EXPECT_EQ(set::unite<int>({1, 3}, {2, 3}), (SortedSet<int>{1, 2, 3}));
+  EXPECT_EQ(set::unite<int>({}, {2}), (SortedSet<int>{2}));
+}
+
+TEST(SortedSet, Intersect) {
+  EXPECT_EQ(set::intersect<int>({1, 2, 3}, {2, 3, 4}),
+            (SortedSet<int>{2, 3}));
+  EXPECT_TRUE(set::intersect<int>({1}, {2}).empty());
+}
+
+TEST(SortedSet, Subtract) {
+  EXPECT_EQ(set::subtract<int>({1, 2, 3}, {2}), (SortedSet<int>{1, 3}));
+  EXPECT_EQ(set::subtract<int>({1}, {1}), (SortedSet<int>{}));
+}
+
+TEST(SortedSet, Disjoint) {
+  EXPECT_TRUE(set::disjoint<int>({1, 3}, {2, 4}));
+  EXPECT_FALSE(set::disjoint<int>({1, 3}, {3}));
+  EXPECT_TRUE(set::disjoint<int>({}, {}));
+}
+
+TEST(SortedSet, Subset) {
+  EXPECT_TRUE(set::subset<int>({1, 3}, {1, 2, 3}));
+  EXPECT_FALSE(set::subset<int>({1, 4}, {1, 2, 3}));
+  EXPECT_TRUE(set::subset<int>({}, {1}));
+}
+
+TEST(SortedSet, InsertKeepsInvariantAndReportsNovelty) {
+  SortedSet<int> s{1, 3};
+  EXPECT_TRUE(set::insert(s, 2));
+  EXPECT_EQ(s, (SortedSet<int>{1, 2, 3}));
+  EXPECT_FALSE(set::insert(s, 2));
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(SortedSet, EraseReportsPresence) {
+  SortedSet<int> s{1, 2, 3};
+  EXPECT_TRUE(set::erase(s, 2));
+  EXPECT_EQ(s, (SortedSet<int>{1, 3}));
+  EXPECT_FALSE(set::erase(s, 2));
+}
+
+// Algebraic laws over randomized sets.
+class SetLaws : public ::testing::TestWithParam<int> {
+ protected:
+  SortedSet<int> random_set(Xoshiro256& rng) {
+    SortedSet<int> s;
+    const std::size_t n = rng.below(12);
+    for (std::size_t i = 0; i < n; ++i) {
+      s.push_back(static_cast<int>(rng.below(20)));
+    }
+    set::normalize(s);
+    return s;
+  }
+};
+
+TEST_P(SetLaws, BooleanAlgebra) {
+  Xoshiro256 rng(GetParam() * 977 + 11);
+  const auto a = random_set(rng);
+  const auto b = random_set(rng);
+  const auto c = random_set(rng);
+  EXPECT_EQ(set::unite(a, b), set::unite(b, a));
+  EXPECT_EQ(set::intersect(a, b), set::intersect(b, a));
+  EXPECT_EQ(set::unite(set::unite(a, b), c), set::unite(a, set::unite(b, c)));
+  // Distributivity and De Morgan within the union universe.
+  EXPECT_EQ(set::intersect(a, set::unite(b, c)),
+            set::unite(set::intersect(a, b), set::intersect(a, c)));
+  EXPECT_EQ(set::subtract(a, set::unite(b, c)),
+            set::subtract(set::subtract(a, b), c));
+  // disjoint <=> empty intersection; subset <=> subtraction empty.
+  EXPECT_EQ(set::disjoint(a, b), set::intersect(a, b).empty());
+  EXPECT_EQ(set::subset(a, b), set::subtract(a, b).empty());
+  // Partition: (a \ b) U (a n b) == a.
+  EXPECT_EQ(set::unite(set::subtract(a, b), set::intersect(a, b)), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SetLaws, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace cdse

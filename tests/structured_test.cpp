@@ -1,0 +1,167 @@
+// Structured automata and adversaries (secure/structured.hpp,
+// secure/adversary.hpp; Defs 4.17-4.25).
+
+#include <gtest/gtest.h>
+
+#include "crypto/pairs.hpp"
+#include "crypto/relay.hpp"
+#include "secure/adversary.hpp"
+#include "secure/structured.hpp"
+#include "test_util.hpp"
+
+namespace cdse {
+namespace {
+
+using testing::make_bernoulli;
+
+StructuredPsioa make_structured_bern(const std::string& inst,
+                                     const std::string& tag) {
+  // go/yes env-facing, leak adversary-facing output.
+  auto b = make_bernoulli(inst, "sgo_" + tag, "syes_" + tag, "sno_" + tag,
+                          Rational(1, 2));
+  return StructuredPsioa(b, acts({"sgo_" + tag, "syes_" + tag}), {},
+                         acts({"sno_" + tag}));
+}
+
+TEST(Structured, VocabulariesMustBeDisjoint) {
+  auto b = make_bernoulli("str_a", "sa_go", "sa_y", "sa_n", Rational(1, 2));
+  EXPECT_THROW(StructuredPsioa(b, acts({"sa_go"}), acts({"sa_go"}), {}),
+               std::logic_error);
+}
+
+TEST(Structured, PerStateMappings) {
+  const StructuredPsioa s = make_structured_bern("str_b", "str_b");
+  const State q0 = s.automaton().start_state();
+  EXPECT_EQ(s.eact(q0), acts({"sgo_str_b"}));
+  EXPECT_TRUE(s.aact(q0).empty());  // the leak appears at a later state
+  EXPECT_EQ(s.ei(q0), acts({"sgo_str_b"}));
+  EXPECT_TRUE(s.eo(q0).empty());
+  const State no_state =
+      s.automaton().transition(q0, act("sgo_str_b")).support()[1];
+  // One of the branch states carries either env-out or adv-out.
+  const ActionSet ao = s.ao(no_state);
+  const ActionSet eo = s.eo(no_state);
+  EXPECT_EQ(ao.size() + eo.size(), 1u);
+}
+
+TEST(Structured, ValidateAcceptsCoveredAutomata) {
+  const StructuredPsioa s = make_structured_bern("str_c", "str_c");
+  EXPECT_NO_THROW(s.validate(8));
+}
+
+TEST(Structured, ValidateRejectsUnclassifiedActions) {
+  auto b = make_bernoulli("str_d", "sd_go", "sd_y", "sd_n", Rational(1, 2));
+  const StructuredPsioa s(b, acts({"sd_go"}), {}, {});  // y, n unclassified
+  EXPECT_THROW(s.validate(8), std::logic_error);
+}
+
+TEST(Structured, ValidateRejectsWrongDirection) {
+  auto b = make_bernoulli("str_e", "se_go", "se_y", "se_n", Rational(1, 2));
+  // se_y is an output but declared as adversary *input*.
+  const StructuredPsioa s(b, acts({"se_go", "se_n"}), acts({"se_y"}), {});
+  EXPECT_THROW(s.validate(8), std::logic_error);
+}
+
+TEST(Structured, CompatibilityRequiresSharedActionsEnvBothSides) {
+  const RealIdealPair mac = make_otmac_pair(2, "str_f");
+  const RealIdealPair otp = make_otp_pair(2, "str_g");
+  // Disjoint vocabularies: compatible.
+  EXPECT_TRUE(structured_compatible(mac.real, otp.real));
+  // An automaton whose *adversary* vocabulary intersects another's: not.
+  auto probe = make_bernoulli("str_h", "forge_str_f", "sh_y", "sh_n",
+                              Rational(1, 2));
+  const StructuredPsioa bad(probe, acts({"sh_y", "sh_n"}),
+                            acts({"forge_str_f"}), {});
+  EXPECT_FALSE(structured_compatible(mac.real, bad));
+  EXPECT_THROW(compose_structured(mac.real, bad), std::logic_error);
+}
+
+TEST(Structured, CompositionUnitesVocabularies) {
+  const RealIdealPair mac = make_otmac_pair(2, "str_i");
+  const RealIdealPair otp = make_otp_pair(2, "str_j");
+  const StructuredPsioa c = compose_structured(mac.real, otp.real);
+  EXPECT_EQ(c.env_vocab(),
+            set::unite(mac.real.env_vocab(), otp.real.env_vocab()));
+  EXPECT_EQ(c.aact_vocab(),
+            set::unite(mac.real.aact_vocab(), otp.real.aact_vocab()));
+  // n-ary form agrees.
+  const StructuredPsioa c2 = compose_structured({mac.real, otp.real});
+  EXPECT_EQ(c2.env_vocab(), c.env_vocab());
+}
+
+TEST(Structured, HideRemovesFromAllVocabularies) {
+  const RealIdealPair otp = make_otp_pair(2, "str_k");
+  const StructuredPsioa h =
+      hide_structured(otp.real, acts({"cipher0_str_k", "cipher1_str_k"}));
+  EXPECT_TRUE(h.aact_vocab().empty());
+  EXPECT_EQ(h.env_vocab(), otp.real.env_vocab());
+}
+
+TEST(Structured, RenameAdversaryActionsLeavesEnvUntouched) {
+  const RealIdealPair mac = make_otmac_pair(2, "str_l");
+  const ActionBijection g =
+      ActionBijection::with_suffix(mac.real.aact_vocab(), "#r");
+  const StructuredPsioa r = rename_adversary_actions(mac.real, g);
+  EXPECT_EQ(r.env_vocab(), mac.real.env_vocab());
+  EXPECT_EQ(r.adv_in_vocab(), acts({"forge_str_l#r"}));
+}
+
+TEST(Adversary, SinkWithCommandsSatisfiesDef424) {
+  const RealIdealPair mac = make_otmac_pair(2, "str_m");
+  const PsioaPtr adv =
+      make_sink_adversary("str_m_adv", {}, acts({"forge_str_m"}));
+  const AdversaryCheckResult res = check_adversary_for(mac.real, adv, 8);
+  EXPECT_TRUE(res.ok) << res.violation;
+  EXPECT_GT(res.states_checked, 0u);
+}
+
+TEST(Adversary, MissingCommandOutputViolatesDef424) {
+  const RealIdealPair mac = make_otmac_pair(2, "str_n");
+  const PsioaPtr adv = make_sink_adversary("str_n_adv", {});  // no outputs
+  const AdversaryCheckResult res = check_adversary_for(mac.real, adv, 8);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.violation.find("does not offer"), std::string::npos);
+}
+
+TEST(Adversary, TouchingEnvironmentActionsViolatesDef424) {
+  const RealIdealPair mac = make_otmac_pair(2, "str_o");
+  // An "adversary" that also listens on the env action auth.
+  const PsioaPtr adv = make_sink_adversary(
+      "str_o_adv", acts({"auth_str_o"}), acts({"forge_str_o"}));
+  const AdversaryCheckResult res = check_adversary_for(mac.real, adv, 8);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.violation.find("environment actions"), std::string::npos);
+}
+
+TEST(Adversary, RelayIsAdversaryForOtp) {
+  const RealIdealPair otp = make_otp_pair(2, "str_p");
+  const PsioaPtr relay = make_relay_adversary(
+      "str_p_relay", {{act("cipher0_str_p"), act("tell0_str_p")},
+                      {act("cipher1_str_p"), act("tell1_str_p")}});
+  const AdversaryCheckResult res = check_adversary_for(otp.real, relay, 8);
+  EXPECT_TRUE(res.ok) << res.violation;
+}
+
+TEST(Adversary, Lemma425RestrictionToComponent) {
+  // Adv for A||B is an adversary for A: we verify the concrete instance.
+  const RealIdealPair mac = make_otmac_pair(2, "str_q");
+  const RealIdealPair otp = make_otp_pair(2, "str_r");
+  const StructuredPsioa both = compose_structured(mac.real, otp.real);
+  const PsioaPtr adv = make_sink_adversary(
+      "str_q_adv", acts({"cipher0_str_r", "cipher1_str_r"}),
+      acts({"forge_str_q"}));
+  EXPECT_TRUE(check_adversary_for(both, adv, 8).ok);
+  EXPECT_TRUE(check_adversary_for(mac.real, adv, 8).ok);
+  EXPECT_TRUE(check_adversary_for(otp.real, adv, 8).ok);
+}
+
+TEST(Adversary, RelayRejectsDuplicateInputs) {
+  EXPECT_THROW(
+      make_relay_adversary("str_s_relay",
+                           {{act("str_s_x"), act("str_s_a")},
+                            {act("str_s_x"), act("str_s_b")}}),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace cdse

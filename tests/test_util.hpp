@@ -1,0 +1,79 @@
+#pragma once
+// Shared builders for the test suite.
+
+#include <memory>
+#include <string>
+
+#include "psioa/explicit_psioa.hpp"
+#include "util/rational.hpp"
+
+namespace cdse::testing {
+
+/// A one-shot emitter: outputs its single action once, then idles on a
+/// self-loop input (so it is never "destroyed" inside configurations).
+inline std::shared_ptr<ExplicitPsioa> make_emitter(const std::string& name,
+                                                   const std::string& action) {
+  auto e = std::make_shared<ExplicitPsioa>(name);
+  const ActionId a = act(action);
+  const State s0 = e->add_state("ready");
+  const State s1 = e->add_state("spent");
+  e->set_start(s0);
+  Signature sig0;
+  sig0.out = {a};
+  e->set_signature(s0, sig0);
+  e->set_signature(s1, Signature{});
+  e->add_step(s0, a, s1);
+  e->validate();
+  return e;
+}
+
+/// A listener: consumes its single action forever.
+inline std::shared_ptr<ExplicitPsioa> make_listener(const std::string& name,
+                                                    const std::string& action) {
+  auto l = std::make_shared<ExplicitPsioa>(name);
+  const ActionId a = act(action);
+  const State s0 = l->add_state("idle");
+  l->set_start(s0);
+  Signature sig;
+  sig.in = {a};
+  l->set_signature(s0, sig);
+  l->add_step(s0, a, s0);
+  l->validate();
+  return l;
+}
+
+/// Bernoulli automaton: on (input) action `trigger`, moves to a state
+/// emitting `yes` with probability p and `no` otherwise, then halts.
+inline std::shared_ptr<ExplicitPsioa> make_bernoulli(
+    const std::string& name, const std::string& trigger,
+    const std::string& yes, const std::string& no, const Rational& p) {
+  auto b = std::make_shared<ExplicitPsioa>(name);
+  const ActionId a_t = act(trigger);
+  const ActionId a_y = act(yes);
+  const ActionId a_n = act(no);
+  const State s0 = b->add_state("idle");
+  const State sy = b->add_state("yes");
+  const State sn = b->add_state("no");
+  const State sd = b->add_state("done");
+  b->set_start(s0);
+  Signature sig0;
+  sig0.in = {a_t};
+  b->set_signature(s0, sig0);
+  Signature sigy;
+  sigy.out = {a_y};
+  b->set_signature(sy, sigy);
+  Signature sign;
+  sign.out = {a_n};
+  b->set_signature(sn, sign);
+  b->set_signature(sd, Signature{});
+  StateDist d;
+  d.add(sy, p);
+  d.add(sn, Rational(1) - p);
+  b->add_transition(s0, a_t, d);
+  b->add_step(sy, a_y, sd);
+  b->add_step(sn, a_n, sd);
+  b->validate();
+  return b;
+}
+
+}  // namespace cdse::testing
