@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_backbone.dir/bench_backbone.cpp.o"
+  "CMakeFiles/bench_backbone.dir/bench_backbone.cpp.o.d"
+  "bench_backbone"
+  "bench_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

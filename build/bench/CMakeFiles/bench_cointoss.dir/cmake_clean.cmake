@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cointoss.dir/bench_cointoss.cpp.o"
+  "CMakeFiles/bench_cointoss.dir/bench_cointoss.cpp.o.d"
+  "bench_cointoss"
+  "bench_cointoss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cointoss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

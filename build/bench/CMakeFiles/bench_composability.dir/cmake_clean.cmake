@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_composability.dir/bench_composability.cpp.o"
+  "CMakeFiles/bench_composability.dir/bench_composability.cpp.o.d"
+  "bench_composability"
+  "bench_composability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_composability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_composition_bound.dir/bench_composition_bound.cpp.o"
+  "CMakeFiles/bench_composition_bound.dir/bench_composition_bound.cpp.o.d"
+  "bench_composition_bound"
+  "bench_composition_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_composition_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

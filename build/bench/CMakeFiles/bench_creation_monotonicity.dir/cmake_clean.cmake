@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_creation_monotonicity.dir/bench_creation_monotonicity.cpp.o"
+  "CMakeFiles/bench_creation_monotonicity.dir/bench_creation_monotonicity.cpp.o.d"
+  "bench_creation_monotonicity"
+  "bench_creation_monotonicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_creation_monotonicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dummy_adversary.dir/bench_dummy_adversary.cpp.o"
+  "CMakeFiles/bench_dummy_adversary.dir/bench_dummy_adversary.cpp.o.d"
+  "bench_dummy_adversary"
+  "bench_dummy_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dummy_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

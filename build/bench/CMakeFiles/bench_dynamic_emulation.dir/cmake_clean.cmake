@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_emulation.dir/bench_dynamic_emulation.cpp.o"
+  "CMakeFiles/bench_dynamic_emulation.dir/bench_dynamic_emulation.cpp.o.d"
+  "bench_dynamic_emulation"
+  "bench_dynamic_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

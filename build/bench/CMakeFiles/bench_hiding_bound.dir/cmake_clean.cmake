@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hiding_bound.dir/bench_hiding_bound.cpp.o"
+  "CMakeFiles/bench_hiding_bound.dir/bench_hiding_bound.cpp.o.d"
+  "bench_hiding_bound"
+  "bench_hiding_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hiding_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

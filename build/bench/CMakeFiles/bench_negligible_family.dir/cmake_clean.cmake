@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_negligible_family.dir/bench_negligible_family.cpp.o"
+  "CMakeFiles/bench_negligible_family.dir/bench_negligible_family.cpp.o.d"
+  "bench_negligible_family"
+  "bench_negligible_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_negligible_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimal_distinguisher.dir/bench_optimal_distinguisher.cpp.o"
+  "CMakeFiles/bench_optimal_distinguisher.dir/bench_optimal_distinguisher.cpp.o.d"
+  "bench_optimal_distinguisher"
+  "bench_optimal_distinguisher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimal_distinguisher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_secure_emulation.dir/bench_secure_emulation.cpp.o"
+  "CMakeFiles/bench_secure_emulation.dir/bench_secure_emulation.cpp.o.d"
+  "bench_secure_emulation"
+  "bench_secure_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_secure_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transitivity.dir/bench_transitivity.cpp.o"
+  "CMakeFiles/bench_transitivity.dir/bench_transitivity.cpp.o.d"
+  "bench_transitivity"
+  "bench_transitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(experiment.bench_composition_bound "/root/repo/build/bench/bench_composition_bound")
+set_tests_properties(experiment.bench_composition_bound PROPERTIES  LABELS "experiment" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(experiment.bench_hiding_bound "/root/repo/build/bench/bench_hiding_bound")
+set_tests_properties(experiment.bench_hiding_bound PROPERTIES  LABELS "experiment" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(experiment.bench_transitivity "/root/repo/build/bench/bench_transitivity")
+set_tests_properties(experiment.bench_transitivity PROPERTIES  LABELS "experiment" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(experiment.bench_composability "/root/repo/build/bench/bench_composability")
+set_tests_properties(experiment.bench_composability PROPERTIES  LABELS "experiment" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(experiment.bench_dummy_adversary "/root/repo/build/bench/bench_dummy_adversary")
+set_tests_properties(experiment.bench_dummy_adversary PROPERTIES  LABELS "experiment" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(experiment.bench_secure_emulation "/root/repo/build/bench/bench_secure_emulation")
+set_tests_properties(experiment.bench_secure_emulation PROPERTIES  LABELS "experiment" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(experiment.bench_negligible_family "/root/repo/build/bench/bench_negligible_family")
+set_tests_properties(experiment.bench_negligible_family PROPERTIES  LABELS "experiment" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(experiment.bench_dynamic_creation "/root/repo/build/bench/bench_dynamic_creation")
+set_tests_properties(experiment.bench_dynamic_creation PROPERTIES  LABELS "experiment" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(experiment.bench_creation_monotonicity "/root/repo/build/bench/bench_creation_monotonicity")
+set_tests_properties(experiment.bench_creation_monotonicity PROPERTIES  LABELS "experiment" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(experiment.bench_dynamic_emulation "/root/repo/build/bench/bench_dynamic_emulation")
+set_tests_properties(experiment.bench_dynamic_emulation PROPERTIES  LABELS "experiment" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(experiment.bench_optimal_distinguisher "/root/repo/build/bench/bench_optimal_distinguisher")
+set_tests_properties(experiment.bench_optimal_distinguisher PROPERTIES  LABELS "experiment" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(experiment.bench_scheduler_ablation "/root/repo/build/bench/bench_scheduler_ablation")
+set_tests_properties(experiment.bench_scheduler_ablation PROPERTIES  LABELS "experiment" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(experiment.bench_cointoss "/root/repo/build/bench/bench_cointoss")
+set_tests_properties(experiment.bench_cointoss PROPERTIES  LABELS "experiment" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(experiment.bench_backbone "/root/repo/build/bench/bench_backbone")
+set_tests_properties(experiment.bench_backbone PROPERTIES  LABELS "experiment" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_backbone_ledger.dir/backbone_ledger.cpp.o"
+  "CMakeFiles/example_backbone_ledger.dir/backbone_ledger.cpp.o.d"
+  "example_backbone_ledger"
+  "example_backbone_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_backbone_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

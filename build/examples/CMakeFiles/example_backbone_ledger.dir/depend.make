@@ -1,0 +1,2 @@
+# Empty dependencies file for example_backbone_ledger.
+# This may be replaced when dependencies are built.

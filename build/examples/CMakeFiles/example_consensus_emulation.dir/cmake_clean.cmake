@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_consensus_emulation.dir/consensus_emulation.cpp.o"
+  "CMakeFiles/example_consensus_emulation.dir/consensus_emulation.cpp.o.d"
+  "example_consensus_emulation"
+  "example_consensus_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_consensus_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

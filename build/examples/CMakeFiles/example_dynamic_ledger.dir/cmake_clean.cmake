@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dynamic_ledger.dir/dynamic_ledger.cpp.o"
+  "CMakeFiles/example_dynamic_ledger.dir/dynamic_ledger.cpp.o.d"
+  "example_dynamic_ledger"
+  "example_dynamic_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dynamic_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

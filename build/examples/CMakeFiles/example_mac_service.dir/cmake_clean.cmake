@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mac_service.dir/mac_service.cpp.o"
+  "CMakeFiles/example_mac_service.dir/mac_service.cpp.o.d"
+  "example_mac_service"
+  "example_mac_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mac_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

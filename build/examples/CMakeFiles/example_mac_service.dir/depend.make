@@ -1,0 +1,2 @@
+# Empty dependencies file for example_mac_service.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/secure_channel.cpp" "examples/CMakeFiles/example_secure_channel.dir/secure_channel.cpp.o" "gcc" "examples/CMakeFiles/example_secure_channel.dir/secure_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocols/CMakeFiles/cdse_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cdse_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/secure/CMakeFiles/cdse_secure.dir/DependInfo.cmake"
+  "/root/repo/build/src/impl/CMakeFiles/cdse_impl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cdse_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounded/CMakeFiles/cdse_bounded.dir/DependInfo.cmake"
+  "/root/repo/build/src/pca/CMakeFiles/cdse_pca.dir/DependInfo.cmake"
+  "/root/repo/build/src/psioa/CMakeFiles/cdse_psioa.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/cdse_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cdse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_secure_channel.dir/secure_channel.cpp.o"
+  "CMakeFiles/example_secure_channel.dir/secure_channel.cpp.o.d"
+  "example_secure_channel"
+  "example_secure_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_secure_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

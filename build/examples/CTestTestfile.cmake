@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example.quickstart "/root/repo/build/examples/example_quickstart")
+set_tests_properties(example.quickstart PROPERTIES  LABELS "example" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.secure_channel "/root/repo/build/examples/example_secure_channel")
+set_tests_properties(example.secure_channel PROPERTIES  LABELS "example" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.dynamic_ledger "/root/repo/build/examples/example_dynamic_ledger")
+set_tests_properties(example.dynamic_ledger PROPERTIES  LABELS "example" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.consensus_emulation "/root/repo/build/examples/example_consensus_emulation")
+set_tests_properties(example.consensus_emulation PROPERTIES  LABELS "example" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.mac_service "/root/repo/build/examples/example_mac_service")
+set_tests_properties(example.mac_service PROPERTIES  LABELS "example" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.backbone_ledger "/root/repo/build/examples/example_backbone_ledger")
+set_tests_properties(example.backbone_ledger PROPERTIES  LABELS "example" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdse_bounded.dir/cost.cpp.o"
+  "CMakeFiles/cdse_bounded.dir/cost.cpp.o.d"
+  "CMakeFiles/cdse_bounded.dir/family.cpp.o"
+  "CMakeFiles/cdse_bounded.dir/family.cpp.o.d"
+  "libcdse_bounded.a"
+  "libcdse_bounded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdse_bounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

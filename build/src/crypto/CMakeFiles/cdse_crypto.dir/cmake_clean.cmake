@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdse_crypto.dir/pairs.cpp.o"
+  "CMakeFiles/cdse_crypto.dir/pairs.cpp.o.d"
+  "CMakeFiles/cdse_crypto.dir/prg.cpp.o"
+  "CMakeFiles/cdse_crypto.dir/prg.cpp.o.d"
+  "CMakeFiles/cdse_crypto.dir/relay.cpp.o"
+  "CMakeFiles/cdse_crypto.dir/relay.cpp.o.d"
+  "CMakeFiles/cdse_crypto.dir/service.cpp.o"
+  "CMakeFiles/cdse_crypto.dir/service.cpp.o.d"
+  "libcdse_crypto.a"
+  "libcdse_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdse_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cdse_crypto.
+# This may be replaced when dependencies are built.

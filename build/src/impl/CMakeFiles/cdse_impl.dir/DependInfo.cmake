@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/impl/balance.cpp" "src/impl/CMakeFiles/cdse_impl.dir/balance.cpp.o" "gcc" "src/impl/CMakeFiles/cdse_impl.dir/balance.cpp.o.d"
+  "/root/repo/src/impl/bisim.cpp" "src/impl/CMakeFiles/cdse_impl.dir/bisim.cpp.o" "gcc" "src/impl/CMakeFiles/cdse_impl.dir/bisim.cpp.o.d"
+  "/root/repo/src/impl/family_sweep.cpp" "src/impl/CMakeFiles/cdse_impl.dir/family_sweep.cpp.o" "gcc" "src/impl/CMakeFiles/cdse_impl.dir/family_sweep.cpp.o.d"
+  "/root/repo/src/impl/implementation.cpp" "src/impl/CMakeFiles/cdse_impl.dir/implementation.cpp.o" "gcc" "src/impl/CMakeFiles/cdse_impl.dir/implementation.cpp.o.d"
+  "/root/repo/src/impl/optimal.cpp" "src/impl/CMakeFiles/cdse_impl.dir/optimal.cpp.o" "gcc" "src/impl/CMakeFiles/cdse_impl.dir/optimal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/cdse_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounded/CMakeFiles/cdse_bounded.dir/DependInfo.cmake"
+  "/root/repo/build/src/pca/CMakeFiles/cdse_pca.dir/DependInfo.cmake"
+  "/root/repo/build/src/psioa/CMakeFiles/cdse_psioa.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/cdse_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cdse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

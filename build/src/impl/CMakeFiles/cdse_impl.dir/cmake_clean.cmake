@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdse_impl.dir/balance.cpp.o"
+  "CMakeFiles/cdse_impl.dir/balance.cpp.o.d"
+  "CMakeFiles/cdse_impl.dir/bisim.cpp.o"
+  "CMakeFiles/cdse_impl.dir/bisim.cpp.o.d"
+  "CMakeFiles/cdse_impl.dir/family_sweep.cpp.o"
+  "CMakeFiles/cdse_impl.dir/family_sweep.cpp.o.d"
+  "CMakeFiles/cdse_impl.dir/implementation.cpp.o"
+  "CMakeFiles/cdse_impl.dir/implementation.cpp.o.d"
+  "CMakeFiles/cdse_impl.dir/optimal.cpp.o"
+  "CMakeFiles/cdse_impl.dir/optimal.cpp.o.d"
+  "libcdse_impl.a"
+  "libcdse_impl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdse_impl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

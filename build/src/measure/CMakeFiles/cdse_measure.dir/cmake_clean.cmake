@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdse_measure.dir/disc.cpp.o"
+  "CMakeFiles/cdse_measure.dir/disc.cpp.o.d"
+  "libcdse_measure.a"
+  "libcdse_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdse_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

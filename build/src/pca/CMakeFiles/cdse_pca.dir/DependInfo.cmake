@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pca/check.cpp" "src/pca/CMakeFiles/cdse_pca.dir/check.cpp.o" "gcc" "src/pca/CMakeFiles/cdse_pca.dir/check.cpp.o.d"
+  "/root/repo/src/pca/configuration.cpp" "src/pca/CMakeFiles/cdse_pca.dir/configuration.cpp.o" "gcc" "src/pca/CMakeFiles/cdse_pca.dir/configuration.cpp.o.d"
+  "/root/repo/src/pca/dynamic_pca.cpp" "src/pca/CMakeFiles/cdse_pca.dir/dynamic_pca.cpp.o" "gcc" "src/pca/CMakeFiles/cdse_pca.dir/dynamic_pca.cpp.o.d"
+  "/root/repo/src/pca/pca.cpp" "src/pca/CMakeFiles/cdse_pca.dir/pca.cpp.o" "gcc" "src/pca/CMakeFiles/cdse_pca.dir/pca.cpp.o.d"
+  "/root/repo/src/pca/pca_compose.cpp" "src/pca/CMakeFiles/cdse_pca.dir/pca_compose.cpp.o" "gcc" "src/pca/CMakeFiles/cdse_pca.dir/pca_compose.cpp.o.d"
+  "/root/repo/src/pca/pca_hide.cpp" "src/pca/CMakeFiles/cdse_pca.dir/pca_hide.cpp.o" "gcc" "src/pca/CMakeFiles/cdse_pca.dir/pca_hide.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/psioa/CMakeFiles/cdse_psioa.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/cdse_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cdse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdse_pca.dir/check.cpp.o"
+  "CMakeFiles/cdse_pca.dir/check.cpp.o.d"
+  "CMakeFiles/cdse_pca.dir/configuration.cpp.o"
+  "CMakeFiles/cdse_pca.dir/configuration.cpp.o.d"
+  "CMakeFiles/cdse_pca.dir/dynamic_pca.cpp.o"
+  "CMakeFiles/cdse_pca.dir/dynamic_pca.cpp.o.d"
+  "CMakeFiles/cdse_pca.dir/pca.cpp.o"
+  "CMakeFiles/cdse_pca.dir/pca.cpp.o.d"
+  "CMakeFiles/cdse_pca.dir/pca_compose.cpp.o"
+  "CMakeFiles/cdse_pca.dir/pca_compose.cpp.o.d"
+  "CMakeFiles/cdse_pca.dir/pca_hide.cpp.o"
+  "CMakeFiles/cdse_pca.dir/pca_hide.cpp.o.d"
+  "libcdse_pca.a"
+  "libcdse_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdse_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

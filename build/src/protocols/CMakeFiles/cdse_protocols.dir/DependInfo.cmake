@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/backbone.cpp" "src/protocols/CMakeFiles/cdse_protocols.dir/backbone.cpp.o" "gcc" "src/protocols/CMakeFiles/cdse_protocols.dir/backbone.cpp.o.d"
+  "/root/repo/src/protocols/broadcast.cpp" "src/protocols/CMakeFiles/cdse_protocols.dir/broadcast.cpp.o" "gcc" "src/protocols/CMakeFiles/cdse_protocols.dir/broadcast.cpp.o.d"
+  "/root/repo/src/protocols/channel.cpp" "src/protocols/CMakeFiles/cdse_protocols.dir/channel.cpp.o" "gcc" "src/protocols/CMakeFiles/cdse_protocols.dir/channel.cpp.o.d"
+  "/root/repo/src/protocols/coinflip.cpp" "src/protocols/CMakeFiles/cdse_protocols.dir/coinflip.cpp.o" "gcc" "src/protocols/CMakeFiles/cdse_protocols.dir/coinflip.cpp.o.d"
+  "/root/repo/src/protocols/cointoss.cpp" "src/protocols/CMakeFiles/cdse_protocols.dir/cointoss.cpp.o" "gcc" "src/protocols/CMakeFiles/cdse_protocols.dir/cointoss.cpp.o.d"
+  "/root/repo/src/protocols/consensus.cpp" "src/protocols/CMakeFiles/cdse_protocols.dir/consensus.cpp.o" "gcc" "src/protocols/CMakeFiles/cdse_protocols.dir/consensus.cpp.o.d"
+  "/root/repo/src/protocols/environment.cpp" "src/protocols/CMakeFiles/cdse_protocols.dir/environment.cpp.o" "gcc" "src/protocols/CMakeFiles/cdse_protocols.dir/environment.cpp.o.d"
+  "/root/repo/src/protocols/ledger.cpp" "src/protocols/CMakeFiles/cdse_protocols.dir/ledger.cpp.o" "gcc" "src/protocols/CMakeFiles/cdse_protocols.dir/ledger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/secure/CMakeFiles/cdse_secure.dir/DependInfo.cmake"
+  "/root/repo/build/src/pca/CMakeFiles/cdse_pca.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cdse_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/impl/CMakeFiles/cdse_impl.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounded/CMakeFiles/cdse_bounded.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cdse_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/psioa/CMakeFiles/cdse_psioa.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/cdse_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cdse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdse_protocols.dir/backbone.cpp.o"
+  "CMakeFiles/cdse_protocols.dir/backbone.cpp.o.d"
+  "CMakeFiles/cdse_protocols.dir/broadcast.cpp.o"
+  "CMakeFiles/cdse_protocols.dir/broadcast.cpp.o.d"
+  "CMakeFiles/cdse_protocols.dir/channel.cpp.o"
+  "CMakeFiles/cdse_protocols.dir/channel.cpp.o.d"
+  "CMakeFiles/cdse_protocols.dir/coinflip.cpp.o"
+  "CMakeFiles/cdse_protocols.dir/coinflip.cpp.o.d"
+  "CMakeFiles/cdse_protocols.dir/cointoss.cpp.o"
+  "CMakeFiles/cdse_protocols.dir/cointoss.cpp.o.d"
+  "CMakeFiles/cdse_protocols.dir/consensus.cpp.o"
+  "CMakeFiles/cdse_protocols.dir/consensus.cpp.o.d"
+  "CMakeFiles/cdse_protocols.dir/environment.cpp.o"
+  "CMakeFiles/cdse_protocols.dir/environment.cpp.o.d"
+  "CMakeFiles/cdse_protocols.dir/ledger.cpp.o"
+  "CMakeFiles/cdse_protocols.dir/ledger.cpp.o.d"
+  "libcdse_protocols.a"
+  "libcdse_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdse_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcdse_protocols.a"
+)

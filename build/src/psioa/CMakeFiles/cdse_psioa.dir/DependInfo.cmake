@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psioa/action.cpp" "src/psioa/CMakeFiles/cdse_psioa.dir/action.cpp.o" "gcc" "src/psioa/CMakeFiles/cdse_psioa.dir/action.cpp.o.d"
+  "/root/repo/src/psioa/compose.cpp" "src/psioa/CMakeFiles/cdse_psioa.dir/compose.cpp.o" "gcc" "src/psioa/CMakeFiles/cdse_psioa.dir/compose.cpp.o.d"
+  "/root/repo/src/psioa/execution.cpp" "src/psioa/CMakeFiles/cdse_psioa.dir/execution.cpp.o" "gcc" "src/psioa/CMakeFiles/cdse_psioa.dir/execution.cpp.o.d"
+  "/root/repo/src/psioa/explicit_psioa.cpp" "src/psioa/CMakeFiles/cdse_psioa.dir/explicit_psioa.cpp.o" "gcc" "src/psioa/CMakeFiles/cdse_psioa.dir/explicit_psioa.cpp.o.d"
+  "/root/repo/src/psioa/export.cpp" "src/psioa/CMakeFiles/cdse_psioa.dir/export.cpp.o" "gcc" "src/psioa/CMakeFiles/cdse_psioa.dir/export.cpp.o.d"
+  "/root/repo/src/psioa/hide.cpp" "src/psioa/CMakeFiles/cdse_psioa.dir/hide.cpp.o" "gcc" "src/psioa/CMakeFiles/cdse_psioa.dir/hide.cpp.o.d"
+  "/root/repo/src/psioa/psioa.cpp" "src/psioa/CMakeFiles/cdse_psioa.dir/psioa.cpp.o" "gcc" "src/psioa/CMakeFiles/cdse_psioa.dir/psioa.cpp.o.d"
+  "/root/repo/src/psioa/random.cpp" "src/psioa/CMakeFiles/cdse_psioa.dir/random.cpp.o" "gcc" "src/psioa/CMakeFiles/cdse_psioa.dir/random.cpp.o.d"
+  "/root/repo/src/psioa/rename.cpp" "src/psioa/CMakeFiles/cdse_psioa.dir/rename.cpp.o" "gcc" "src/psioa/CMakeFiles/cdse_psioa.dir/rename.cpp.o.d"
+  "/root/repo/src/psioa/signature.cpp" "src/psioa/CMakeFiles/cdse_psioa.dir/signature.cpp.o" "gcc" "src/psioa/CMakeFiles/cdse_psioa.dir/signature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cdse_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/cdse_measure.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

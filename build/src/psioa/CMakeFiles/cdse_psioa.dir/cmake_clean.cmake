@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdse_psioa.dir/action.cpp.o"
+  "CMakeFiles/cdse_psioa.dir/action.cpp.o.d"
+  "CMakeFiles/cdse_psioa.dir/compose.cpp.o"
+  "CMakeFiles/cdse_psioa.dir/compose.cpp.o.d"
+  "CMakeFiles/cdse_psioa.dir/execution.cpp.o"
+  "CMakeFiles/cdse_psioa.dir/execution.cpp.o.d"
+  "CMakeFiles/cdse_psioa.dir/explicit_psioa.cpp.o"
+  "CMakeFiles/cdse_psioa.dir/explicit_psioa.cpp.o.d"
+  "CMakeFiles/cdse_psioa.dir/export.cpp.o"
+  "CMakeFiles/cdse_psioa.dir/export.cpp.o.d"
+  "CMakeFiles/cdse_psioa.dir/hide.cpp.o"
+  "CMakeFiles/cdse_psioa.dir/hide.cpp.o.d"
+  "CMakeFiles/cdse_psioa.dir/psioa.cpp.o"
+  "CMakeFiles/cdse_psioa.dir/psioa.cpp.o.d"
+  "CMakeFiles/cdse_psioa.dir/random.cpp.o"
+  "CMakeFiles/cdse_psioa.dir/random.cpp.o.d"
+  "CMakeFiles/cdse_psioa.dir/rename.cpp.o"
+  "CMakeFiles/cdse_psioa.dir/rename.cpp.o.d"
+  "CMakeFiles/cdse_psioa.dir/signature.cpp.o"
+  "CMakeFiles/cdse_psioa.dir/signature.cpp.o.d"
+  "libcdse_psioa.a"
+  "libcdse_psioa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdse_psioa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

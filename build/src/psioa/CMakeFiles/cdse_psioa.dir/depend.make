@@ -1,0 +1,2 @@
+# Empty dependencies file for cdse_psioa.
+# This may be replaced when dependencies are built.

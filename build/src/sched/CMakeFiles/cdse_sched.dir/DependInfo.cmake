@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/cone_measure.cpp" "src/sched/CMakeFiles/cdse_sched.dir/cone_measure.cpp.o" "gcc" "src/sched/CMakeFiles/cdse_sched.dir/cone_measure.cpp.o.d"
+  "/root/repo/src/sched/insight.cpp" "src/sched/CMakeFiles/cdse_sched.dir/insight.cpp.o" "gcc" "src/sched/CMakeFiles/cdse_sched.dir/insight.cpp.o.d"
+  "/root/repo/src/sched/sampler.cpp" "src/sched/CMakeFiles/cdse_sched.dir/sampler.cpp.o" "gcc" "src/sched/CMakeFiles/cdse_sched.dir/sampler.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/cdse_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/cdse_sched.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sched/schedulers.cpp" "src/sched/CMakeFiles/cdse_sched.dir/schedulers.cpp.o" "gcc" "src/sched/CMakeFiles/cdse_sched.dir/schedulers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/psioa/CMakeFiles/cdse_psioa.dir/DependInfo.cmake"
+  "/root/repo/build/src/pca/CMakeFiles/cdse_pca.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/cdse_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cdse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

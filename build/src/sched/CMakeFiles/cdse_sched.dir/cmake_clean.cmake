@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdse_sched.dir/cone_measure.cpp.o"
+  "CMakeFiles/cdse_sched.dir/cone_measure.cpp.o.d"
+  "CMakeFiles/cdse_sched.dir/insight.cpp.o"
+  "CMakeFiles/cdse_sched.dir/insight.cpp.o.d"
+  "CMakeFiles/cdse_sched.dir/sampler.cpp.o"
+  "CMakeFiles/cdse_sched.dir/sampler.cpp.o.d"
+  "CMakeFiles/cdse_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/cdse_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/cdse_sched.dir/schedulers.cpp.o"
+  "CMakeFiles/cdse_sched.dir/schedulers.cpp.o.d"
+  "libcdse_sched.a"
+  "libcdse_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdse_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

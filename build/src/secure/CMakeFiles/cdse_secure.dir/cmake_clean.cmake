@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdse_secure.dir/adversary.cpp.o"
+  "CMakeFiles/cdse_secure.dir/adversary.cpp.o.d"
+  "CMakeFiles/cdse_secure.dir/dummy.cpp.o"
+  "CMakeFiles/cdse_secure.dir/dummy.cpp.o.d"
+  "CMakeFiles/cdse_secure.dir/emulation.cpp.o"
+  "CMakeFiles/cdse_secure.dir/emulation.cpp.o.d"
+  "CMakeFiles/cdse_secure.dir/forward.cpp.o"
+  "CMakeFiles/cdse_secure.dir/forward.cpp.o.d"
+  "CMakeFiles/cdse_secure.dir/structured.cpp.o"
+  "CMakeFiles/cdse_secure.dir/structured.cpp.o.d"
+  "libcdse_secure.a"
+  "libcdse_secure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdse_secure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcdse_secure.a"
+)

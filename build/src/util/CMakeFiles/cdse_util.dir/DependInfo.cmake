@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bitstring.cpp" "src/util/CMakeFiles/cdse_util.dir/bitstring.cpp.o" "gcc" "src/util/CMakeFiles/cdse_util.dir/bitstring.cpp.o.d"
+  "/root/repo/src/util/interner.cpp" "src/util/CMakeFiles/cdse_util.dir/interner.cpp.o" "gcc" "src/util/CMakeFiles/cdse_util.dir/interner.cpp.o.d"
+  "/root/repo/src/util/poly.cpp" "src/util/CMakeFiles/cdse_util.dir/poly.cpp.o" "gcc" "src/util/CMakeFiles/cdse_util.dir/poly.cpp.o.d"
+  "/root/repo/src/util/rational.cpp" "src/util/CMakeFiles/cdse_util.dir/rational.cpp.o" "gcc" "src/util/CMakeFiles/cdse_util.dir/rational.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/cdse_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/cdse_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/sorted_set.cpp" "src/util/CMakeFiles/cdse_util.dir/sorted_set.cpp.o" "gcc" "src/util/CMakeFiles/cdse_util.dir/sorted_set.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/cdse_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/cdse_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/cdse_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/cdse_util.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdse_util.dir/bitstring.cpp.o"
+  "CMakeFiles/cdse_util.dir/bitstring.cpp.o.d"
+  "CMakeFiles/cdse_util.dir/interner.cpp.o"
+  "CMakeFiles/cdse_util.dir/interner.cpp.o.d"
+  "CMakeFiles/cdse_util.dir/poly.cpp.o"
+  "CMakeFiles/cdse_util.dir/poly.cpp.o.d"
+  "CMakeFiles/cdse_util.dir/rational.cpp.o"
+  "CMakeFiles/cdse_util.dir/rational.cpp.o.d"
+  "CMakeFiles/cdse_util.dir/rng.cpp.o"
+  "CMakeFiles/cdse_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cdse_util.dir/sorted_set.cpp.o"
+  "CMakeFiles/cdse_util.dir/sorted_set.cpp.o.d"
+  "CMakeFiles/cdse_util.dir/stats.cpp.o"
+  "CMakeFiles/cdse_util.dir/stats.cpp.o.d"
+  "CMakeFiles/cdse_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/cdse_util.dir/thread_pool.cpp.o.d"
+  "libcdse_util.a"
+  "libcdse_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdse_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_test.dir/bounded_test.cpp.o"
+  "CMakeFiles/bounded_test.dir/bounded_test.cpp.o.d"
+  "bounded_test"
+  "bounded_test.pdb"
+  "bounded_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

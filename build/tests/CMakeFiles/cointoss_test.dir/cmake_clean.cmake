@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cointoss_test.dir/cointoss_test.cpp.o"
+  "CMakeFiles/cointoss_test.dir/cointoss_test.cpp.o.d"
+  "cointoss_test"
+  "cointoss_test.pdb"
+  "cointoss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cointoss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

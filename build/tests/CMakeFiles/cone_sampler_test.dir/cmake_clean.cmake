@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cone_sampler_test.dir/cone_sampler_test.cpp.o"
+  "CMakeFiles/cone_sampler_test.dir/cone_sampler_test.cpp.o.d"
+  "cone_sampler_test"
+  "cone_sampler_test.pdb"
+  "cone_sampler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cone_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_test.dir/disc_test.cpp.o"
+  "CMakeFiles/disc_test.dir/disc_test.cpp.o.d"
+  "disc_test"
+  "disc_test.pdb"
+  "disc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

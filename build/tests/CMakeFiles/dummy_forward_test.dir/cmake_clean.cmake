@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dummy_forward_test.dir/dummy_forward_test.cpp.o"
+  "CMakeFiles/dummy_forward_test.dir/dummy_forward_test.cpp.o.d"
+  "dummy_forward_test"
+  "dummy_forward_test.pdb"
+  "dummy_forward_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dummy_forward_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

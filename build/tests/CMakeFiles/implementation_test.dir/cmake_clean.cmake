@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implementation_test.dir/implementation_test.cpp.o"
+  "CMakeFiles/implementation_test.dir/implementation_test.cpp.o.d"
+  "implementation_test"
+  "implementation_test.pdb"
+  "implementation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implementation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

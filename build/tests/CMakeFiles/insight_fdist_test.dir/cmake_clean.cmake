@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insight_fdist_test.dir/insight_fdist_test.cpp.o"
+  "CMakeFiles/insight_fdist_test.dir/insight_fdist_test.cpp.o.d"
+  "insight_fdist_test"
+  "insight_fdist_test.pdb"
+  "insight_fdist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insight_fdist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psioa_test.dir/psioa_test.cpp.o"
+  "CMakeFiles/psioa_test.dir/psioa_test.cpp.o.d"
+  "psioa_test"
+  "psioa_test.pdb"
+  "psioa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psioa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

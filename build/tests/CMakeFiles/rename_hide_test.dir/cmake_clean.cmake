@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rename_hide_test.dir/rename_hide_test.cpp.o"
+  "CMakeFiles/rename_hide_test.dir/rename_hide_test.cpp.o.d"
+  "rename_hide_test"
+  "rename_hide_test.pdb"
+  "rename_hide_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rename_hide_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

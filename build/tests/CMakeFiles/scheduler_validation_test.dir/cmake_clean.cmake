@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_validation_test.dir/scheduler_validation_test.cpp.o"
+  "CMakeFiles/scheduler_validation_test.dir/scheduler_validation_test.cpp.o.d"
+  "scheduler_validation_test"
+  "scheduler_validation_test.pdb"
+  "scheduler_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

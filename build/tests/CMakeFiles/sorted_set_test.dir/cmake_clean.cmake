@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorted_set_test.dir/sorted_set_test.cpp.o"
+  "CMakeFiles/sorted_set_test.dir/sorted_set_test.cpp.o.d"
+  "sorted_set_test"
+  "sorted_set_test.pdb"
+  "sorted_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorted_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
