@@ -40,14 +40,17 @@ int run() {
   std::vector<std::uint32_t> ds;
   std::vector<std::vector<double>> series(betas.size());
   for (std::uint32_t depth = 1; depth <= 8; ++depth) {
-    ds.push_back(depth);
-    std::vector<std::string> row{std::to_string(depth)};
-    for (std::size_t bi = 0; bi < betas.size(); ++bi) {
-      const Rational p = exact_fork_probability(depth, betas[bi]);
-      series[bi].push_back(p.to_double());
-      row.push_back(p.to_string());
-    }
-    bench::print_row(row, 16);
+    ok = bench::guarded_row(std::to_string(depth), [&] {
+      ds.push_back(depth);
+      std::vector<std::string> row{std::to_string(depth)};
+      for (std::size_t bi = 0; bi < betas.size(); ++bi) {
+        const Rational p = exact_fork_probability(depth, betas[bi]);
+        series[bi].push_back(p.to_double());
+        row.push_back(p.to_string());
+      }
+      bench::print_row(row, 16);
+      return true;
+    }, 16) && ok;
   }
   // Minority adversaries: negligible-looking decay; the equal-power
   // adversary defeats confirmation entirely.
@@ -65,7 +68,7 @@ int run() {
 
   // Cross-check the automaton against the closed form at one point and
   // record the exact implementation epsilon.
-  {
+  ok = bench::guarded_row("cross-check", [&] {
     const std::uint32_t depth = 4;
     const std::string rt = "e16r";
     auto real = make_confirmation_race(rt, depth, Rational(1, 4));
@@ -78,11 +81,11 @@ int run() {
     const auto di = exact_fdist(*ideal, *si, fi, 8);
     const Rational eps = balance_distance(dr, di);
     const Rational closed = exact_fork_probability(depth, Rational(1, 4));
-    ok = ok && eps == closed;
     std::printf("automaton cross-check (depth 4, beta 1/4): "
                 "enumerated eps = %s, closed form = %s\n",
                 eps.to_string().c_str(), closed.to_string().c_str());
-  }
+    return eps == closed;
+  }) && ok;
   return bench::verdict(
       ok, "E16: backbone common-prefix shape reproduced exactly");
 }

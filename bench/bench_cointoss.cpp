@@ -38,29 +38,31 @@ int run() {
                    12);
   bool ok = true;
   for (std::uint32_t k = 1; k <= 6; ++k) {
-    const std::string tag = "e15k" + std::to_string(k);
-    const CoinTossPair ct = make_cointoss_pair(k, tag);
-    const PsioaPtr biaser = make_biaser_adversary(tag);
-    auto env = make_probe_env_matching(
-        "env_" + tag, {act("toss_" + tag)}, acts({"result0_" + tag}),
-        act("result1_" + tag), act("acc_" + tag));
-    auto real_sys = compose(env, compose(ct.real.ptr(), biaser));
-    auto ideal_sys = compose(env, compose(ct.ideal.ptr(), biaser));
-    const SchedulerPtr sched = driver(tag);
-    AcceptInsight f(act("acc_" + tag));
-    const auto rd = exact_fdist(*real_sys, *sched, f, 24);
-    const auto id = exact_fdist(*ideal_sys, *sched, f, 24);
-    const Rational eps = balance_distance(rd, id);
-    const bool match = eps == ct.exact_bias &&
-                       eps <= ct.commitment_advantage &&
-                       id.mass("1") == Rational(1, 2);
-    ok = ok && match;
-    bench::print_row({std::to_string(k),
-                      ct.commitment_advantage.to_string(),
-                      rd.mass("1").to_string(), id.mass("1").to_string(),
-                      eps.to_string(), ct.exact_bias.to_string(),
-                      match ? "yes" : "NO"},
-                     12);
+    ok = bench::guarded_row(std::to_string(k), [&] {
+      const std::string tag = "e15k" + std::to_string(k);
+      const CoinTossPair ct = make_cointoss_pair(k, tag);
+      const PsioaPtr biaser = make_biaser_adversary(tag);
+      auto env = make_probe_env_matching(
+          "env_" + tag, {act("toss_" + tag)}, acts({"result0_" + tag}),
+          act("result1_" + tag), act("acc_" + tag));
+      auto real_sys = compose(env, compose(ct.real.ptr(), biaser));
+      auto ideal_sys = compose(env, compose(ct.ideal.ptr(), biaser));
+      const SchedulerPtr sched = driver(tag);
+      AcceptInsight f(act("acc_" + tag));
+      const auto rd = exact_fdist(*real_sys, *sched, f, 24);
+      const auto id = exact_fdist(*ideal_sys, *sched, f, 24);
+      const Rational eps = balance_distance(rd, id);
+      const bool match = eps == ct.exact_bias &&
+                         eps <= ct.commitment_advantage &&
+                         id.mass("1") == Rational(1, 2);
+      bench::print_row({std::to_string(k),
+                        ct.commitment_advantage.to_string(),
+                        rd.mass("1").to_string(), id.mass("1").to_string(),
+                        eps.to_string(), ct.exact_bias.to_string(),
+                        match ? "yes" : "NO"},
+                       12);
+      return match;
+    }, 12) && ok;
   }
   return bench::verdict(
       ok, "E15: protocol inherits exactly half the commitment epsilon");

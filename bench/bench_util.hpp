@@ -1,11 +1,18 @@
 #pragma once
-// Shared helpers for the experiment harnesses: fixed-width table printing
-// and a monotonic timer. Each harness prints the rows recorded in
-// EXPERIMENTS.md and exits non-zero if its claim check fails, so the
-// bench run doubles as an end-to-end verification pass.
+// Shared helpers for the experiment harnesses: fixed-width table printing,
+// a monotonic timer, and guarded row execution. Each harness prints the
+// rows recorded in EXPERIMENTS.md and exits non-zero if its claim check
+// fails, so the bench run doubles as an end-to-end verification pass.
+//
+// Degradation contract: a harness never aborts mid-table. Per-row work
+// runs through guarded_row(); a row whose computation throws (deadline,
+// logic error, resource exhaustion) is printed as a partial row carrying
+// the error text, the remaining rows still run, and the final verdict is
+// FAIL (non-zero exit) -- so a flaky trial costs one row, not the table.
 
 #include <chrono>
 #include <cstdio>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -41,6 +48,22 @@ class Timer {
 inline int verdict(bool ok, const std::string& what) {
   std::printf("[%s] %s\n\n", ok ? "PASS" : "FAIL", what.c_str());
   return ok ? 0 : 1;
+}
+
+/// Runs one row's computation; `fn` returns whether the row's self-check
+/// held. On exception the row degrades to a partial row showing the error
+/// and counts as failed, but the table keeps going.
+template <typename Fn>
+bool guarded_row(const std::string& row_id, Fn&& fn, int width = 14) {
+  try {
+    return fn();
+  } catch (const std::exception& e) {
+    print_row({row_id, std::string("PARTIAL: ") + e.what()}, width);
+    return false;
+  } catch (...) {
+    print_row({row_id, "PARTIAL: non-standard exception"}, width);
+    return false;
+  }
 }
 
 }  // namespace cdse::bench

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full local gate: the tier-1 verify (plain build + ctest, experiments
+# included) plus an ASan/UBSan build of the test suite. Usage:
+#
+#   scripts/check.sh            # both passes
+#   scripts/check.sh --fast     # tier-1 only
+#
+# The sanitized pass skips the experiment-labelled ctest entries: the
+# harnesses re-run under the plain pass already, and sanitizer slowdown
+# would push the long sweeps past their timeouts.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+
+echo "== tier-1: plain build + full ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "== done (fast mode: sanitized pass skipped) =="
+  exit 0
+fi
+
+echo "== sanitized: ASan/UBSan build + unit ctest =="
+cmake -B build-san -S . -DCDSE_SANITIZE="address;undefined" >/dev/null
+cmake --build build-san -j "$JOBS"
+ctest --test-dir build-san --output-on-failure -j "$JOBS" -LE experiment
+
+echo "== all checks passed =="

@@ -1,0 +1,125 @@
+#include "fault/byzantine.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace cdse {
+
+ByzantinePsioa::ByzantinePsioa(PsioaPtr inner, ActionBijection flip,
+                               Rational rate)
+    : Psioa("byzantine_" + inner->name()),
+      inner_(std::move(inner)),
+      flip_(std::move(flip)),
+      rate_(std::move(rate)) {
+  if (rate_ < Rational(0) || Rational(1) < rate_) {
+    throw std::invalid_argument("ByzantinePsioa: rate outside [0, 1]");
+  }
+}
+
+State ByzantinePsioa::intern(State inner_q, bool lying) {
+  const Key key{inner_q, lying};
+  auto it = interned_.find(key);
+  if (it != interned_.end()) return it->second;
+  const State handle = static_cast<State>(keys_.size());
+  keys_.push_back(key);
+  interned_.emplace(key, handle);
+  return handle;
+}
+
+const ByzantinePsioa::Key& ByzantinePsioa::key_at(State q) const {
+  if (q >= keys_.size()) {
+    throw std::logic_error("ByzantinePsioa: unknown state handle");
+  }
+  return keys_[q];
+}
+
+State ByzantinePsioa::start_state() {
+  return intern(inner_->start_state(), /*lying=*/false);
+}
+
+bool ByzantinePsioa::lying(State q) const { return key_at(q).second; }
+
+Signature ByzantinePsioa::signature(State q) {
+  const Key key = key_at(q);
+  Signature sig = inner_->signature(key.first);
+  if (!key.second) return sig;
+  Signature mapped = flip_.apply(sig);
+  if (!mapped.valid()) {
+    throw std::logic_error(
+        "ByzantinePsioa: flipped signature not valid at state " +
+        inner_->state_label(key.first));
+  }
+  return mapped;
+}
+
+StateDist ByzantinePsioa::transition(State q, ActionId a) {
+  const Key key = key_at(q);
+  // The label fired externally is `a`; in lying mode the inner automaton
+  // advances by the action actually meant (flip is an involution, so
+  // apply() inverts itself).
+  const ActionId actual = key.second ? flip_.apply(a) : a;
+  const StateDist eta = inner_->transition(key.first, actual);
+  if (rate_.is_zero()) {
+    StateDist out;
+    for (const auto& [q2, w] : eta.entries()) {
+      out.add(intern(q2, false), w);
+    }
+    return out;
+  }
+  const Rational honest = Rational(1) - rate_;
+  StateDist out;
+  for (const auto& [q2, w] : eta.entries()) {
+    if (!honest.is_zero()) out.add(intern(q2, false), honest * w);
+    out.add(intern(q2, true), rate_ * w);
+  }
+  return out;
+}
+
+BitString ByzantinePsioa::encode_state(State q) {
+  const Key key = key_at(q);
+  BitString bits = BitString::pair(inner_->encode_state(key.first),
+                                   BitString::from_uint(key.second ? 1 : 0));
+  return bits;
+}
+
+std::string ByzantinePsioa::state_label(State q) {
+  const Key key = key_at(q);
+  return inner_->state_label(key.first) + (key.second ? "!lying" : "");
+}
+
+ActionBijection make_flip_involution(const std::vector<FlipPair>& pairs) {
+  ActionBijection flip;
+  for (const auto& [a, b] : pairs) {
+    if (a == b) {
+      throw std::invalid_argument(
+          "make_flip_involution: a pair must contain two distinct actions");
+    }
+    flip.add(a, b);
+    flip.add(b, a);
+  }
+  return flip;
+}
+
+StructuredPsioa corrupt_structured(const StructuredPsioa& a,
+                                   const std::vector<FlipPair>& flips,
+                                   const Rational& rate) {
+  for (const auto& [x, y] : flips) {
+    const bool env =
+        set::contains(a.env_vocab(), x) && set::contains(a.env_vocab(), y);
+    const bool adv_out = set::contains(a.adv_out_vocab(), x) &&
+                         set::contains(a.adv_out_vocab(), y);
+    const bool adv_in = set::contains(a.adv_in_vocab(), x) &&
+                        set::contains(a.adv_in_vocab(), y);
+    if (!env && !adv_out && !adv_in) {
+      throw std::invalid_argument(
+          "corrupt_structured: flip pair {" + ActionTable::instance().name(x) +
+          ", " + ActionTable::instance().name(y) +
+          "} does not sit inside one vocabulary class");
+    }
+  }
+  auto corrupted = std::make_shared<ByzantinePsioa>(
+      a.ptr(), make_flip_involution(flips), rate);
+  return a.rebind(std::move(corrupted));
+}
+
+}  // namespace cdse

@@ -1,0 +1,79 @@
+#pragma once
+// Byzantine corruption of structured automata.
+//
+// A Byzantine-corrupted party may misreport: when the inner automaton
+// emits one action of a designated flip pair, the corrupted wrapper emits
+// the other with probability `rate` -- saUCy-style Byzantine corruption
+// expressed as automaton structure rather than engine mutation. The
+// wrapper works on StructuredPsioa (src/secure) because corruption is
+// only meaningful relative to the environment/adversary interface split:
+// flip pairs must live in one vocabulary class, so the corrupted automaton
+// is a structured automaton over the *same* vocabularies and slots into
+// the secure-emulation harness unchanged.
+//
+// Mechanics: wrapper states are (inner state, mode) with mode in
+// {honest, lying}; every transition re-draws the mode of the target state
+// Bernoulli(rate) (the per-emission corruption coin, folded into the
+// transition distribution so everything stays an exact PSIOA). In lying
+// mode the signature and the fired labels are mapped through the flip
+// involution; the inner automaton always advances by the *actual* action.
+// The start state is honest: corruption is active from the first
+// transition on.
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "psioa/rename.hpp"
+#include "secure/structured.hpp"
+#include "util/rational.hpp"
+
+namespace cdse {
+
+/// One pair of mutually substitutable report actions (e.g. result0 <->
+/// result1). Both must belong to the same vocabulary class of the
+/// structured automaton being corrupted.
+using FlipPair = std::pair<ActionId, ActionId>;
+
+class ByzantinePsioa : public Psioa {
+ public:
+  /// `flip` must be an involution (built by make_flip_involution).
+  ByzantinePsioa(PsioaPtr inner, ActionBijection flip, Rational rate);
+
+  State start_state() override;
+  Signature signature(State q) override;
+  StateDist transition(State q, ActionId a) override;
+  BitString encode_state(State q) override;
+  std::string state_label(State q) override;
+
+  Psioa& inner() { return *inner_; }
+  const Rational& rate() const { return rate_; }
+
+  /// True at states currently misreporting.
+  bool lying(State q) const;
+
+ private:
+  using Key = std::pair<State, bool>;  // (inner state, lying?)
+  State intern(State inner_q, bool lying);
+  const Key& key_at(State q) const;
+
+  PsioaPtr inner_;
+  ActionBijection flip_;
+  Rational rate_;
+  std::vector<Key> keys_;
+  std::map<Key, State> interned_;
+};
+
+/// Builds the involution a <-> b for every pair (throws on overlap).
+ActionBijection make_flip_involution(const std::vector<FlipPair>& pairs);
+
+/// Corrupts a structured automaton: each flip pair's two actions must
+/// belong to the same vocabulary class (both environment-facing, both
+/// adversary outputs, ...); throws std::invalid_argument otherwise. The
+/// result keeps the original vocabularies (the corrupted party speaks the
+/// same interface -- it just lies on it with probability `rate`).
+StructuredPsioa corrupt_structured(const StructuredPsioa& a,
+                                   const std::vector<FlipPair>& flips,
+                                   const Rational& rate);
+
+}  // namespace cdse

@@ -1,0 +1,83 @@
+#include "fault/crash.hpp"
+
+#include <stdexcept>
+
+namespace cdse {
+
+CrashablePsioa::CrashablePsioa(PsioaPtr inner, std::size_t crash_after)
+    : Psioa("crashable_" + inner->name()),
+      inner_(std::move(inner)),
+      crash_after_(crash_after) {}
+
+State CrashablePsioa::intern(State inner_q, std::size_t remaining) {
+  const Key key{inner_q, remaining};
+  auto it = interned_.find(key);
+  if (it != interned_.end()) return it->second;
+  const State handle = static_cast<State>(keys_.size());
+  keys_.push_back(key);
+  interned_.emplace(key, handle);
+  return handle;
+}
+
+const CrashablePsioa::Key& CrashablePsioa::key_at(State q) const {
+  if (q >= keys_.size()) {
+    throw std::logic_error("CrashablePsioa: unknown state handle");
+  }
+  return keys_[q];
+}
+
+State CrashablePsioa::start_state() {
+  return intern(inner_->start_state(), crash_after_);
+}
+
+bool CrashablePsioa::crashed(State q) const { return key_at(q).second == 0; }
+
+Signature CrashablePsioa::signature(State q) {
+  const Key key = key_at(q);
+  if (key.second == 0) return Signature{};  // destruction sentinel
+  return inner_->signature(key.first);
+}
+
+StateDist CrashablePsioa::transition(State q, ActionId a) {
+  const Key key = key_at(q);
+  if (key.second == 0) {
+    throw std::logic_error("CrashablePsioa: no action enabled after crash");
+  }
+  const StateDist eta = inner_->transition(key.first, a);
+  StateDist out;
+  for (const auto& [q2, w] : eta.entries()) {
+    out.add(intern(q2, key.second - 1), w);
+  }
+  return out;
+}
+
+BitString CrashablePsioa::encode_state(State q) {
+  const Key key = key_at(q);
+  return BitString::pair(inner_->encode_state(key.first),
+                         BitString::from_uint(key.second));
+}
+
+std::string CrashablePsioa::state_label(State q) {
+  const Key key = key_at(q);
+  if (key.second == 0) return "CRASHED";
+  return inner_->state_label(key.first) + "@" + std::to_string(key.second);
+}
+
+PsioaPtr make_crashable(PsioaPtr inner, std::size_t crash_after) {
+  return std::make_shared<CrashablePsioa>(std::move(inner), crash_after);
+}
+
+PcaPtr make_crash_stop_pca(const std::string& name, RegistryPtr registry,
+                           PsioaPtr inner, std::size_t crash_after) {
+  if (crash_after == 0) {
+    // A 0-budget member would make the *initial* configuration reducible,
+    // which Def 2.16 constraint 1 forbids; crash at the first transition
+    // is the earliest expressible schedule.
+    throw std::invalid_argument(
+        "make_crash_stop_pca: crash_after must be >= 1");
+  }
+  const Aid id = registry->add(make_crashable(std::move(inner), crash_after));
+  return std::make_shared<DynamicPca>(name, registry, std::vector<Aid>{id});
+}
+
+}  // namespace cdse

@@ -1,0 +1,67 @@
+#pragma once
+// Crash-stop faults as intrinsic PCA destruction (Def 2.12 / Def 2.14).
+//
+// The paper destroys an automaton by having its signature go empty:
+// reduce() (Def 2.12) then drops it from the configuration, and because
+// DynamicPca derives its transitions from intrinsic configuration
+// transitions (Def 2.14), the drop *is* a destruction transition of the
+// PCA -- no engine-level special case. CrashablePsioa realizes a
+// crash-stop schedule in exactly those terms: it forwards the inner
+// automaton verbatim while a transition budget lasts, and every state
+// reached once the budget is exhausted has the empty signature. Wrapping
+// it in a (single-member) DynamicPca therefore yields a PCA whose
+// crash *is* an intrinsic destruction transition, checkable with
+// check_pca_constraints() like any other PCA.
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pca/dynamic_pca.hpp"
+#include "psioa/psioa.hpp"
+
+namespace cdse {
+
+class CrashablePsioa : public Psioa {
+ public:
+  /// After `crash_after` transitions of the wrapper (counting every fired
+  /// action -- inputs included: a crashed process stops reacting to its
+  /// whole interface), the reached state's signature is empty.
+  CrashablePsioa(PsioaPtr inner, std::size_t crash_after);
+
+  State start_state() override;
+  Signature signature(State q) override;
+  StateDist transition(State q, ActionId a) override;
+  BitString encode_state(State q) override;
+  std::string state_label(State q) override;
+
+  Psioa& inner() { return *inner_; }
+  std::size_t crash_after() const { return crash_after_; }
+
+  /// True at states where the budget is exhausted (signature empty).
+  bool crashed(State q) const;
+
+ private:
+  // Inner handles are opaque uint64s of unknown range, so wrapper states
+  // are interned (inner state, budget left) pairs.
+  using Key = std::pair<State, std::size_t>;
+  State intern(State inner_q, std::size_t remaining);
+  const Key& key_at(State q) const;
+
+  PsioaPtr inner_;
+  std::size_t crash_after_;
+  std::vector<Key> keys_;
+  std::map<Key, State> interned_;
+};
+
+/// Wraps `inner` so it crash-stops after `crash_after` transitions.
+PsioaPtr make_crashable(PsioaPtr inner, std::size_t crash_after);
+
+/// Registers crashable(inner) in `registry` and returns the single-member
+/// DynamicPca around it: the crash surfaces as an intrinsic destruction
+/// transition (the configuration reduces to empty).
+PcaPtr make_crash_stop_pca(const std::string& name, RegistryPtr registry,
+                           PsioaPtr inner, std::size_t crash_after);
+
+}  // namespace cdse

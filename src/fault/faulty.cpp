@@ -1,0 +1,161 @@
+#include "fault/faulty.hpp"
+
+#include <stdexcept>
+
+#include "protocols/channel.hpp"
+#include "sched/schedulers.hpp"
+
+namespace cdse {
+
+FaultyPsioa::FaultyPsioa(PsioaPtr inner, FaultPlan plan, ActionSet targets,
+                         const std::string& tag)
+    : Psioa("faulty_" + inner->name()),
+      inner_(std::move(inner)),
+      plan_(std::move(plan)),
+      targets_(std::move(targets)),
+      a_deliver_(act("faultdeliver_" + tag)) {
+  plan_.validate();
+  set::normalize(targets_);
+}
+
+State FaultyPsioa::intern(State inner_q, ActionId pending) {
+  const Key key{inner_q, pending};
+  auto it = interned_.find(key);
+  if (it != interned_.end()) return it->second;
+  const State handle = static_cast<State>(keys_.size());
+  keys_.push_back(key);
+  interned_.emplace(key, handle);
+  return handle;
+}
+
+const FaultyPsioa::Key& FaultyPsioa::key_at(State q) const {
+  if (q >= keys_.size()) {
+    throw std::logic_error("FaultyPsioa: unknown state handle");
+  }
+  return keys_[q];
+}
+
+State FaultyPsioa::start_state() {
+  return intern(inner_->start_state(), kInvalidAction);
+}
+
+Signature FaultyPsioa::signature(State q) {
+  const Key key = key_at(q);
+  if (key.second != kInvalidAction) {
+    Signature held;
+    held.internal = ActionSet{a_deliver_};
+    return held;
+  }
+  return inner_->signature(key.first);
+}
+
+void FaultyPsioa::add_processed(StateDist& out, State inner_q, ActionId a,
+                                const Rational& w_normal,
+                                const Rational& w_dup) {
+  const StateDist eta = inner_->transition(inner_q, a);
+  for (const auto& [q2, w2] : eta.entries()) {
+    if (!w_normal.is_zero()) {
+      out.add(intern(q2, kInvalidAction), w_normal * w2);
+    }
+    if (w_dup.is_zero()) continue;
+    // Second application of the duplicated message, where still enabled.
+    if (inner_->signature(q2).contains(a)) {
+      const StateDist again = inner_->transition(q2, a);
+      for (const auto& [q3, w3] : again.entries()) {
+        out.add(intern(q3, kInvalidAction), w_dup * w2 * w3);
+      }
+    } else {
+      out.add(intern(q2, kInvalidAction), w_dup * w2);
+    }
+  }
+}
+
+StateDist FaultyPsioa::transition(State q, ActionId a) {
+  const Key key = key_at(q);
+  if (key.second != kInvalidAction) {
+    if (a != a_deliver_) {
+      throw std::logic_error(
+          "FaultyPsioa: only the delivery action is enabled while a "
+          "delayed message is held");
+    }
+    // Delivery applies the held transition normally (no re-fault).
+    StateDist out;
+    add_processed(out, key.first, key.second, Rational(1), Rational(0));
+    return out;
+  }
+  const State inner_q = key.first;
+  if (!set::contains(targets_, a)) {
+    StateDist out;
+    add_processed(out, inner_q, a, Rational(1), Rational(0));
+    return out;
+  }
+  const Rational normal =
+      Rational(1) - plan_.drop - plan_.duplicate - plan_.delay;
+  StateDist out;
+  if (!plan_.drop.is_zero()) {
+    out.add(intern(inner_q, kInvalidAction), plan_.drop);  // lost: no move
+  }
+  if (!plan_.delay.is_zero()) {
+    out.add(intern(inner_q, a), plan_.delay);  // held for later delivery
+  }
+  add_processed(out, inner_q, a, normal, plan_.duplicate);
+  return out;
+}
+
+BitString FaultyPsioa::encode_state(State q) {
+  const Key key = key_at(q);
+  return BitString::pair(
+      inner_->encode_state(key.first),
+      BitString::from_uint(
+          key.second == kInvalidAction ? 0 : std::uint64_t{key.second} + 1));
+}
+
+std::string FaultyPsioa::state_label(State q) {
+  const Key key = key_at(q);
+  std::string label = inner_->state_label(key.first);
+  if (key.second != kInvalidAction) {
+    label += "+held(" + ActionTable::instance().name(key.second) + ")";
+  }
+  return label;
+}
+
+PsioaPtr inject_faults(PsioaPtr inner, const FaultPlan& plan,
+                       ActionSet targets, const std::string& tag) {
+  plan.validate();
+  return std::make_shared<FaultyPsioa>(std::move(inner), plan,
+                                       std::move(targets), tag);
+}
+
+PsioaPtr make_faulty_channel(const std::string& tag, const FaultPlan& plan) {
+  ActionSet sends = acts({"send0_" + tag, "send1_" + tag});
+  return inject_faults(make_channel(tag), plan, std::move(sends), tag);
+}
+
+PerturbedScheduler::PerturbedScheduler(SchedulerPtr inner,
+                                       Rational reorder_rate, bool local_only)
+    : inner_(std::move(inner)),
+      rate_(std::move(reorder_rate)),
+      local_only_(local_only) {
+  if (rate_ < Rational(0) || Rational(1) < rate_) {
+    throw std::invalid_argument(
+        "PerturbedScheduler: reorder rate outside [0, 1]");
+  }
+}
+
+ActionChoice PerturbedScheduler::choose(Psioa& automaton,
+                                        const ExecFragment& alpha) {
+  ActionChoice base = inner_->choose(automaton, alpha);
+  if (rate_.is_zero()) return base;
+  const ActionSet options =
+      schedulable_actions(automaton, alpha.lstate(), local_only_);
+  if (options.empty()) return base;
+  ActionChoice out;
+  const Rational keep = Rational(1) - rate_;
+  for (const auto& [a, w] : base.entries()) out.add(a, keep * w);
+  const Rational each =
+      rate_ / Rational(static_cast<std::int64_t>(options.size()));
+  for (const ActionId a : options) out.add(a, each);
+  return out;
+}
+
+}  // namespace cdse

@@ -1,0 +1,107 @@
+#pragma once
+// FaultyPsioa: loss / duplication / delay as a wrapper automaton.
+//
+// The wrapper intercepts a designated set of actions of the inner
+// automaton and, per firing, branches among four mutually exclusive
+// outcomes of the FaultPlan:
+//   drop      -- the action fires (composition partners see it) but the
+//                inner automaton does not advance: receiver-side loss.
+//   duplicate -- the inner transition is applied, and applied again from
+//                every target where the action is still enabled:
+//                receiver-side duplication.
+//   delay     -- the wrapper holds (state, action) and only applies the
+//                inner transition on a fresh *internal* delivery action,
+//                one schedulable step later.
+//   normal    -- the inner transition, unchanged.
+//
+// All branching lives in the wrapper's transition distributions with exact
+// rational weights, so a faulty system is an ordinary PSIOA: the exact
+// cone-measure enumerator, the composition operators and the emulation
+// harness all apply unchanged. A plan with all rates zero yields a wrapper
+// whose executions are in label-preserving bijection with the inner
+// automaton's (the drop-rate-0 trace-identity the tests pin down).
+//
+// Untargeted actions pass through untouched. The wrapper's signature
+// equals the inner signature everywhere except held states, whose only
+// enabled action is the internal delivery action "faultdeliver_<tag>".
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "psioa/psioa.hpp"
+#include "sched/scheduler.hpp"
+
+namespace cdse {
+
+class FaultyPsioa : public Psioa {
+ public:
+  /// `targets`: the actions subject to drop/duplicate/delay. `tag` makes
+  /// the delivery action unique per wrapper instance.
+  FaultyPsioa(PsioaPtr inner, FaultPlan plan, ActionSet targets,
+              const std::string& tag);
+
+  State start_state() override;
+  Signature signature(State q) override;
+  StateDist transition(State q, ActionId a) override;
+  BitString encode_state(State q) override;
+  std::string state_label(State q) override;
+
+  Psioa& inner() { return *inner_; }
+  const FaultPlan& plan() const { return plan_; }
+  ActionId deliver_action() const { return a_deliver_; }
+
+ private:
+  // Wrapper states are interned (inner state, pending action) pairs;
+  // pending == kInvalidAction means no delayed message is held.
+  using Key = std::pair<State, ActionId>;
+  State intern(State inner_q, ActionId pending);
+  const Key& key_at(State q) const;
+
+  /// The inner transition on `a` from `q`, lifted to un-held wrapper
+  /// states, with the duplicate branch applied at weight `w`.
+  void add_processed(StateDist& out, State inner_q, ActionId a,
+                     const Rational& w_normal, const Rational& w_dup);
+
+  PsioaPtr inner_;
+  FaultPlan plan_;
+  ActionSet targets_;
+  ActionId a_deliver_;
+  std::vector<Key> keys_;
+  std::map<Key, State> interned_;
+};
+
+/// Wraps `inner` in a FaultyPsioa (validates the plan first).
+PsioaPtr inject_faults(PsioaPtr inner, const FaultPlan& plan,
+                       ActionSet targets, const std::string& tag);
+
+/// The faulty channel: protocols/channel's reliable 1-slot channel with
+/// the plan's faults injected on its send actions. With plan.drop == p and
+/// no other faults this is trace-equivalent to
+/// make_lossy_channel(tag, 1 - p) -- the tests pin that down.
+PsioaPtr make_faulty_channel(const std::string& tag, const FaultPlan& plan);
+
+/// Adversarial reordering as scheduler perturbation: with probability
+/// plan.reorder the inner scheduler's choice is replaced by a uniform
+/// pick over the locally controlled (or all, per `local_only`) enabled
+/// actions. Rate 0 is the inner scheduler verbatim.
+class PerturbedScheduler : public Scheduler {
+ public:
+  PerturbedScheduler(SchedulerPtr inner, Rational reorder_rate,
+                     bool local_only = true);
+
+  ActionChoice choose(Psioa& automaton, const ExecFragment& alpha) override;
+  std::string name() const override {
+    return "perturbed(" + inner_->name() + ")";
+  }
+
+ private:
+  SchedulerPtr inner_;
+  Rational rate_;
+  bool local_only_;
+};
+
+}  // namespace cdse

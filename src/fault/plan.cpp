@@ -1,0 +1,54 @@
+#include "fault/plan.hpp"
+
+#include <stdexcept>
+
+namespace cdse {
+
+bool FaultPlan::fault_free() const {
+  return drop.is_zero() && duplicate.is_zero() && delay.is_zero() &&
+         reorder.is_zero() && !crashes();
+}
+
+void FaultPlan::validate() const {
+  const Rational zero(0);
+  const Rational one(1);
+  auto check_rate = [&](const Rational& r, const char* what) {
+    if (r < zero || one < r) {
+      throw std::invalid_argument(std::string("FaultPlan: ") + what +
+                                  " rate outside [0, 1]: " + r.to_string());
+    }
+  };
+  check_rate(drop, "drop");
+  check_rate(duplicate, "duplicate");
+  check_rate(delay, "delay");
+  check_rate(reorder, "reorder");
+  if (one < drop + duplicate + delay) {
+    throw std::invalid_argument(
+        "FaultPlan: drop + duplicate + delay exceeds 1 (they are mutually "
+        "exclusive outcomes of one firing)");
+  }
+}
+
+std::string FaultPlan::describe() const {
+  std::string s = "faults(drop=" + drop.to_string() +
+                  ", dup=" + duplicate.to_string() +
+                  ", delay=" + delay.to_string() +
+                  ", reorder=" + reorder.to_string();
+  if (crashes()) s += ", crash_after=" + std::to_string(crash_after);
+  return s + ")";
+}
+
+FaultPlan FaultPlan::lossy(const Rational& p) {
+  FaultPlan plan;
+  plan.drop = p;
+  plan.validate();
+  return plan;
+}
+
+FaultPlan FaultPlan::fail_stop(std::size_t after) {
+  FaultPlan plan;
+  plan.crash_after = after;
+  return plan;
+}
+
+}  // namespace cdse

@@ -1,0 +1,75 @@
+#pragma once
+// FaultPlan: one declarative description of an adversarial run-time
+// condition, consumed by the adapter automata of this module.
+//
+// The paper's systems are meant to survive *dynamic* adversarial
+// conditions (Section 2.5's run-time creation/destruction motivation), but
+// faults must stay inside the formalism to say anything about emulation:
+// every fault here is realized as PSIOA/PCA structure, never as engine
+// trickery. Loss, duplication and delay are probabilistic branches of an
+// adapter automaton's transitions (exact rationals, so swept epsilons stay
+// exact); crash-stop is an intrinsic PCA destruction transition (Def 2.14
+// via the Def 2.12 empty-signature sentinel); Byzantine corruption is a
+// relabelling wrapper over structured automata; reordering is scheduler
+// perturbation (message reordering *is* scheduling in an IOA world).
+//
+// Rates are exact rationals because the fault sweeps compare emulation
+// epsilon against closed forms; `seed` only matters to sampled runs.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/rational.hpp"
+
+namespace cdse {
+
+struct FaultPlan {
+  /// No crash scheduled.
+  static constexpr std::size_t kNeverCrash = static_cast<std::size_t>(-1);
+
+  /// P[a targeted action is lost before the wrapped automaton processes
+  /// it] -- the action still fires (the sender cannot tell), the inner
+  /// state does not advance.
+  Rational drop{0};
+
+  /// P[a targeted action is processed twice] -- receiver-side duplication;
+  /// the second application only happens where the action is still
+  /// enabled.
+  Rational duplicate{0};
+
+  /// P[processing is deferred behind one internal delivery step].
+  Rational delay{0};
+
+  /// P[the scheduler's choice is replaced by a uniform pick over the
+  /// locally controlled enabled actions] -- adversarial reordering.
+  Rational reorder{0};
+
+  /// Crash-stop schedule: the wrapped automaton executes this many
+  /// transitions, then its signature goes empty (destruction sentinel).
+  std::size_t crash_after = kNeverCrash;
+
+  /// Stream base for sampled (Monte-Carlo) runs of faulty systems; exact
+  /// enumeration never consumes it.
+  std::uint64_t seed = 0;
+
+  bool crashes() const { return crash_after != kNeverCrash; }
+
+  /// True when every rate is zero and no crash is scheduled -- adapters
+  /// built from such a plan are trace-equivalent to what they wrap.
+  bool fault_free() const;
+
+  /// Throws std::invalid_argument unless every rate is in [0, 1] and
+  /// drop + duplicate + delay <= 1 (they are mutually exclusive outcomes
+  /// of one targeted firing).
+  void validate() const;
+
+  std::string describe() const;
+
+  // Named shorthands for the common sweeps.
+  static FaultPlan none() { return FaultPlan{}; }
+  static FaultPlan lossy(const Rational& p);
+  static FaultPlan fail_stop(std::size_t after);
+};
+
+}  // namespace cdse

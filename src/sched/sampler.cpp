@@ -1,5 +1,6 @@
 #include "sched/sampler.hpp"
 
+#include <algorithm>
 #include <vector>
 
 namespace cdse {
@@ -51,6 +52,91 @@ Disc<Perception, double> sample_fdist(Psioa& automaton, Scheduler& sched,
     dist.add(f.apply(automaton, alpha), w);
   }
   return dist;
+}
+
+namespace {
+
+// Distinct RNG universe per retry so a rotation cannot collide with any
+// chunk stream of a previous attempt.
+std::uint64_t rotate_seed(std::uint64_t seed, std::size_t attempt) {
+  return seed + static_cast<std::uint64_t>(attempt) * 0x9e3779b97f4a7c15ULL;
+}
+
+}  // namespace
+
+Disc<Perception, double> guarded_parallel_sample_fdist(
+    const PsioaFactory& make_automaton, const SchedulerFactory& make_sched,
+    const InsightFunction& f, std::size_t trials, std::uint64_t seed,
+    std::size_t max_depth, ThreadPool& pool, const SampleGuard& guard,
+    SampleReport* report) {
+  struct ChunkOutcome {
+    Disc<Perception, double> counts;
+    std::size_t done = 0;
+    std::size_t retries = 0;
+    bool timed_out = false;
+    std::string error;
+  };
+  const std::size_t chunks = std::max<std::size_t>(1, pool.size());
+  std::vector<ChunkOutcome> outcome(chunks);
+  parallel_for_chunks(
+      pool, trials,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        ChunkOutcome& out = outcome[chunk];
+        const std::size_t want = end - begin;
+        for (std::size_t attempt = 0;; ++attempt) {
+          out.counts = Disc<Perception, double>{};
+          out.done = 0;
+          out.timed_out = false;
+          try {
+            PsioaPtr automaton = make_automaton();
+            SchedulerPtr sched = make_sched();
+            Xoshiro256 rng =
+                Xoshiro256::for_stream(rotate_seed(seed, attempt), chunk);
+            const auto t0 = std::chrono::steady_clock::now();
+            for (std::size_t i = 0; i < want; ++i) {
+              if (guard.deadline.count() > 0 &&
+                  std::chrono::steady_clock::now() - t0 >= guard.deadline) {
+                out.timed_out = true;
+                break;
+              }
+              const ExecFragment alpha =
+                  sample_execution(*automaton, *sched, rng, max_depth);
+              out.counts.add(f.apply(*automaton, alpha), 1.0);
+              ++out.done;
+            }
+            return;
+          } catch (const std::exception& e) {
+            if (out.error.empty()) out.error = e.what();
+          } catch (...) {
+            if (out.error.empty()) out.error = "non-standard exception";
+          }
+          if (attempt >= guard.max_retries) {
+            out.counts = Disc<Perception, double>{};
+            out.done = 0;
+            return;
+          }
+          ++out.retries;
+        }
+      });
+  SampleReport rep;
+  rep.trials_requested = trials;
+  for (const auto& c : outcome) {
+    rep.trials_done += c.done;
+    rep.retries_used += c.retries;
+    rep.deadline_hit = rep.deadline_hit || c.timed_out;
+    if (rep.error.empty() && !c.error.empty()) rep.error = c.error;
+  }
+  rep.complete = rep.trials_done == trials;
+  Disc<Perception, double> merged;
+  if (rep.trials_done > 0) {
+    for (const auto& c : outcome) {
+      for (const auto& [perc, count] : c.counts.entries()) {
+        merged.add(perc, count / static_cast<double>(rep.trials_done));
+      }
+    }
+  }
+  if (report != nullptr) *report = rep;
+  return merged;
 }
 
 Disc<Perception, double> parallel_sample_fdist(

@@ -8,8 +8,16 @@
 // worker gets its own automaton + scheduler instance and its own RNG
 // stream, so no synchronization is needed and results are reproducible
 // for a fixed seed regardless of thread count.
+//
+// The guarded variant hardens the fan-out for hostile workloads (fault
+// sweeps, foreign automata): per-chunk wall-clock deadlines checked
+// between trials, and retry-with-seed-rotation when a chunk's automaton
+// or scheduler throws. It degrades to a partial, still-normalized
+// estimate plus a SampleReport instead of tearing the experiment down.
 
+#include <chrono>
 #include <cstdint>
+#include <string>
 
 #include "sched/insight.hpp"
 #include "sched/scheduler.hpp"
@@ -37,5 +45,40 @@ Disc<Perception, double> parallel_sample_fdist(
     const PsioaFactory& make_automaton, const SchedulerFactory& make_sched,
     const InsightFunction& f, std::size_t trials, std::uint64_t seed,
     std::size_t max_depth, ThreadPool& pool);
+
+/// Failure policy for the guarded sampler.
+struct SampleGuard {
+  /// Wall-clock budget per chunk, checked between trials (each trial is
+  /// already depth-bounded, so checks are reached). zero() = unlimited.
+  std::chrono::milliseconds deadline{0};
+  /// How many times a chunk that throws is restarted on a rotated seed
+  /// stream before being written off.
+  std::size_t max_retries = 0;
+};
+
+/// What actually happened during a guarded run.
+struct SampleReport {
+  bool complete = true;          ///< every requested trial ran
+  bool deadline_hit = false;     ///< at least one chunk ran out of time
+  std::size_t trials_requested = 0;
+  std::size_t trials_done = 0;   ///< trials contributing to the estimate
+  std::size_t retries_used = 0;  ///< seed rotations consumed across chunks
+  std::string error;             ///< first chunk failure message, "" if none
+
+  explicit operator bool() const { return complete; }
+};
+
+/// Hardened parallel estimate: never throws on task failure. Chunks that
+/// exceed `guard.deadline` contribute the trials they finished; chunks
+/// whose automaton/scheduler throws are retried on rotated seed streams
+/// (seed' = seed + (attempt+1)*golden-gamma) up to guard.max_retries, and
+/// a throwing attempt's partial trials are discarded as tainted. The
+/// returned distribution is normalized over report->trials_done, so it is
+/// a valid estimate of the f-dist from however many trials survived.
+Disc<Perception, double> guarded_parallel_sample_fdist(
+    const PsioaFactory& make_automaton, const SchedulerFactory& make_sched,
+    const InsightFunction& f, std::size_t trials, std::uint64_t seed,
+    std::size_t max_depth, ThreadPool& pool, const SampleGuard& guard,
+    SampleReport* report);
 
 }  // namespace cdse

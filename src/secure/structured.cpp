@@ -22,6 +22,10 @@ StructuredPsioa::StructuredPsioa(PsioaPtr automaton, ActionSet env,
   }
 }
 
+StructuredPsioa StructuredPsioa::rebind(PsioaPtr replacement) const {
+  return StructuredPsioa(std::move(replacement), env_, adv_in_, adv_out_);
+}
+
 ActionSet StructuredPsioa::eact(State q) const {
   return set::intersect(automaton_->signature(q).ext(), env_);
 }

@@ -37,6 +37,12 @@ class StructuredPsioa {
   /// AAct as a vocabulary: adv_in U adv_out.
   ActionSet aact_vocab() const { return set::unite(adv_in_, adv_out_); }
 
+  /// Same vocabularies over a different underlying automaton -- the
+  /// device wrapper constructions (e.g. the Byzantine corruption wrapper
+  /// in src/fault) use to re-enter the structured world after wrapping
+  /// ptr(): the replacement must speak the same external interface.
+  StructuredPsioa rebind(PsioaPtr replacement) const;
+
   // Per-state mappings of Def 4.17.
   ActionSet eact(State q) const;   // EAct_A(q)
   ActionSet aact(State q) const;   // AAct_A(q)

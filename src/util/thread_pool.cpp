@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace cdse {
 
@@ -21,6 +22,7 @@ ThreadPool::~ThreadPool() {
   }
   cv_task_.notify_all();
   for (auto& w : workers_) w.join();
+  // A pending first_error_ is discarded here: nobody is left to receive it.
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -35,6 +37,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lk(mu_);
   cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -47,9 +54,15 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lk(mu_);
+      if (err && !first_error_) first_error_ = err;
       if (--in_flight_ == 0) cv_idle_.notify_all();
     }
   }

@@ -5,9 +5,19 @@
 // parallel over independent RNG streams; a static partition keeps the
 // per-trial bookkeeping allocation-free and deterministic. The pool is
 // intentionally minimal (no work stealing): trial costs are uniform.
+//
+// Exception contract: a task that throws does not terminate the process.
+// The pool captures the *first* exception raised by any task and rethrows
+// it from the next wait_idle() call on the submitting thread; later
+// exceptions from the same batch are dropped (first-error-wins, the usual
+// fork/join convention). After the rethrow the pool is idle and reusable.
+// Destruction drains the queue and joins cleanly even when tasks failed;
+// an exception still pending at destruction is discarded (destructors
+// must not throw).
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -27,10 +37,13 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueues a task; tasks must not throw (std::terminate otherwise).
+  /// Enqueues a task. Tasks may throw: the first exception of a batch is
+  /// captured and rethrown by wait_idle().
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has completed.
+  /// Blocks until every submitted task has completed, then rethrows the
+  /// first exception any of them raised (clearing it, so the pool can be
+  /// reused afterwards).
   void wait_idle();
 
  private:
@@ -43,11 +56,13 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;
 };
 
 /// Runs body(chunk_index, begin, end) over [0, n) split into one chunk per
 /// worker. body must be thread-safe across chunks. Runs inline when the
-/// pool has a single worker or n is tiny.
+/// pool has a single worker or n is tiny. Propagates the first exception
+/// a chunk throws (after all chunks have finished).
 void parallel_for_chunks(
     ThreadPool& pool, std::size_t n,
     const std::function<void(std::size_t chunk, std::size_t begin,

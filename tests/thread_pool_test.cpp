@@ -1,0 +1,123 @@
+// ThreadPool failure paths (util/thread_pool.hpp).
+//
+// The exception contract is what the hardened engine builds on: a
+// throwing task must surface as a catchable exception from wait_idle()
+// on the submitting thread -- never std::terminate -- and the pool must
+// stay usable afterwards.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+#include "util/thread_pool.hpp"
+
+namespace cdse {
+namespace {
+
+TEST(ThreadPool, ThrowingTaskSurfacesFromWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionMessagePreserved) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("distinctive message"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "distinctive message");
+  }
+}
+
+TEST(ThreadPool, FirstErrorWinsAndOthersAreDropped) {
+  // Many failing tasks: exactly one exception comes out, and it is one of
+  // the submitted ones (first-error-wins is defined by completion order,
+  // which is nondeterministic; what is guaranteed is "exactly one").
+  ThreadPool pool(4);
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([i] { throw std::runtime_error("e" + std::to_string(i)); });
+  }
+  int caught = 0;
+  try {
+    pool.wait_idle();
+  } catch (const std::runtime_error&) {
+    ++caught;
+  }
+  EXPECT_EQ(caught, 1);
+  // A second wait on the now-idle pool must not rethrow again.
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
+TEST(ThreadPool, SurvivingTasksStillRun) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&ran, i] {
+      if (i == 3) throw std::runtime_error("one bad apple");
+      ran.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The failure costs one task, not the batch.
+  EXPECT_EQ(ran.load(), 7);
+}
+
+TEST(ThreadPool, ReusableAfterFailure) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("first batch fails"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) pool.submit([&ran] { ran.fetch_add(1); });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPool, NonStandardExceptionAlsoSurfaces) {
+  ThreadPool pool(2);
+  pool.submit([] { throw 42; });
+  EXPECT_THROW(pool.wait_idle(), int);
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
+TEST(ThreadPool, DestructionWithPendingFailureIsClean) {
+  // An exception still pending at destruction is discarded; the
+  // destructor must drain and join without terminating the process.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&ran, i] {
+        if (i % 2 == 0) throw std::runtime_error("pending at destruction");
+        ran.fetch_add(1);
+      });
+    }
+    // No wait_idle: destructor takes over with the error still latched.
+  }
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPool, ParallelForPropagatesChunkFailure) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for_chunks(pool, 1000,
+                          [](std::size_t chunk, std::size_t, std::size_t) {
+                            if (chunk == 0)
+                              throw std::runtime_error("chunk 0 failed");
+                          }),
+      std::runtime_error);
+  // Pool still serviceable for the next call.
+  std::atomic<std::size_t> total{0};
+  parallel_for_chunks(pool, 100,
+                      [&](std::size_t, std::size_t b, std::size_t e) {
+                        total.fetch_add(e - b);
+                      });
+  EXPECT_EQ(total.load(), 100u);
+}
+
+}  // namespace
+}  // namespace cdse
