@@ -1,17 +1,27 @@
 // E10 -- engineering baseline: throughput of the execution engines that
 // every other experiment stands on. google-benchmark microbenchmarks:
-//   - single-thread execution sampling (coin, composed system),
+//   - single-thread execution sampling (coin; composed real/ideal pair,
+//     with the memoized compiled fast-path cached vs uncached),
 //   - parallel Monte-Carlo f-dist estimation across thread counts,
 //   - exact cone enumeration,
 //   - composite transition evaluation.
+//
+// Unless the caller passes its own --benchmark_out, results are also
+// written machine-readably to BENCH_engine.json in the working
+// directory, so the cached/uncached speedup is scriptably comparable
+// across revisions.
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "crypto/pairs.hpp"
 #include "pca/check.hpp"
 #include "protocols/coinflip.hpp"
 #include "protocols/environment.hpp"
 #include "protocols/ledger.hpp"
+#include "psioa/memo.hpp"
 #include "sched/cone_measure.hpp"
 #include "sched/sampler.hpp"
 #include "sched/schedulers.hpp"
@@ -31,23 +41,83 @@ void BM_SampleCoinExecution(benchmark::State& state) {
 }
 BENCHMARK(BM_SampleCoinExecution);
 
-void BM_SampleComposedExecution(benchmark::State& state) {
-  const std::string tag = "e10_b";
+void BM_SampleCoinExecutionMemoView(benchmark::State& state) {
+  // Leaf automata are not migrated onto the memo base; memoize() wraps
+  // them in a caching view instead. This row prices that wrapper.
+  auto coin = memoize(make_coin("e10_a2", Rational(1, 2)));
+  UniformScheduler sched(16);
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample_execution(*coin, sched, rng, 16));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SampleCoinExecutionMemoView);
+
+/// The closed one-time-MAC system of E7: probe environment, sink
+/// adversary, and the real or ideal structured protocol stack.
+PsioaPtr make_mac_system(const std::string& tag, bool real) {
   const RealIdealPair mac = make_otmac_pair(8, tag);
   auto env = make_probe_env_matching(
       "env_" + tag, {act("auth_" + tag)}, acts({"rejected_" + tag}),
       act("forged_" + tag), act("acc_" + tag));
-  auto adv =
-      make_sink_adversary("adv_" + tag, {}, acts({"forge_" + tag}));
-  auto sys = compose(env, compose(mac.real.ptr(), adv));
-  UniformScheduler sched(12, true);
+  auto adv = make_sink_adversary("adv_" + tag, {}, acts({"forge_" + tag}));
+  return compose(env,
+                 compose(real ? mac.real.ptr() : mac.ideal.ptr(), adv));
+}
+
+/// The pre-memoization baseline scheduler: choose() is re-evaluated and
+/// recompiled on every step (the Scheduler default), with no per-state
+/// row memo -- pair it with set_memoization(false) for the "uncached"
+/// rows so both caching layers are off, as before this revision.
+class UncachedUniform : public Scheduler {
+ public:
+  explicit UncachedUniform(std::size_t depth_bound, bool local_only)
+      : inner_(depth_bound, local_only) {}
+  ActionChoice choose(Psioa& automaton, const ExecFragment& alpha) override {
+    return inner_.choose(automaton, alpha);
+  }
+  std::string name() const override { return "uniform-uncached"; }
+
+ private:
+  UniformScheduler inner_;
+};
+
+void BM_SampleComposedExecution(benchmark::State& state, bool real,
+                                bool cached, const std::string& tag) {
+  auto sys = make_mac_system(tag, real);
+  sys->set_memoization(cached);
+  UniformScheduler cached_sched(12, true);
+  UncachedUniform uncached_sched(12, true);
+  Scheduler& sched =
+      cached ? static_cast<Scheduler&>(cached_sched)
+             : static_cast<Scheduler&>(uncached_sched);
   Xoshiro256 rng(2);
   for (auto _ : state) {
     benchmark::DoNotOptimize(sample_execution(*sys, sched, rng, 12));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_SampleComposedExecution);
+
+void BM_SampleComposedRealCached(benchmark::State& state) {
+  BM_SampleComposedExecution(state, true, true, "e10_b");
+}
+BENCHMARK(BM_SampleComposedRealCached);
+
+void BM_SampleComposedRealUncached(benchmark::State& state) {
+  BM_SampleComposedExecution(state, true, false, "e10_b");
+}
+BENCHMARK(BM_SampleComposedRealUncached);
+
+void BM_SampleComposedIdealCached(benchmark::State& state) {
+  BM_SampleComposedExecution(state, false, true, "e10_g");
+}
+BENCHMARK(BM_SampleComposedIdealCached);
+
+void BM_SampleComposedIdealUncached(benchmark::State& state) {
+  BM_SampleComposedExecution(state, false, false, "e10_g");
+}
+BENCHMARK(BM_SampleComposedIdealUncached);
 
 void BM_ParallelFdist(benchmark::State& state) {
   const std::size_t threads = static_cast<std::size_t>(state.range(0));
@@ -100,4 +170,25 @@ BENCHMARK(BM_PcaConstraintCheck);
 }  // namespace
 }  // namespace cdse
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  // Default machine-readable output unless the caller chose their own.
+  std::string out_flag = "--benchmark_out=BENCH_engine.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool caller_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      caller_out = true;
+    }
+  }
+  if (!caller_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

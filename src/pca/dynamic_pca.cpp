@@ -42,13 +42,13 @@ State DynamicPca::start_state() {
   return intern_config(c);
 }
 
-Signature DynamicPca::signature(State q) {
+Signature DynamicPca::compute_signature(State q) {
   const Configuration& c = config_at(q);
   // Constraint 4: sig(X)(q) = hide(sig(config(X)(q)), hidden-actions(q)).
   return hide(config_signature(registry(), c), hidden_actions(q));
 }
 
-StateDist DynamicPca::transition(State q, ActionId a) {
+StateDist DynamicPca::compute_transition(State q, ActionId a) {
   const Configuration c = config_at(q);  // copy: interning may realloc
   if (!config_signature(registry(), c).contains(a)) {
     throw std::logic_error("DynamicPca " + name() + ": action '" +

@@ -30,10 +30,9 @@ class DynamicPca : public Pca {
       : DynamicPca(std::move(name), std::move(registry), std::move(initial),
                    no_creation(), no_hiding()) {}
 
-  // Psioa interface (the derived psioa(X) part).
+  // Psioa interface (the derived psioa(X) part); signature/transition
+  // are served by the MemoPsioa cache over compute_* below.
   State start_state() override;
-  Signature signature(State q) override;
-  StateDist transition(State q, ActionId a) override;
   BitString encode_state(State q) override;
   std::string state_label(State q) override;
 
@@ -45,6 +44,11 @@ class DynamicPca : public Pca {
   /// Interns a configuration as a state handle (exposed for tests that
   /// need to align hand-built configurations with states).
   State intern_config(const Configuration& c);
+
+ protected:
+  // Uncached constraints-by-construction semantics of Def 2.16.
+  Signature compute_signature(State q) override;
+  StateDist compute_transition(State q, ActionId a) override;
 
  private:
   const Configuration& config_at(State q) const;

@@ -4,20 +4,24 @@
 // A PCA *is* a PSIOA (its psioa(X) part) equipped with three extra
 // attributes: a configuration mapping, a creation mapping and a
 // hidden-actions mapping, tied together by the four constraints of
-// Def 2.16. We model that by deriving Pca from Psioa and adding the
-// attribute accessors; the canonical implementation (DynamicPca)
-// satisfies the constraints by construction, and check.hpp re-verifies
-// them for any Pca by bounded exploration.
+// Def 2.16. We model that by deriving Pca from MemoPsioa and adding the
+// attribute accessors: the derived PSIOA part (intrinsic configuration
+// transitions pushed through interning) is a pure function of the
+// interned (state, action), so every concrete PCA gets the memoized
+// signature/transition engine and compiled sampling rows for free. The
+// canonical implementation (DynamicPca) satisfies the constraints by
+// construction, and check.hpp re-verifies them for any Pca by bounded
+// exploration.
 
 #include "pca/configuration.hpp"
-#include "psioa/psioa.hpp"
+#include "psioa/memo.hpp"
 
 namespace cdse {
 
-class Pca : public Psioa {
+class Pca : public MemoPsioa {
  public:
   Pca(std::string name, RegistryPtr registry)
-      : Psioa(std::move(name)), registry_(std::move(registry)) {}
+      : MemoPsioa(std::move(name)), registry_(std::move(registry)) {}
 
   AutomatonRegistry& registry() { return *registry_; }
   const AutomatonRegistry& registry() const { return *registry_; }

@@ -18,15 +18,16 @@ class ComposedPca : public Pca {
  public:
   explicit ComposedPca(std::vector<PcaPtr> components);
 
-  // Psioa interface, forwarded to the inner composed PSIOA.
+  // Psioa interface, forwarded to the inner composed PSIOA (which is
+  // itself memoized; this outer memo just avoids the virtual hop).
   State start_state() override { return inner_->start_state(); }
-  Signature signature(State q) override { return inner_->signature(q); }
-  StateDist transition(State q, ActionId a) override {
-    return inner_->transition(q, a);
-  }
   BitString encode_state(State q) override { return inner_->encode_state(q); }
   std::string state_label(State q) override {
     return inner_->state_label(q);
+  }
+  void set_memoization(bool on) override {
+    MemoPsioa::set_memoization(on);
+    inner_->set_memoization(on);
   }
 
   // Pca attributes: unions over components (Def 2.19).
@@ -37,6 +38,14 @@ class ComposedPca : public Pca {
   std::size_t component_count() const { return components_.size(); }
   Pca& component(std::size_t i) { return *components_[i]; }
   ComposedPsioa& inner() { return *inner_; }
+
+ protected:
+  Signature compute_signature(State q) override {
+    return inner_->signature(q);
+  }
+  StateDist compute_transition(State q, ActionId a) override {
+    return inner_->transition(q, a);
+  }
 
  private:
   std::vector<PcaPtr> components_;

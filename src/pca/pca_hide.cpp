@@ -17,7 +17,7 @@ ActionSet HiddenPca::extra_hidden_at(State q) {
   return set::intersect(h_(q), inner_->signature(q).out);
 }
 
-Signature HiddenPca::signature(State q) {
+Signature HiddenPca::compute_signature(State q) {
   return hide(inner_->signature(q), extra_hidden_at(q));
 }
 

@@ -16,13 +16,13 @@ class HiddenPca : public Pca {
   HiddenPca(PcaPtr inner, ActionSet constant);
 
   State start_state() override { return inner_->start_state(); }
-  Signature signature(State q) override;
-  StateDist transition(State q, ActionId a) override {
-    return inner_->transition(q, a);
-  }
   BitString encode_state(State q) override { return inner_->encode_state(q); }
   std::string state_label(State q) override {
     return inner_->state_label(q);
+  }
+  void set_memoization(bool on) override {
+    MemoPsioa::set_memoization(on);
+    inner_->set_memoization(on);
   }
 
   Configuration config(State q) override { return inner_->config(q); }
@@ -32,6 +32,12 @@ class HiddenPca : public Pca {
   ActionSet hidden_actions(State q) override;
 
   Pca& inner() { return *inner_; }
+
+ protected:
+  Signature compute_signature(State q) override;
+  StateDist compute_transition(State q, ActionId a) override {
+    return inner_->transition(q, a);
+  }
 
  private:
   ActionSet extra_hidden_at(State q);

@@ -17,10 +17,16 @@ std::string composed_name(const std::vector<PsioaPtr>& components) {
 }  // namespace
 
 ComposedPsioa::ComposedPsioa(std::vector<PsioaPtr> components)
-    : Psioa(composed_name(components)), components_(std::move(components)) {
+    : MemoPsioa(composed_name(components)),
+      components_(std::move(components)) {
   if (components_.empty()) {
     throw std::invalid_argument("ComposedPsioa: empty component list");
   }
+}
+
+void ComposedPsioa::set_memoization(bool on) {
+  MemoPsioa::set_memoization(on);
+  for (auto& c : components_) c->set_memoization(on);
 }
 
 State ComposedPsioa::intern_tuple(const std::vector<State>& tuple) {
@@ -39,7 +45,7 @@ State ComposedPsioa::start_state() {
   return intern_tuple(starts);
 }
 
-Signature ComposedPsioa::signature(State q) {
+Signature ComposedPsioa::compute_signature(State q) {
   const auto& tup = tuple(q);
   Signature acc = components_[0]->signature(tup[0]);
   for (std::size_t i = 1; i < components_.size(); ++i) {
@@ -55,8 +61,10 @@ Signature ComposedPsioa::signature(State q) {
   return acc;
 }
 
-StateDist ComposedPsioa::transition(State q, ActionId a) {
-  const Signature sig = signature(q);  // also enforces compatibility
+StateDist ComposedPsioa::compute_transition(State q, ActionId a) {
+  // The memoized signature also enforces compatibility; after the first
+  // transition at q this is a cache hit, not a re-derivation.
+  const Signature& sig = signature_ref(q);
   if (!sig.contains(a)) {
     throw std::logic_error("ComposedPsioa: action '" +
                            ActionTable::instance().name(a) +

@@ -12,12 +12,17 @@
 // encode_state pairs the component encodings with the self-delimiting
 // scheme of Lemma B.1's proof, so representation lengths compose exactly
 // as the lemma's accounting predicts (exercised by experiment E1).
+//
+// Composite signatures and transition products are pure functions of the
+// interned (state, action), so the class sits on MemoPsioa: each is
+// derived once per reachable pair and served from the memo (with a
+// compiled double-CDF row for the sampler) on every later visit.
 
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
-#include "psioa/psioa.hpp"
+#include "psioa/memo.hpp"
 
 namespace cdse {
 
@@ -26,15 +31,14 @@ class IncompatibilityError : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
-class ComposedPsioa : public Psioa {
+class ComposedPsioa : public MemoPsioa {
  public:
   explicit ComposedPsioa(std::vector<PsioaPtr> components);
 
   State start_state() override;
-  Signature signature(State q) override;
-  StateDist transition(State q, ActionId a) override;
   BitString encode_state(State q) override;
   std::string state_label(State q) override;
+  void set_memoization(bool on) override;
 
   std::size_t component_count() const { return components_.size(); }
   Psioa& component(std::size_t i) { return *components_[i]; }
@@ -49,6 +53,12 @@ class ComposedPsioa : public Psioa {
   /// Interns a tuple (exposed for the PCA layer, which needs to align
   /// composite PCA states with component configurations).
   State intern_tuple(const std::vector<State>& tuple);
+
+ protected:
+  // Uncached Def 2.5 semantics; MemoPsioa caches the results per
+  // reachable (state, action).
+  Signature compute_signature(State q) override;
+  StateDist compute_transition(State q, ActionId a) override;
 
  private:
   struct TupleHash {

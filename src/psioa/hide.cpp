@@ -3,16 +3,16 @@
 namespace cdse {
 
 HiddenPsioa::HiddenPsioa(PsioaPtr inner, HidingFn h)
-    : Psioa("hide(" + inner->name() + ")"),
+    : MemoPsioa("hide(" + inner->name() + ")"),
       inner_(std::move(inner)),
       h_(std::move(h)) {}
 
 HiddenPsioa::HiddenPsioa(PsioaPtr inner, ActionSet constant)
-    : Psioa("hide(" + inner->name() + ")"),
+    : MemoPsioa("hide(" + inner->name() + ")"),
       inner_(std::move(inner)),
       h_([s = std::move(constant)](State) { return s; }) {}
 
-Signature HiddenPsioa::signature(State q) {
+Signature HiddenPsioa::compute_signature(State q) {
   return hide(inner_->signature(q), hidden_at(q));
 }
 

@@ -5,29 +5,31 @@
 // only the signature changes, states and transition dynamics are shared
 // with the inner automaton. `h` may be a constant set or a per-state
 // function; results are intersected with out(q) defensively (Def 2.7
-// requires h(q) subset of outputs).
+// requires h(q) subset of outputs). Sits on MemoPsioa so the hidden
+// signature is derived once per reachable state and the sampler gets
+// compiled rows without re-entering the inner automaton.
 
 #include <functional>
 
-#include "psioa/psioa.hpp"
+#include "psioa/memo.hpp"
 
 namespace cdse {
 
 using HidingFn = std::function<ActionSet(State)>;
 
-class HiddenPsioa : public Psioa {
+class HiddenPsioa : public MemoPsioa {
  public:
   HiddenPsioa(PsioaPtr inner, HidingFn h);
   HiddenPsioa(PsioaPtr inner, ActionSet constant);
 
   State start_state() override { return inner_->start_state(); }
-  Signature signature(State q) override;
-  StateDist transition(State q, ActionId a) override {
-    return inner_->transition(q, a);
-  }
   BitString encode_state(State q) override { return inner_->encode_state(q); }
   std::string state_label(State q) override {
     return inner_->state_label(q);
+  }
+  void set_memoization(bool on) override {
+    MemoPsioa::set_memoization(on);
+    inner_->set_memoization(on);
   }
 
   Psioa& inner() { return *inner_; }
@@ -35,6 +37,12 @@ class HiddenPsioa : public Psioa {
 
   /// The set actually hidden at q: h(q) intersected with out(q).
   ActionSet hidden_at(State q);
+
+ protected:
+  Signature compute_signature(State q) override;
+  StateDist compute_transition(State q, ActionId a) override {
+    return inner_->transition(q, a);
+  }
 
  private:
   PsioaPtr inner_;

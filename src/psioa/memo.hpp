@@ -1,0 +1,160 @@
+#pragma once
+// MemoPsioa: the memoized transition engine shared by every wrapper
+// automaton (composition, hiding, renaming, PCA-derived PSIOA, dummy
+// adversaries).
+//
+// Wrapper signatures and transition distributions are pure functions of
+// the interned (state, action) pair, yet the wrappers historically
+// re-derived composed signatures and re-multiplied ExactDisc<Rational>
+// products on every call -- on every step of every sampled trial.
+// MemoPsioa separates the exact semantic layer from the evaluation
+// layer: subclasses implement compute_signature / compute_transition
+// once, and the base caches per reachable state the resolved Signature
+// and per (state, action) a CompiledRow holding both the exact
+// StateDist and a compiled double-CDF over its support, so the sampling
+// fast-path never touches Rational arithmetic or re-runs composition
+// products. signature() / transition() return the cached *exact*
+// objects, which keeps the exact cone enumerator byte-identical:
+// memoization is semantics-neutral by construction, and the property
+// suite in tests/memo_test.cpp asserts memoized == direct on random
+// PSIOA and on composed/hidden/renamed/structured stacks.
+//
+// Caches are per-instance and unsynchronized: the one-thread-per-
+// instance rule of psioa.hpp covers compiled rows too. The parallel
+// sampler clones automata via factories, so each worker owns (and
+// warms) its own tables; set_memoization(false) restores the historical
+// recompute-per-call behaviour for benchmarking and for the "direct"
+// side of equivalence tests.
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "psioa/psioa.hpp"
+
+namespace cdse {
+
+/// Compiled sampling row for one (state, action): the exact transition
+/// distribution plus a running double-CDF over its support, built once.
+/// sample() walks the CDF exactly the way the sampler historically
+/// walked to_double() partial sums, so the refactor is draw-for-draw
+/// reproducible at fixed seed.
+struct CompiledRow {
+  StateDist dist;             ///< exact eta_{(A,q,a)}, canonical form
+  std::vector<State> targets; ///< dist support, in entry order
+  std::vector<double> cdf;    ///< running sums of dist weights as doubles
+
+  static CompiledRow compile(StateDist d) {
+    CompiledRow row;
+    row.targets.reserve(d.entries().size());
+    row.cdf.reserve(d.entries().size());
+    double acc = 0.0;
+    for (const auto& [q2, w] : d.entries()) {
+      acc += w.to_double();
+      row.targets.push_back(q2);
+      row.cdf.push_back(acc);
+    }
+    row.dist = std::move(d);
+    return row;
+  }
+
+  /// Draws a target given u ~ Uniform[0,1); the final target absorbs
+  /// any floating-point round-off shortfall at u ~ 1.
+  State sample(double u) const {
+    for (std::size_t i = 0; i < cdf.size(); ++i) {
+      if (u < cdf[i]) return targets[i];
+    }
+    return targets.back();
+  }
+};
+
+/// Cache counters, exposed for the regression tests and the E10 bench.
+/// `*_computes` count invocations of the underlying compute_* virtuals;
+/// a warm cache keeps them flat while `*_hits` grow.
+struct MemoStats {
+  std::size_t sig_computes = 0;
+  std::size_t sig_hits = 0;
+  std::size_t row_computes = 0;
+  std::size_t row_hits = 0;
+};
+
+class MemoPsioa : public Psioa {
+ public:
+  using Psioa::Psioa;
+
+  Signature signature(State q) final;
+  StateDist transition(State q, ActionId a) final;
+
+  /// The cached signature by reference (computes on miss). Invalidated
+  /// by set_memoization(false) and clear_memo().
+  const Signature& signature_ref(State q);
+
+  /// The compiled sampling row for (q, a) (computes on miss). With
+  /// memoization off the row is rebuilt into a scratch slot, valid only
+  /// until the next compiled_row call on this instance.
+  const CompiledRow& compiled_row(State q, ActionId a);
+
+  void set_memoization(bool on) override;
+  bool memoization_enabled() const { return memo_on_; }
+  void clear_memo();
+
+  const MemoStats& memo_stats() const { return stats_; }
+
+ protected:
+  /// The uncached semantics, implemented by each wrapper. Called at most
+  /// once per reachable state / (state, action) while memoization is on.
+  virtual Signature compute_signature(State q) = 0;
+  virtual StateDist compute_transition(State q, ActionId a) = 0;
+
+ private:
+  struct StateMemo {
+    std::optional<Signature> sig;
+    std::unordered_map<ActionId, CompiledRow> rows;
+  };
+
+  bool memo_on_ = true;
+  MemoStats stats_;
+  std::unordered_map<State, StateMemo> memo_;
+  CompiledRow scratch_;    // memo-off compiled_row storage
+  Signature scratch_sig_;  // memo-off signature_ref storage
+};
+
+/// Memoizing view over any automaton, sharing its state handles: wraps
+/// leaf automata (table-driven, protocol, crypto) that are not worth
+/// migrating onto the base class, and provides the "same semantics,
+/// caching on/off" instance pair the equivalence suite compares.
+class MemoView : public MemoPsioa {
+ public:
+  explicit MemoView(PsioaPtr inner)
+      : MemoPsioa("memo(" + inner->name() + ")"), inner_(std::move(inner)) {}
+
+  State start_state() override { return inner_->start_state(); }
+  BitString encode_state(State q) override { return inner_->encode_state(q); }
+  std::string state_label(State q) override { return inner_->state_label(q); }
+
+  void set_memoization(bool on) override {
+    MemoPsioa::set_memoization(on);
+    inner_->set_memoization(on);
+  }
+
+  Psioa& inner() { return *inner_; }
+  PsioaPtr inner_ptr() const { return inner_; }
+
+ protected:
+  Signature compute_signature(State q) override {
+    return inner_->signature(q);
+  }
+  StateDist compute_transition(State q, ActionId a) override {
+    return inner_->transition(q, a);
+  }
+
+ private:
+  PsioaPtr inner_;
+};
+
+inline std::shared_ptr<MemoView> memoize(PsioaPtr a) {
+  return std::make_shared<MemoView>(std::move(a));
+}
+
+}  // namespace cdse

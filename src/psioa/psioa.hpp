@@ -9,12 +9,20 @@
 // on demand" without materializing it.
 //
 // Transition probabilities are exact rationals (util/rational.hpp): the
-// exact cone-measure enumerator depends on it, and the sampler converts to
-// doubles once per (state, action) pair and caches.
+// exact cone-measure enumerator depends on it. Wrapper automata derive
+// from MemoPsioa (psioa/memo.hpp), which caches per reachable
+// (state, action) the resolved Signature, the exact StateDist, and a
+// compiled double-CDF row; the Monte-Carlo sampler draws from those
+// compiled rows and never touches Rational on its hot path. Leaf
+// automata that implement Psioa directly are sampled through the
+// historical convert-per-step path (or wrapped in a MemoView).
 //
 // Methods are non-const by design: signature/transition may intern new
-// states or memoize. One automaton instance must be driven by one thread;
-// the parallel sampler clones instances via factories (see sched/sampler).
+// states or memoize. One automaton instance must be driven by one
+// thread -- this now covers the memo tables and compiled rows as well,
+// which are per-instance and unsynchronized; the parallel sampler
+// clones instances via factories (see sched/sampler), so every worker
+// owns and warms its own compiled tables.
 
 #include <cstdint>
 #include <memory>
@@ -59,6 +67,13 @@ class Psioa {
 
   /// Human-readable state label for traces and error messages.
   virtual std::string state_label(State q) { return std::to_string(q); }
+
+  /// Toggles transition/signature memoization on this automaton and on
+  /// every automaton it wraps. No-op for leaf automata without caches;
+  /// MemoPsioa overrides it, wrappers additionally forward to their
+  /// components. Used to benchmark cached vs uncached rows and to build
+  /// the "direct" side of the memo-equivalence property suite.
+  virtual void set_memoization(bool on) { (void)on; }
 
   // -- convenience helpers -------------------------------------------------
 

@@ -67,11 +67,11 @@ bool ActionBijection::valid_for(const Signature& sig) const {
 }
 
 RenamedPsioa::RenamedPsioa(PsioaPtr inner, ActionBijection r)
-    : Psioa("r(" + inner->name() + ")"),
+    : MemoPsioa("r(" + inner->name() + ")"),
       inner_(std::move(inner)),
       r_(std::move(r)) {}
 
-Signature RenamedPsioa::signature(State q) {
+Signature RenamedPsioa::compute_signature(State q) {
   Signature sig = inner_->signature(q);
   if (!r_.valid_for(sig)) {
     throw std::logic_error(
@@ -81,10 +81,10 @@ Signature RenamedPsioa::signature(State q) {
   return r_.apply(sig);
 }
 
-StateDist RenamedPsioa::transition(State q, ActionId a) {
+StateDist RenamedPsioa::compute_transition(State q, ActionId a) {
   // The action must be addressed by its renamed identity: an action whose
   // old name was renamed away is no longer in sig(r(A))(q).
-  if (!signature(q).contains(a)) {
+  if (!signature_ref(q).contains(a)) {
     throw std::logic_error("RenamedPsioa: action '" +
                            ActionTable::instance().name(a) +
                            "' not enabled at state " +

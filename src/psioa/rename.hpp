@@ -11,7 +11,7 @@
 #include <string>
 #include <unordered_map>
 
-#include "psioa/psioa.hpp"
+#include "psioa/memo.hpp"
 
 namespace cdse {
 
@@ -50,20 +50,28 @@ class ActionBijection {
 };
 
 /// r(A) of Def 2.8: same states, renamed signatures and transitions.
-class RenamedPsioa : public Psioa {
+/// Memoized: the renamed signature (with its injectivity check) and the
+/// renamed transitions are derived once per reachable (state, action).
+class RenamedPsioa : public MemoPsioa {
  public:
   RenamedPsioa(PsioaPtr inner, ActionBijection r);
 
   State start_state() override { return inner_->start_state(); }
-  Signature signature(State q) override;
-  StateDist transition(State q, ActionId a) override;
   BitString encode_state(State q) override { return inner_->encode_state(q); }
   std::string state_label(State q) override {
     return inner_->state_label(q);
   }
+  void set_memoization(bool on) override {
+    MemoPsioa::set_memoization(on);
+    inner_->set_memoization(on);
+  }
 
   Psioa& inner() { return *inner_; }
   const ActionBijection& renaming() const { return r_; }
+
+ protected:
+  Signature compute_signature(State q) override;
+  StateDist compute_transition(State q, ActionId a) override;
 
  private:
   PsioaPtr inner_;

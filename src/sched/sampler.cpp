@@ -3,35 +3,39 @@
 #include <algorithm>
 #include <vector>
 
+#include "psioa/memo.hpp"
+
 namespace cdse {
 
 ExecFragment sample_execution(Psioa& automaton, Scheduler& sched,
                               Xoshiro256& rng, std::size_t max_depth) {
   ExecFragment alpha = ExecFragment::starting_at(automaton.start_state());
+  // Memoized automata serve compiled double-CDF rows; the detection is
+  // hoisted out of the step loop (once per execution, not per step).
+  auto* memo = dynamic_cast<MemoPsioa*>(&automaton);
+  if (memo != nullptr && !memo->memoization_enabled()) memo = nullptr;
   while (alpha.length() < max_depth) {
-    const ActionChoice choice = sched.choose(automaton, alpha);
-    if (choice.empty()) break;
-    // Draw over {halt} U actions using double weights.
-    const double u = rng.uniform();
-    double acc = 0.0;
-    ActionId chosen = kInvalidAction;
-    for (const auto& [a, w] : choice.entries()) {
-      acc += w.to_double();
-      if (u < acc) {
-        chosen = a;
-        break;
-      }
-    }
+    // Draw over {halt} U actions from the scheduler's compiled row.
+    const ChoiceRow* choice = sched.choice_row(automaton, alpha);
+    if (choice->empty()) break;
+    const ActionId chosen = choice->sample(rng.uniform());
     if (chosen == kInvalidAction) break;  // residual mass: halt
-    const StateDist eta = automaton.transition(alpha.lstate(), chosen);
-    const double v = rng.uniform();
-    double acc2 = 0.0;
-    State next = eta.entries().back().first;
-    for (const auto& [q2, w] : eta.entries()) {
-      acc2 += w.to_double();
-      if (v < acc2) {
-        next = q2;
-        break;
+    State next;
+    if (memo != nullptr) {
+      // Fast path: one cached CDF walk, no Rational arithmetic and no
+      // re-derivation of composed signatures or transition products.
+      next = memo->compiled_row(alpha.lstate(), chosen).sample(rng.uniform());
+    } else {
+      const StateDist eta = automaton.transition(alpha.lstate(), chosen);
+      const double v = rng.uniform();
+      double acc = 0.0;
+      next = eta.entries().back().first;
+      for (const auto& [q2, w] : eta.entries()) {
+        acc += w.to_double();
+        if (v < acc) {
+          next = q2;
+          break;
+        }
       }
     }
     alpha.append(chosen, next);

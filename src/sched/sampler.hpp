@@ -3,9 +3,15 @@
 //
 // The exact enumerator is the ground truth for small systems; sampling
 // covers the ones whose execution trees are too large (the family sweeps
-// of experiment E8 at larger k, the throughput experiment E10). Parallel
-// sampling distributes trials over a ThreadPool using *factories*: each
-// worker gets its own automaton + scheduler instance and its own RNG
+// of experiment E8 at larger k, the throughput experiment E10). The
+// sampling hot path is compiled: schedulers serve ChoiceRow double-CDFs
+// and memoized automata (MemoPsioa) serve CompiledRow transition CDFs,
+// so steady-state sampling performs no Rational arithmetic and never
+// re-derives a composed signature. Both compilations preserve the
+// historical partial-sum walk, so sampled results are draw-for-draw
+// identical at fixed seed. Parallel sampling distributes trials over a
+// ThreadPool using *factories*: each worker gets its own automaton +
+// scheduler instance (warming its own memo tables) and its own RNG
 // stream, so no synchronization is needed and results are reproducible
 // for a fixed seed regardless of thread count.
 //

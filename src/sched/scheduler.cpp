@@ -1,5 +1,11 @@
 #include "sched/scheduler.hpp"
 
 namespace cdse {
-// Interface only.
+
+const ChoiceRow* Scheduler::choice_row(Psioa& automaton,
+                                       const ExecFragment& alpha) {
+  scratch_ = ChoiceRow::compile(choose(automaton, alpha));
+  return &scratch_;
+}
+
 }  // namespace cdse

@@ -9,11 +9,15 @@
 // over transitions, which is how we represent it.
 //
 // Weights are exact rationals so that the cone-measure enumerator stays
-// exact end to end.
+// exact end to end. The Monte-Carlo sampler instead consumes ChoiceRow,
+// a compiled double-CDF view of choose(); schedulers whose decision
+// depends only on lstate (uniform, priority) memoize compiled rows per
+// state, everything else compiles on the fly.
 
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "psioa/execution.hpp"
 
@@ -22,6 +26,40 @@ namespace cdse {
 /// Sub-probability over the actions enabled at lstate(alpha);
 /// total() < 1 means halting with the residual mass.
 using ActionChoice = ExactDisc<ActionId>;
+
+/// Compiled action choice for the sampling fast-path: a running double
+/// CDF over the chosen actions. cdf.back() < 1 leaves halting mass, and
+/// sample() walks partial sums exactly the way the sampler historically
+/// accumulated to_double() weights, so draws are reproducible across the
+/// exact and compiled representations.
+struct ChoiceRow {
+  std::vector<ActionId> actions;
+  std::vector<double> cdf;
+
+  bool empty() const { return actions.empty(); }
+
+  static ChoiceRow compile(const ActionChoice& c) {
+    ChoiceRow row;
+    row.actions.reserve(c.entries().size());
+    row.cdf.reserve(c.entries().size());
+    double acc = 0.0;
+    for (const auto& [a, w] : c.entries()) {
+      acc += w.to_double();
+      row.actions.push_back(a);
+      row.cdf.push_back(acc);
+    }
+    return row;
+  }
+
+  /// Draws an action given u ~ Uniform[0,1); kInvalidAction = halt on
+  /// the residual mass.
+  ActionId sample(double u) const {
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      if (u < cdf[i]) return actions[i];
+    }
+    return kInvalidAction;
+  }
+};
 
 class Scheduler {
  public:
@@ -34,7 +72,19 @@ class Scheduler {
   virtual ActionChoice choose(Psioa& automaton,
                               const ExecFragment& alpha) = 0;
 
+  /// Compiled view of choose(alpha) for the sampler. The returned row is
+  /// owned by the scheduler and valid until its next choice_row call.
+  /// The default compiles choose() every call; schedulers that are a
+  /// function of lstate only override it with a per-state memo. Like the
+  /// automaton memo tables, rows are per-instance and unsynchronized
+  /// (one scheduler instance per sampling thread).
+  virtual const ChoiceRow* choice_row(Psioa& automaton,
+                                      const ExecFragment& alpha);
+
   virtual std::string name() const = 0;
+
+ private:
+  ChoiceRow scratch_;  // default choice_row storage
 };
 
 using SchedulerPtr = std::shared_ptr<Scheduler>;

@@ -22,6 +22,15 @@ ActionChoice UniformScheduler::choose(Psioa& automaton,
   return c;
 }
 
+const ChoiceRow* UniformScheduler::choice_row(Psioa& automaton,
+                                              const ExecFragment& alpha) {
+  // The choice is a function of lstate alone once the depth bound is
+  // cleared, so the compiled row memoizes per state.
+  if (alpha.length() >= bound_) return &halt_row_;
+  return cache_.get(automaton, alpha.lstate(),
+                    [&] { return choose(automaton, alpha); });
+}
+
 ActionChoice PriorityScheduler::choose(Psioa& automaton,
                                        const ExecFragment& alpha) {
   ActionChoice c;
@@ -35,6 +44,13 @@ ActionChoice PriorityScheduler::choose(Psioa& automaton,
     }
   }
   return c;
+}
+
+const ChoiceRow* PriorityScheduler::choice_row(Psioa& automaton,
+                                               const ExecFragment& alpha) {
+  if (alpha.length() >= bound_) return &halt_row_;
+  return cache_.get(automaton, alpha.lstate(),
+                    [&] { return choose(automaton, alpha); });
 }
 
 ActionChoice SequenceScheduler::choose(Psioa& automaton,
@@ -65,6 +81,14 @@ ActionChoice BoundedScheduler::choose(Psioa& automaton,
                                       const ExecFragment& alpha) {
   if (alpha.length() >= bound_) return ActionChoice{};
   return inner_->choose(automaton, alpha);
+}
+
+const ChoiceRow* BoundedScheduler::choice_row(Psioa& automaton,
+                                              const ExecFragment& alpha) {
+  // Below the bound the wrapper is transparent, so the inner scheduler's
+  // (possibly memoized) compiled row is used directly.
+  if (alpha.length() >= bound_) return &halt_row_;
+  return inner_->choice_row(automaton, alpha);
 }
 
 ActionChoice ObliviousFnScheduler::choose(Psioa& automaton,

@@ -22,11 +22,36 @@
 //                          is creation-oblivious for PCA because created
 //                          automata never appear in the decision input.
 
+#include <unordered_map>
 #include <vector>
 
 #include "sched/scheduler.hpp"
 
 namespace cdse {
+
+/// Per-state ChoiceRow memo shared by the schedulers whose decision is a
+/// function of lstate(alpha) only (uniform, priority). The cache is
+/// keyed by the automaton instance it was warmed against and clears on
+/// a change, so a scheduler reused across automata stays correct.
+class StateChoiceCache {
+ public:
+  template <typename ComputeFn>
+  const ChoiceRow* get(Psioa& automaton, State q, ComputeFn&& compute) {
+    if (owner_ != &automaton) {
+      rows_.clear();
+      owner_ = &automaton;
+    }
+    auto it = rows_.find(q);
+    if (it == rows_.end()) {
+      it = rows_.emplace(q, ChoiceRow::compile(compute())).first;
+    }
+    return &it->second;
+  }
+
+ private:
+  Psioa* owner_ = nullptr;
+  std::unordered_map<State, ChoiceRow> rows_;
+};
 
 /// The actions a scheduler may fire at q. Def 3.1 allows every enabled
 /// action; for *closed* systems (environment included in the composition)
@@ -41,11 +66,15 @@ class UniformScheduler : public Scheduler {
   explicit UniformScheduler(std::size_t depth_bound, bool local_only = false)
       : bound_(depth_bound), local_only_(local_only) {}
   ActionChoice choose(Psioa& automaton, const ExecFragment& alpha) override;
+  const ChoiceRow* choice_row(Psioa& automaton,
+                              const ExecFragment& alpha) override;
   std::string name() const override { return "uniform"; }
 
  private:
   std::size_t bound_;
   bool local_only_;
+  StateChoiceCache cache_;
+  ChoiceRow halt_row_;
 };
 
 class PriorityScheduler : public Scheduler {
@@ -56,12 +85,16 @@ class PriorityScheduler : public Scheduler {
         bound_(depth_bound),
         local_only_(local_only) {}
   ActionChoice choose(Psioa& automaton, const ExecFragment& alpha) override;
+  const ChoiceRow* choice_row(Psioa& automaton,
+                              const ExecFragment& alpha) override;
   std::string name() const override { return "priority"; }
 
  private:
   std::vector<ActionId> priority_;
   std::size_t bound_;
   bool local_only_;
+  StateChoiceCache cache_;
+  ChoiceRow halt_row_;
 };
 
 class SequenceScheduler : public Scheduler {
@@ -96,6 +129,8 @@ class BoundedScheduler : public Scheduler {
   BoundedScheduler(SchedulerPtr inner, std::size_t bound)
       : inner_(std::move(inner)), bound_(bound) {}
   ActionChoice choose(Psioa& automaton, const ExecFragment& alpha) override;
+  const ChoiceRow* choice_row(Psioa& automaton,
+                              const ExecFragment& alpha) override;
   std::string name() const override {
     return "bounded(" + inner_->name() + ")";
   }
@@ -104,6 +139,7 @@ class BoundedScheduler : public Scheduler {
  private:
   SchedulerPtr inner_;
   std::size_t bound_;
+  ChoiceRow halt_row_;
 };
 
 /// Oblivious scheduler defined by a function of the action word and the

@@ -7,7 +7,7 @@ namespace cdse {
 
 DummyAdversary::DummyAdversary(std::string name, ActionSet ao, ActionSet ai,
                                ActionBijection g)
-    : Psioa(std::move(name)),
+    : MemoPsioa(std::move(name)),
       ao_(std::move(ao)),
       ai_(std::move(ai)),
       g_(std::move(g)) {
@@ -36,7 +36,7 @@ State DummyAdversary::state_of(ActionId pending) const {
   return static_cast<State>(it - pending_actions_.begin()) + 1;
 }
 
-Signature DummyAdversary::signature(State q) {
+Signature DummyAdversary::compute_signature(State q) {
   Signature sig;
   const ActionId pending = pending_of(q);
   if (pending == kInvalidAction) {
@@ -60,8 +60,8 @@ Signature DummyAdversary::signature(State q) {
   return sig;
 }
 
-StateDist DummyAdversary::transition(State q, ActionId a) {
-  const Signature sig = signature(q);
+StateDist DummyAdversary::compute_transition(State q, ActionId a) {
+  const Signature& sig = signature_ref(q);
   if (!sig.contains(a)) {
     throw std::logic_error("DummyAdversary: action '" +
                            ActionTable::instance().name(a) +

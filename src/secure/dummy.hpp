@@ -9,12 +9,13 @@
 // Lemma 4.29 / D.1 shows inserting it is undetectable -- experiment E6
 // confirms that with epsilon exactly zero.
 
+#include "psioa/memo.hpp"
 #include "psioa/rename.hpp"
 #include "secure/structured.hpp"
 
 namespace cdse {
 
-class DummyAdversary : public Psioa {
+class DummyAdversary : public MemoPsioa {
  public:
   /// `ao` / `ai`: the universal adversary outputs / inputs of A (the
   /// declared vocabularies of its StructuredPsioa). `g` must rename every
@@ -23,10 +24,14 @@ class DummyAdversary : public Psioa {
                  ActionBijection g);
 
   State start_state() override { return 0; }
-  Signature signature(State q) override;
-  StateDist transition(State q, ActionId a) override;
   BitString encode_state(State q) override;
   std::string state_label(State q) override;
+
+ protected:
+  // Per-pending-slot forwarding signature (Def 4.27), memoized: the set
+  // algebra below runs once per pending slot, not once per step.
+  Signature compute_signature(State q) override;
+  StateDist compute_transition(State q, ActionId a) override;
 
   const ActionBijection& renaming() const { return g_; }
   const ActionSet& ao() const { return ao_; }

@@ -251,14 +251,18 @@ TEST(PcaCheck, DetectsBrokenCreatedMapping) {
     explicit LyingPca(std::shared_ptr<DynamicPca> inner)
         : Pca("liar", inner->registry_ptr()), inner_(std::move(inner)) {}
     State start_state() override { return inner_->start_state(); }
-    Signature signature(State q) override { return inner_->signature(q); }
-    StateDist transition(State q, ActionId a) override {
-      return inner_->transition(q, a);
-    }
     Configuration config(State q) override { return inner_->config(q); }
     std::vector<Aid> created(State, ActionId) override { return {}; }  // lie
     ActionSet hidden_actions(State q) override {
       return inner_->hidden_actions(q);
+    }
+
+   protected:
+    Signature compute_signature(State q) override {
+      return inner_->signature(q);
+    }
+    StateDist compute_transition(State q, ActionId a) override {
+      return inner_->transition(q, a);
     }
 
    private:
