@@ -4,6 +4,9 @@
 #
 #   scripts/check.sh            # both passes
 #   scripts/check.sh --fast     # tier-1 only
+#   scripts/check.sh --tsan     # ThreadSanitizer pass only (own build
+#                               # dir: TSan cannot share ASan's), running
+#                               # the concurrency-bearing suites
 #
 # The sanitized pass skips the experiment-labelled ctest entries: the
 # harnesses re-run under the plain pass already, and sanitizer slowdown
@@ -12,6 +15,18 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  # The suites that exercise real concurrency: the shared-snapshot layer
+  # (frozen-table reads racing residue overflows) and the thread pool.
+  echo "== tsan: ThreadSanitizer build + concurrency suites =="
+  cmake -B build-tsan -S . -DCDSE_SANITIZE="thread" >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target snapshot_test thread_pool_test
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -R 'Snapshot|ThreadPool|FrozenChoice|Parallel'
+  echo "== tsan pass clean =="
+  exit 0
+fi
 
 echo "== tier-1: plain build + full ctest =="
 cmake -B build -S . >/dev/null

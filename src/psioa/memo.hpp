@@ -25,6 +25,12 @@
 // warms) its own tables; set_memoization(false) restores the historical
 // recompute-per-call behaviour for benchmarking and for the "direct"
 // side of equivalence tests.
+//
+// freeze() (psioa/snapshot.hpp) lifts a warmed instance's tables into an
+// immutable CompiledSnapshot that thin SnapshotPsioa views share
+// read-only across sampler workers; signature_ref/compiled_row are
+// virtual so those views can serve frozen rows without copying them into
+// per-worker tables.
 
 #include <cstddef>
 #include <optional>
@@ -34,6 +40,8 @@
 #include "psioa/psioa.hpp"
 
 namespace cdse {
+
+class CompiledSnapshot;
 
 /// Compiled sampling row for one (state, action): the exact transition
 /// distribution plus a running double-CDF over its support, built once.
@@ -87,17 +95,26 @@ class MemoPsioa : public Psioa {
   StateDist transition(State q, ActionId a) final;
 
   /// The cached signature by reference (computes on miss). Invalidated
-  /// by set_memoization(false) and clear_memo().
-  const Signature& signature_ref(State q);
+  /// by set_memoization(false) and clear_memo(). Virtual so snapshot
+  /// views can serve a shared frozen table ahead of the local memo.
+  virtual const Signature& signature_ref(State q);
 
   /// The compiled sampling row for (q, a) (computes on miss). With
   /// memoization off the row is rebuilt into a scratch slot, valid only
-  /// until the next compiled_row call on this instance.
-  const CompiledRow& compiled_row(State q, ActionId a);
+  /// until the next compiled_row call on this instance. Virtual for the
+  /// same reason as signature_ref.
+  virtual const CompiledRow& compiled_row(State q, ActionId a);
 
   void set_memoization(bool on) override;
   bool memoization_enabled() const { return memo_on_; }
   void clear_memo();
+
+  /// Copies the currently cached signatures and compiled rows into an
+  /// immutable CompiledSnapshot (psioa/snapshot.hpp) that SnapshotPsioa
+  /// views share read-only across sampler workers. The snapshot captures
+  /// this instance's state-handle space: views are only meaningful
+  /// together with a SnapshotResidue built over this same instance.
+  std::shared_ptr<const CompiledSnapshot> freeze();
 
   const MemoStats& memo_stats() const { return stats_; }
 

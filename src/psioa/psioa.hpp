@@ -19,10 +19,14 @@
 //
 // Methods are non-const by design: signature/transition may intern new
 // states or memoize. One automaton instance must be driven by one
-// thread -- this now covers the memo tables and compiled rows as well,
-// which are per-instance and unsynchronized; the parallel sampler
-// clones instances via factories (see sched/sampler), so every worker
-// owns and warms its own compiled tables.
+// thread -- this covers the memo tables and compiled rows as well,
+// which are per-instance and unsynchronized. Parallel sampling respects
+// the rule two ways (see sched/sampler): the clone-per-worker path gives
+// every worker its own factory-built instance, and the shared-snapshot
+// path (psioa/snapshot.hpp) hands workers thin views over one frozen,
+// immutable table set -- concurrent reads of frozen state need no
+// synchronization, and the single mutable residue instance is serialized
+// behind a mutex.
 
 #include <cstdint>
 #include <memory>

@@ -1,0 +1,154 @@
+#include "psioa/snapshot.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+namespace cdse {
+
+CompiledSnapshot::CompiledSnapshot(
+    State start, std::string source,
+    std::unordered_map<State, FrozenState> states)
+    : start_(start), source_(std::move(source)), states_(std::move(states)) {
+  for (const auto& [q, fs] : states_) {
+    (void)q;
+    row_count_ += fs.rows.size();
+  }
+}
+
+const Signature* CompiledSnapshot::find_signature(State q) const {
+  auto it = states_.find(q);
+  if (it == states_.end() || !it->second.sig.has_value()) return nullptr;
+  return &*it->second.sig;
+}
+
+const CompiledRow* CompiledSnapshot::find_row(State q, ActionId a) const {
+  auto it = states_.find(q);
+  if (it == states_.end()) return nullptr;
+  auto jt = it->second.rows.find(a);
+  if (jt == it->second.rows.end()) return nullptr;
+  return &jt->second;
+}
+
+std::shared_ptr<const CompiledSnapshot> MemoPsioa::freeze() {
+  std::unordered_map<State, CompiledSnapshot::FrozenState> frozen;
+  frozen.reserve(memo_.size());
+  for (const auto& [q, m] : memo_) {
+    CompiledSnapshot::FrozenState fs;
+    fs.sig = m.sig;
+    fs.rows = m.rows;
+    frozen.emplace(q, std::move(fs));
+  }
+  return std::make_shared<const CompiledSnapshot>(start_state(), name(),
+                                                  std::move(frozen));
+}
+
+SnapshotStats& SnapshotStats::operator+=(const SnapshotStats& o) {
+  sig_hits += o.sig_hits;
+  sig_misses += o.sig_misses;
+  sig_overflows += o.sig_overflows;
+  row_hits += o.row_hits;
+  row_misses += o.row_misses;
+  row_overflows += o.row_overflows;
+  return *this;
+}
+
+namespace {
+
+// Lexicographic order on encodings (length first): any total order that
+// is a pure function of the encoding works, since all the draw mapping
+// needs is one order every instance agrees on.
+bool encoding_less(const BitString& a, const BitString& b) {
+  if (a.length() != b.length()) return a.length() < b.length();
+  for (std::size_t i = 0; i < a.length(); ++i) {
+    if (a.bit(i) != b.bit(i)) return b.bit(i);
+  }
+  return false;
+}
+
+}  // namespace
+
+CompiledRow compile_row_by_encoding(StateDist d, Psioa& encoder) {
+  const auto& entries = d.entries();
+  std::vector<std::size_t> order(entries.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<BitString> enc;
+  enc.reserve(entries.size());
+  for (const auto& [q, w] : entries) {
+    (void)w;
+    enc.push_back(encoder.encode_state(q));
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t i, std::size_t j) {
+                     return encoding_less(enc[i], enc[j]);
+                   });
+  CompiledRow row;
+  row.targets.reserve(entries.size());
+  row.cdf.reserve(entries.size());
+  double acc = 0.0;
+  for (std::size_t i : order) {
+    acc += entries[i].second.to_double();
+    row.targets.push_back(entries[i].first);
+    row.cdf.push_back(acc);
+  }
+  row.dist = std::move(d);
+  return row;
+}
+
+SnapshotPsioa::SnapshotPsioa(std::shared_ptr<const CompiledSnapshot> snapshot,
+                             std::shared_ptr<SnapshotResidue> residue)
+    : MemoPsioa("snapshot(" + snapshot->source() + ")"),
+      snap_(std::move(snapshot)),
+      residue_(std::move(residue)) {}
+
+const Signature& SnapshotPsioa::signature_ref(State q) {
+  if (const Signature* s = snap_->find_signature(q)) {
+    ++sstats_.sig_hits;
+    return *s;
+  }
+  ++sstats_.sig_misses;
+  auto it = over_sigs_.find(q);
+  if (it != over_sigs_.end()) return it->second;
+  ++sstats_.sig_overflows;
+  return over_sigs_.emplace(q, compute_signature(q)).first->second;
+}
+
+const CompiledRow& SnapshotPsioa::compiled_row(State q, ActionId a) {
+  if (const CompiledRow* r = snap_->find_row(q, a)) {
+    ++sstats_.row_hits;
+    return *r;
+  }
+  ++sstats_.row_misses;
+  const RowKey key{q, a};
+  auto it = over_rows_.find(key);
+  if (it != over_rows_.end()) return it->second;
+  ++sstats_.row_overflows;
+  std::lock_guard<std::mutex> lock(residue_->mu);
+  CompiledRow row =
+      compile_row_by_encoding(residue_->warm->transition(q, a),
+                              *residue_->warm);
+  return over_rows_.emplace(key, std::move(row)).first->second;
+}
+
+BitString SnapshotPsioa::encode_state(State q) {
+  std::lock_guard<std::mutex> lock(residue_->mu);
+  return residue_->warm->encode_state(q);
+}
+
+std::string SnapshotPsioa::state_label(State q) {
+  std::lock_guard<std::mutex> lock(residue_->mu);
+  return residue_->warm->state_label(q);
+}
+
+Signature SnapshotPsioa::compute_signature(State q) {
+  std::lock_guard<std::mutex> lock(residue_->mu);
+  return residue_->warm->signature(q);
+}
+
+StateDist SnapshotPsioa::compute_transition(State q, ActionId a) {
+  std::lock_guard<std::mutex> lock(residue_->mu);
+  return residue_->warm->transition(q, a);
+}
+
+}  // namespace cdse

@@ -1,6 +1,10 @@
 #include "sched/sampler.hpp"
 
 #include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "psioa/memo.hpp"
@@ -162,6 +166,122 @@ Disc<Perception, double> parallel_sample_fdist(
           out.add(f.apply(*automaton, alpha), 1.0);
         }
       });
+  Disc<Perception, double> merged;
+  for (const auto& p : partial) {
+    for (const auto& [perc, count] : p.entries()) {
+      merged.add(perc, count / static_cast<double>(trials));
+    }
+  }
+  return merged;
+}
+
+// -- shared frozen snapshots ------------------------------------------------
+
+std::size_t warm_automaton(MemoPsioa& automaton, Scheduler& sched,
+                           const WarmupPlan& plan, std::size_t max_depth) {
+  // Phase 1: episodes. Warms the hot region in sampling order and, as a
+  // side effect, the scheduler's path-dependent rows. The stream is
+  // dedicated so a clone warmed with the same plan replays identically.
+  Xoshiro256 rng = Xoshiro256::for_stream(plan.seed, 0);
+  for (std::size_t i = 0; i < plan.episodes; ++i) {
+    (void)sample_execution(automaton, sched, rng, max_depth);
+  }
+  if (plan.horizon == 0) return 0;
+  // Phase 2: exhaustive reachable walk. BFS over sorted action sets is
+  // deterministic, so interning order (and with it the entry order of
+  // every compiled CDF) is identical across instances warmed alike.
+  std::deque<std::pair<State, std::size_t>> frontier;
+  std::unordered_set<State> seen;
+  const State q0 = automaton.start_state();
+  frontier.emplace_back(q0, 0);
+  seen.insert(q0);
+  std::size_t visited = 0;
+  while (!frontier.empty()) {
+    const auto [q, depth] = frontier.front();
+    frontier.pop_front();
+    ++visited;
+    const Signature& sig = automaton.signature_ref(q);
+    if (depth >= plan.horizon) continue;
+    // Warm the scheduler's per-state row where it keeps one. The
+    // synthetic fragment has length 0, which any depth-bounded scheduler
+    // treats as "below the bound" -- exactly the regime in which its
+    // per-state memo is consulted.
+    (void)sched.choice_row(automaton, ExecFragment::starting_at(q));
+    for (ActionId a : sig.all()) {
+      const CompiledRow& row = automaton.compiled_row(q, a);
+      for (State q2 : row.targets) {
+        if (seen.size() >= plan.max_states) break;
+        if (seen.insert(q2).second) frontier.emplace_back(q2, depth + 1);
+      }
+    }
+  }
+  return visited;
+}
+
+ParallelSampler::ParallelSampler(PsioaFactory make_automaton,
+                                 SchedulerFactory make_sched)
+    : make_automaton_(std::move(make_automaton)),
+      make_sched_(std::move(make_sched)) {}
+
+void ParallelSampler::prepare(const WarmupPlan& plan, std::size_t max_depth) {
+  PsioaPtr p = make_automaton_();
+  auto memo = std::dynamic_pointer_cast<MemoPsioa>(p);
+  if (memo == nullptr) memo = memoize(std::move(p));  // leaf: caching view
+  if (!memo->memoization_enabled()) {
+    throw std::logic_error(
+        "ParallelSampler: the factory produced an automaton with "
+        "memoization disabled; there is nothing to freeze");
+  }
+  SchedulerPtr sched = make_sched_();
+  warm_automaton(*memo, *sched, plan, max_depth);
+  warm_ = std::move(memo);
+  snapshot_ = warm_->freeze();
+  residue_ = std::make_shared<SnapshotResidue>(warm_);
+  choice_rows_ = sched->freeze_choice_rows();
+  last_stats_ = SnapshotStats{};
+}
+
+std::shared_ptr<SnapshotPsioa> ParallelSampler::worker_view() const {
+  if (!prepared()) {
+    throw std::logic_error("ParallelSampler: prepare() before worker_view()");
+  }
+  return std::make_shared<SnapshotPsioa>(snapshot_, residue_);
+}
+
+SchedulerPtr ParallelSampler::worker_scheduler() const {
+  SchedulerPtr sched = make_sched_();
+  if (choice_rows_ != nullptr) sched->adopt_choice_rows(choice_rows_);
+  return sched;
+}
+
+Disc<Perception, double> ParallelSampler::sample_fdist(
+    const InsightFunction& f, std::size_t trials, std::uint64_t seed,
+    std::size_t max_depth, ThreadPool& pool) {
+  if (!prepared()) {
+    throw std::logic_error("ParallelSampler: prepare() before sample_fdist()");
+  }
+  // Mirrors parallel_sample_fdist chunk for chunk and draw for draw:
+  // same static partition, same per-chunk streams, same merge order. The
+  // only difference is what backs the automaton each worker drives.
+  const std::size_t chunks = pool.size();
+  std::vector<Disc<Perception, double>> partial(chunks);
+  std::vector<SnapshotStats> stats(chunks);
+  parallel_for_chunks(
+      pool, trials,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        auto view = std::make_shared<SnapshotPsioa>(snapshot_, residue_);
+        SchedulerPtr sched = worker_scheduler();
+        Xoshiro256 rng = Xoshiro256::for_stream(seed, chunk);
+        Disc<Perception, double>& out = partial[chunk];
+        for (std::size_t i = begin; i < end; ++i) {
+          const ExecFragment alpha =
+              sample_execution(*view, *sched, rng, max_depth);
+          out.add(f.apply(*view, alpha), 1.0);
+        }
+        stats[chunk] = view->snapshot_stats();
+      });
+  last_stats_ = SnapshotStats{};
+  for (const auto& s : stats) last_stats_ += s;
   Disc<Perception, double> merged;
   for (const auto& p : partial) {
     for (const auto& [perc, count] : p.entries()) {

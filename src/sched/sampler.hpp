@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <string>
 
+#include "psioa/snapshot.hpp"
 #include "sched/insight.hpp"
 #include "sched/scheduler.hpp"
 #include "util/rng.hpp"
@@ -86,5 +87,82 @@ Disc<Perception, double> guarded_parallel_sample_fdist(
     const InsightFunction& f, std::size_t trials, std::uint64_t seed,
     std::size_t max_depth, ThreadPool& pool, const SampleGuard& guard,
     SampleReport* report);
+
+// -- shared frozen snapshots ------------------------------------------------
+
+/// How to warm an instance before freezing it. Both phases are
+/// deterministic: episodes draw from a dedicated stream of `seed`, and
+/// the reachable walk expands states in BFS order over sorted action
+/// sets -- so two instances warmed with the same plan intern states in
+/// the same order and end up with draw-for-draw identical compiled rows.
+struct WarmupPlan {
+  /// Sampling-driven warm-up episodes run before the exhaustive walk
+  /// (they also warm path-dependent scheduler rows).
+  std::size_t episodes = 32;
+  /// Exhaustive reachable-state walk depth: every (state, action) row
+  /// within this horizon is compiled. 0 skips the walk (episodes-only
+  /// warm-up; unseen states overflow at sampling time). Set it to the
+  /// experiment's max_depth for a fully covered, overflow-free snapshot.
+  std::size_t horizon = 0;
+  /// Safety cap on the number of states the walk visits.
+  std::size_t max_states = std::size_t{1} << 20;
+  /// Seed for the warm-up episode stream.
+  std::uint64_t seed = 0x5eedULL;
+};
+
+/// Runs `plan` against one instance: episodes first, then the reachable
+/// walk (signatures at every visited state, compiled rows and scheduler
+/// choice rows below the horizon). Returns the number of states the walk
+/// visited (0 when plan.horizon == 0).
+std::size_t warm_automaton(MemoPsioa& automaton, Scheduler& sched,
+                           const WarmupPlan& plan, std::size_t max_depth);
+
+/// Parallel Monte-Carlo estimation over one shared frozen snapshot:
+/// prepare() builds a single warm instance from the factories, runs the
+/// warm-up plan, and freezes its compiled tables (and the scheduler's
+/// per-state choice rows); sample_fdist() then fans trials over thin
+/// SnapshotPsioa views -- no per-worker clone, no per-worker warm-up,
+/// one copy of the compiled tables regardless of worker count. Chunking
+/// and RNG streams mirror parallel_sample_fdist exactly, so at the same
+/// seeds a prepared sampler reproduces the clone-per-worker path
+/// draw-for-draw (tests/snapshot_test.cpp pins this).
+class ParallelSampler {
+ public:
+  ParallelSampler(PsioaFactory make_automaton, SchedulerFactory make_sched);
+
+  /// Warms and freezes. `max_depth` bounds the warm-up episodes (use the
+  /// depth you will sample at). Subsequent calls re-warm and re-freeze
+  /// from scratch.
+  void prepare(const WarmupPlan& plan, std::size_t max_depth);
+  bool prepared() const { return snapshot_ != nullptr; }
+
+  Disc<Perception, double> sample_fdist(const InsightFunction& f,
+                                        std::size_t trials,
+                                        std::uint64_t seed,
+                                        std::size_t max_depth,
+                                        ThreadPool& pool);
+
+  /// A fresh thin worker view / scheduler, as handed to each chunk.
+  /// Exposed for the differential tests and for callers integrating the
+  /// snapshot into their own fan-out. Requires prepared().
+  std::shared_ptr<SnapshotPsioa> worker_view() const;
+  SchedulerPtr worker_scheduler() const;
+
+  std::shared_ptr<const CompiledSnapshot> snapshot() const {
+    return snapshot_;
+  }
+
+  /// Counters summed over the workers of the most recent sample_fdist.
+  const SnapshotStats& last_stats() const { return last_stats_; }
+
+ private:
+  PsioaFactory make_automaton_;
+  SchedulerFactory make_sched_;
+  std::shared_ptr<MemoPsioa> warm_;
+  std::shared_ptr<const CompiledSnapshot> snapshot_;
+  std::shared_ptr<SnapshotResidue> residue_;
+  std::shared_ptr<const FrozenChoiceTable> choice_rows_;
+  SnapshotStats last_stats_;
+};
 
 }  // namespace cdse

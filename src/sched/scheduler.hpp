@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "psioa/execution.hpp"
@@ -61,6 +62,16 @@ struct ChoiceRow {
   }
 };
 
+/// Immutable per-state ChoiceRow table, frozen from a warmed scheduler
+/// and shared read-only across sampler workers (the scheduler-side twin
+/// of psioa/snapshot.hpp's CompiledSnapshot). Rows are keyed by State
+/// handles, so a frozen table is only meaningful for automata sharing
+/// the handle space it was warmed against -- in practice, the
+/// SnapshotPsioa views handed out by ParallelSampler.
+struct FrozenChoiceTable {
+  std::unordered_map<State, ChoiceRow> rows;
+};
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
@@ -80,6 +91,24 @@ class Scheduler {
   /// (one scheduler instance per sampling thread).
   virtual const ChoiceRow* choice_row(Psioa& automaton,
                                       const ExecFragment& alpha);
+
+  /// Copies this scheduler's per-state row memo into an immutable table
+  /// that fresh worker instances adopt via adopt_choice_rows(). Returns
+  /// nullptr for schedulers without a per-state memo (sequence, task,
+  /// oblivious): their decisions are not a function of lstate, so there
+  /// is nothing sound to share.
+  virtual std::shared_ptr<const FrozenChoiceTable> freeze_choice_rows()
+      const {
+    return nullptr;
+  }
+
+  /// Adopts a frozen table: choice_row serves it lock-free ahead of the
+  /// local memo. No-op by default. The table's State keys must belong to
+  /// the handle space of the automata this scheduler will drive.
+  virtual void adopt_choice_rows(
+      std::shared_ptr<const FrozenChoiceTable> table) {
+    (void)table;
+  }
 
   virtual std::string name() const = 0;
 

@@ -33,10 +33,20 @@ namespace cdse {
 /// function of lstate(alpha) only (uniform, priority). The cache is
 /// keyed by the automaton instance it was warmed against and clears on
 /// a change, so a scheduler reused across automata stays correct.
+///
+/// An adopted FrozenChoiceTable is consulted first and bypasses the
+/// owner check: frozen rows are keyed by State handles, which stay
+/// meaningful across the SnapshotPsioa views of one snapshot even though
+/// those are distinct instances. States absent from the frozen table
+/// fall back to the local (owner-checked) memo.
 class StateChoiceCache {
  public:
   template <typename ComputeFn>
   const ChoiceRow* get(Psioa& automaton, State q, ComputeFn&& compute) {
+    if (frozen_ != nullptr) {
+      auto it = frozen_->rows.find(q);
+      if (it != frozen_->rows.end()) return &it->second;
+    }
     if (owner_ != &automaton) {
       rows_.clear();
       owner_ = &automaton;
@@ -48,9 +58,22 @@ class StateChoiceCache {
     return &it->second;
   }
 
+  void adopt(std::shared_ptr<const FrozenChoiceTable> frozen) {
+    frozen_ = std::move(frozen);
+  }
+
+  /// Copies the local memo (frozen rows are not duplicated) into a new
+  /// immutable table.
+  std::shared_ptr<const FrozenChoiceTable> freeze() const {
+    auto table = std::make_shared<FrozenChoiceTable>();
+    table->rows = rows_;
+    return table;
+  }
+
  private:
   Psioa* owner_ = nullptr;
   std::unordered_map<State, ChoiceRow> rows_;
+  std::shared_ptr<const FrozenChoiceTable> frozen_;
 };
 
 /// The actions a scheduler may fire at q. Def 3.1 allows every enabled
@@ -68,6 +91,14 @@ class UniformScheduler : public Scheduler {
   ActionChoice choose(Psioa& automaton, const ExecFragment& alpha) override;
   const ChoiceRow* choice_row(Psioa& automaton,
                               const ExecFragment& alpha) override;
+  std::shared_ptr<const FrozenChoiceTable> freeze_choice_rows()
+      const override {
+    return cache_.freeze();
+  }
+  void adopt_choice_rows(
+      std::shared_ptr<const FrozenChoiceTable> table) override {
+    cache_.adopt(std::move(table));
+  }
   std::string name() const override { return "uniform"; }
 
  private:
@@ -87,6 +118,14 @@ class PriorityScheduler : public Scheduler {
   ActionChoice choose(Psioa& automaton, const ExecFragment& alpha) override;
   const ChoiceRow* choice_row(Psioa& automaton,
                               const ExecFragment& alpha) override;
+  std::shared_ptr<const FrozenChoiceTable> freeze_choice_rows()
+      const override {
+    return cache_.freeze();
+  }
+  void adopt_choice_rows(
+      std::shared_ptr<const FrozenChoiceTable> table) override {
+    cache_.adopt(std::move(table));
+  }
   std::string name() const override { return "priority"; }
 
  private:
@@ -131,6 +170,16 @@ class BoundedScheduler : public Scheduler {
   ActionChoice choose(Psioa& automaton, const ExecFragment& alpha) override;
   const ChoiceRow* choice_row(Psioa& automaton,
                               const ExecFragment& alpha) override;
+  // Below the bound the wrapper is transparent, so freezing/adoption
+  // passes straight through to the inner scheduler's memo.
+  std::shared_ptr<const FrozenChoiceTable> freeze_choice_rows()
+      const override {
+    return inner_->freeze_choice_rows();
+  }
+  void adopt_choice_rows(
+      std::shared_ptr<const FrozenChoiceTable> table) override {
+    inner_->adopt_choice_rows(std::move(table));
+  }
   std::string name() const override {
     return "bounded(" + inner_->name() + ")";
   }
