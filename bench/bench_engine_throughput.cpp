@@ -13,7 +13,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <fstream>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -23,10 +26,54 @@
 #include "protocols/environment.hpp"
 #include "protocols/ledger.hpp"
 #include "psioa/memo.hpp"
+#include "psioa/random.hpp"
 #include "sched/cone_measure.hpp"
 #include "sched/sampler.hpp"
 #include "sched/schedulers.hpp"
 #include "secure/adversary.hpp"
+#include "util/state_interner.hpp"
+
+// -- allocator traffic meter -------------------------------------------------
+// Counting global operator new/delete for this binary only: the E10
+// warm-up rows report how many heap allocations (count and bytes) one
+// cold warm_automaton + freeze performs on each interner backend. The
+// counters are atomic (warm-up itself is single-threaded, but the
+// parallel sampling rows run concurrently with nothing -- keep it safe).
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+std::atomic<std::uint64_t> g_alloc_calls{0};
+
+void* counted_alloc(std::size_t n) {
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace cdse {
 namespace {
@@ -226,6 +273,97 @@ void BM_SnapshotParallelFdist(benchmark::State& state) {
   state.counters["rss_kb"] = rss_kb();
 }
 BENCHMARK(BM_SnapshotParallelFdist)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+/// A state-rich two-component ensemble for the cold warm-up rows. The
+/// MAC stack of E7 tops out around twenty composite states, which would
+/// price only the interner's fixed costs (first arena chunk, reserved
+/// tables); this pair of wide random automata, cross-wired through each
+/// other's outputs, gives the BFS warm-up hundreds of composite states
+/// to intern -- the per-key regime the arena backend targets.
+PsioaPtr make_wide_ensemble(const std::string& tag) {
+  Xoshiro256 rng(0x51deULL);
+  RandomPsioaConfig ca;
+  ca.n_states = 24;
+  ca.n_outputs = 3;
+  ca.n_internals = 1;
+  RandomPsioaConfig cb = ca;
+  ca.input_candidates = acts(
+      {"rout0_" + tag + "b", "rout1_" + tag + "b", "rout2_" + tag + "b"});
+  cb.input_candidates = acts(
+      {"rout0_" + tag + "a", "rout1_" + tag + "a", "rout2_" + tag + "a"});
+  auto a = make_random_psioa(tag + "_A", tag + "a", ca, rng);
+  auto b = make_random_psioa(tag + "_B", tag + "b", cb, rng);
+  return compose(PsioaPtr(a), PsioaPtr(b));
+}
+
+/// Cold warm-up + freeze on a chosen interner backend: every iteration
+/// builds a fresh ParallelSampler over the wide ensemble, runs the full
+/// BFS warm-up (prepare) and a short parallel sample over the frozen
+/// snapshot. This is the E10 row pair behind the arena-interning claim:
+/// map vs arena at identical semantics (the differential suite pins
+/// draw-for-draw equality), differing only in allocator traffic, probe
+/// counts and interner-attributed bytes.
+void BM_ColdWarmupFreeze(benchmark::State& state,
+                         StateInterner::Backend backend,
+                         const std::string& tag) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const StateInterner::Backend prev = StateInterner::default_backend();
+  StateInterner::set_default_backend(backend);
+  ThreadPool pool(threads);
+  TraceInsight f;
+  std::uint64_t seed = 6;
+  InternStats last{};
+  std::uint64_t alloc_bytes = 0;
+  std::uint64_t alloc_calls = 0;
+  for (auto _ : state) {
+    const std::uint64_t b0 =
+        g_alloc_bytes.load(std::memory_order_relaxed);
+    const std::uint64_t c0 =
+        g_alloc_calls.load(std::memory_order_relaxed);
+    ParallelSampler sampler(
+        [&tag] { return make_wide_ensemble(tag); },
+        [] { return std::make_shared<UniformScheduler>(12, true); });
+    WarmupPlan plan;
+    plan.horizon = 12;
+    plan.reserve_states = 600;  // ensemble tops out at 24*24 tuples
+    sampler.prepare(plan, 12);
+    auto dist = sampler.sample_fdist(f, 500, seed++, 12, pool);
+    benchmark::DoNotOptimize(dist);
+    alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed) - b0;
+    alloc_calls = g_alloc_calls.load(std::memory_order_relaxed) - c0;
+    last = sampler.residue_intern_stats();
+  }
+  StateInterner::set_default_backend(prev);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["alloc_bytes"] = static_cast<double>(alloc_bytes);
+  state.counters["alloc_calls"] = static_cast<double>(alloc_calls);
+  state.counters["intern_keys"] = static_cast<double>(last.keys);
+  state.counters["intern_bytes"] = static_cast<double>(last.arena_bytes);
+  state.counters["intern_chunks"] = static_cast<double>(last.arena_chunks);
+  state.counters["intern_probes"] = static_cast<double>(last.probes);
+  state.counters["intern_rehashes"] = static_cast<double>(last.rehashes);
+  state.counters["rss_kb"] = rss_kb();
+}
+
+void BM_ColdWarmupFreezeMap(benchmark::State& state) {
+  BM_ColdWarmupFreeze(state, StateInterner::Backend::kMap, "e10_j");
+}
+BENCHMARK(BM_ColdWarmupFreezeMap)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+void BM_ColdWarmupFreezeArena(benchmark::State& state) {
+  BM_ColdWarmupFreeze(state, StateInterner::Backend::kArena, "e10_k");
+}
+BENCHMARK(BM_ColdWarmupFreezeArena)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

@@ -7,6 +7,10 @@
 #   scripts/check.sh --tsan     # ThreadSanitizer pass only (own build
 #                               # dir: TSan cannot share ASan's), running
 #                               # the concurrency-bearing suites
+#   scripts/check.sh --bench-smoke  # Release build of the E10 engine
+#                               # bench, tiny-parameter run, checks that
+#                               # BENCH_engine.json is produced (the CI
+#                               # bench-smoke job runs exactly this)
 #
 # The sanitized pass skips the experiment-labelled ctest entries: the
 # harnesses re-run under the plain pass already, and sanitizer slowdown
@@ -18,13 +22,32 @@ JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
 
 if [[ "${1:-}" == "--tsan" ]]; then
   # The suites that exercise real concurrency: the shared-snapshot layer
-  # (frozen-table reads racing residue overflows) and the thread pool.
+  # (frozen-table reads racing residue overflows), the thread pool, and
+  # the interning suite (ActionTable shared-lock fast path + map-vs-arena
+  # differential through the parallel snapshot engine).
   echo "== tsan: ThreadSanitizer build + concurrency suites =="
   cmake -B build-tsan -S . -DCDSE_SANITIZE="thread" >/dev/null
-  cmake --build build-tsan -j "$JOBS" --target snapshot_test thread_pool_test
+  cmake --build build-tsan -j "$JOBS" \
+    --target snapshot_test thread_pool_test intern_test
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'Snapshot|ThreadPool|FrozenChoice|Parallel'
+    -R 'Snapshot|ThreadPool|FrozenChoice|Parallel|Intern'
   echo "== tsan pass clean =="
+  exit 0
+fi
+
+if [[ "${1:-}" == "--bench-smoke" ]]; then
+  # Small-parameter Release run of the E10 engine bench: proves the bench
+  # binary runs end to end and emits its JSON artifact. Thresholds are
+  # not checked here -- numbers from a shared runner are noise; the gate
+  # is exit status + a non-empty artifact.
+  echo "== bench-smoke: Release bench_engine_throughput =="
+  cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build-bench -j "$JOBS" --target bench_engine_throughput
+  (cd build-bench && ./bench/bench_engine_throughput \
+    --benchmark_min_time=0.05 --benchmark_out=BENCH_engine.json \
+    --benchmark_out_format=json)
+  test -s build-bench/BENCH_engine.json
+  echo "== bench-smoke clean: build-bench/BENCH_engine.json written =="
   exit 0
 fi
 

@@ -1,6 +1,5 @@
 #include "fault/byzantine.hpp"
 
-#include <map>
 #include <stdexcept>
 
 namespace cdse {
@@ -17,20 +16,27 @@ ByzantinePsioa::ByzantinePsioa(PsioaPtr inner, ActionBijection flip,
 }
 
 State ByzantinePsioa::intern(State inner_q, bool lying) {
-  const Key key{inner_q, lying};
-  auto it = interned_.find(key);
-  if (it != interned_.end()) return it->second;
-  const State handle = static_cast<State>(keys_.size());
-  keys_.push_back(key);
-  interned_.emplace(key, handle);
-  return handle;
+  const std::uint64_t words[2] = {inner_q, lying ? 1u : 0u};
+  return interned_.intern_tuple(words, 2);
 }
 
-const ByzantinePsioa::Key& ByzantinePsioa::key_at(State q) const {
-  if (q >= keys_.size()) {
+ByzantinePsioa::Key ByzantinePsioa::key_at(State q) const {
+  if (q >= interned_.size()) {
     throw std::logic_error("ByzantinePsioa: unknown state handle");
   }
-  return keys_[q];
+  const TupleRef words = interned_.tuple(q);
+  return Key{words[0], words[1] != 0};
+}
+
+InternStats ByzantinePsioa::intern_stats() const {
+  InternStats s = interned_.stats();
+  s += inner_->intern_stats();
+  return s;
+}
+
+void ByzantinePsioa::reserve_interning(std::size_t expected_states) {
+  interned_.reserve(expected_states);
+  inner_->reserve_interning(expected_states);
 }
 
 State ByzantinePsioa::start_state() {

@@ -20,7 +20,6 @@
 // The start state is honest: corruption is active from the first
 // transition on.
 
-#include <map>
 #include <utility>
 #include <vector>
 
@@ -52,16 +51,20 @@ class ByzantinePsioa : public Psioa {
   /// True at states currently misreporting.
   bool lying(State q) const;
 
+  InternStats intern_stats() const override;
+  void reserve_interning(std::size_t expected_states) override;
+
  private:
-  using Key = std::pair<State, bool>;  // (inner state, lying?)
+  // (inner state, lying?) pairs, packed as two-word keys in the shared
+  // arena-backed interner.
+  using Key = std::pair<State, bool>;
   State intern(State inner_q, bool lying);
-  const Key& key_at(State q) const;
+  Key key_at(State q) const;
 
   PsioaPtr inner_;
   ActionBijection flip_;
   Rational rate_;
-  std::vector<Key> keys_;
-  std::map<Key, State> interned_;
+  StateInterner interned_;
 };
 
 /// Builds the involution a <-> b for every pair (throws on overlap).

@@ -10,20 +10,28 @@ CrashablePsioa::CrashablePsioa(PsioaPtr inner, std::size_t crash_after)
       crash_after_(crash_after) {}
 
 State CrashablePsioa::intern(State inner_q, std::size_t remaining) {
-  const Key key{inner_q, remaining};
-  auto it = interned_.find(key);
-  if (it != interned_.end()) return it->second;
-  const State handle = static_cast<State>(keys_.size());
-  keys_.push_back(key);
-  interned_.emplace(key, handle);
-  return handle;
+  const std::uint64_t words[2] = {inner_q,
+                                  static_cast<std::uint64_t>(remaining)};
+  return interned_.intern_tuple(words, 2);
 }
 
-const CrashablePsioa::Key& CrashablePsioa::key_at(State q) const {
-  if (q >= keys_.size()) {
+CrashablePsioa::Key CrashablePsioa::key_at(State q) const {
+  if (q >= interned_.size()) {
     throw std::logic_error("CrashablePsioa: unknown state handle");
   }
-  return keys_[q];
+  const TupleRef words = interned_.tuple(q);
+  return Key{words[0], static_cast<std::size_t>(words[1])};
+}
+
+InternStats CrashablePsioa::intern_stats() const {
+  InternStats s = interned_.stats();
+  s += inner_->intern_stats();
+  return s;
+}
+
+void CrashablePsioa::reserve_interning(std::size_t expected_states) {
+  interned_.reserve(expected_states);
+  inner_->reserve_interning(expected_states);
 }
 
 State CrashablePsioa::start_state() {

@@ -13,10 +13,8 @@
 // crash *is* an intrinsic destruction transition, checkable with
 // check_pca_constraints() like any other PCA.
 
-#include <map>
 #include <string>
 #include <utility>
-#include <vector>
 
 #include "pca/dynamic_pca.hpp"
 #include "psioa/psioa.hpp"
@@ -42,17 +40,20 @@ class CrashablePsioa : public Psioa {
   /// True at states where the budget is exhausted (signature empty).
   bool crashed(State q) const;
 
+  InternStats intern_stats() const override;
+  void reserve_interning(std::size_t expected_states) override;
+
  private:
   // Inner handles are opaque uint64s of unknown range, so wrapper states
-  // are interned (inner state, budget left) pairs.
+  // are interned (inner state, budget left) pairs, packed as two-word
+  // keys in the shared arena-backed interner.
   using Key = std::pair<State, std::size_t>;
   State intern(State inner_q, std::size_t remaining);
-  const Key& key_at(State q) const;
+  Key key_at(State q) const;
 
   PsioaPtr inner_;
   std::size_t crash_after_;
-  std::vector<Key> keys_;
-  std::map<Key, State> interned_;
+  StateInterner interned_;
 };
 
 /// Wraps `inner` so it crash-stops after `crash_after` transitions.

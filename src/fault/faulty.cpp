@@ -19,20 +19,27 @@ FaultyPsioa::FaultyPsioa(PsioaPtr inner, FaultPlan plan, ActionSet targets,
 }
 
 State FaultyPsioa::intern(State inner_q, ActionId pending) {
-  const Key key{inner_q, pending};
-  auto it = interned_.find(key);
-  if (it != interned_.end()) return it->second;
-  const State handle = static_cast<State>(keys_.size());
-  keys_.push_back(key);
-  interned_.emplace(key, handle);
-  return handle;
+  const std::uint64_t words[2] = {inner_q, static_cast<std::uint64_t>(pending)};
+  return interned_.intern_tuple(words, 2);
 }
 
-const FaultyPsioa::Key& FaultyPsioa::key_at(State q) const {
-  if (q >= keys_.size()) {
+FaultyPsioa::Key FaultyPsioa::key_at(State q) const {
+  if (q >= interned_.size()) {
     throw std::logic_error("FaultyPsioa: unknown state handle");
   }
-  return keys_[q];
+  const TupleRef words = interned_.tuple(q);
+  return Key{words[0], static_cast<ActionId>(words[1])};
+}
+
+InternStats FaultyPsioa::intern_stats() const {
+  InternStats s = interned_.stats();
+  s += inner_->intern_stats();
+  return s;
+}
+
+void FaultyPsioa::reserve_interning(std::size_t expected_states) {
+  interned_.reserve(expected_states);
+  inner_->reserve_interning(expected_states);
 }
 
 State FaultyPsioa::start_state() {

@@ -26,10 +26,8 @@
 // enabled action is the internal delivery action "faultdeliver_<tag>".
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <utility>
-#include <vector>
 
 #include "fault/plan.hpp"
 #include "psioa/psioa.hpp"
@@ -54,12 +52,16 @@ class FaultyPsioa : public Psioa {
   const FaultPlan& plan() const { return plan_; }
   ActionId deliver_action() const { return a_deliver_; }
 
+  InternStats intern_stats() const override;
+  void reserve_interning(std::size_t expected_states) override;
+
  private:
-  // Wrapper states are interned (inner state, pending action) pairs;
+  // Wrapper states are interned (inner state, pending action) pairs,
+  // packed as two-word keys in the shared arena-backed interner;
   // pending == kInvalidAction means no delayed message is held.
   using Key = std::pair<State, ActionId>;
   State intern(State inner_q, ActionId pending);
-  const Key& key_at(State q) const;
+  Key key_at(State q) const;
 
   /// The inner transition on `a` from `q`, lifted to un-held wrapper
   /// states, with the duplicate branch applied at weight `w`.
@@ -70,8 +72,7 @@ class FaultyPsioa : public Psioa {
   FaultPlan plan_;
   ActionSet targets_;
   ActionId a_deliver_;
-  std::vector<Key> keys_;
-  std::map<Key, State> interned_;
+  StateInterner interned_;
 };
 
 /// Wraps `inner` in a FaultyPsioa (validates the plan first).

@@ -16,12 +16,34 @@ DynamicPca::DynamicPca(std::string name, RegistryPtr registry,
       hiding_(std::move(hiding)) {}
 
 State DynamicPca::intern_config(const Configuration& c) {
-  auto it = interned_.find(c);
-  if (it != interned_.end()) return it->second;
-  State q = configs_.size();
-  configs_.push_back(c);
-  interned_.emplace(c, q);
+  // Canonical word encoding: the items are already sorted by Aid, so the
+  // flat (aid, state) word sequence is a unique key for the reduced
+  // configuration.
+  keybuf_.clear();
+  keybuf_.reserve(c.items().size() * 2);
+  for (const auto& [aid, sub_state] : c.items()) {
+    keybuf_.push_back(static_cast<State>(aid));
+    keybuf_.push_back(sub_state);
+  }
+  const State before = interned_.size();
+  const State q = interned_.intern_tuple(keybuf_.data(), keybuf_.size());
+  if (q == before) configs_.push_back(c);  // fresh key: store its config
   return q;
+}
+
+InternStats DynamicPca::intern_stats() const {
+  InternStats s = interned_.stats();
+  for (Aid aid = 0; aid < registry().size(); ++aid) {
+    s += registry().aut(aid).intern_stats();
+  }
+  return s;
+}
+
+void DynamicPca::reserve_interning(std::size_t expected_states) {
+  interned_.reserve(expected_states);
+  for (Aid aid = 0; aid < registry().size(); ++aid) {
+    registry().aut(aid).reserve_interning(expected_states);
+  }
 }
 
 State DynamicPca::start_state() {
@@ -49,7 +71,9 @@ Signature DynamicPca::compute_signature(State q) {
 }
 
 StateDist DynamicPca::compute_transition(State q, ActionId a) {
-  const Configuration c = config_at(q);  // copy: interning may realloc
+  // Deque slots are stable across intern_config growth, so a reference
+  // suffices (the vector-backed store needed a defensive copy here).
+  const Configuration& c = config_at(q);
   if (!config_signature(registry(), c).contains(a)) {
     throw std::logic_error("DynamicPca " + name() + ": action '" +
                            ActionTable::instance().name(a) +

@@ -10,8 +10,17 @@
 // with every member at its own start state (constraint 1). This is the
 // bottom-up reading of Def 2.16; the independent checker in check.hpp
 // confirms the constraints on explored prefixes.
+//
+// Interning runs on the shared arena-backed StateInterner: a
+// configuration's key is its canonical word encoding (the sorted
+// (Aid, State) item pairs), so lookups hash a flat word array instead of
+// lexicographically comparing full Configuration copies in a std::map.
+// The Configuration values themselves live in a deque, whose slots are
+// stable across growth -- transition() works on references, with no
+// defensive copy.
 
-#include <map>
+#include <deque>
+#include <vector>
 
 #include "pca/pca.hpp"
 
@@ -45,6 +54,9 @@ class DynamicPca : public Pca {
   /// need to align hand-built configurations with states).
   State intern_config(const Configuration& c);
 
+  InternStats intern_stats() const override;
+  void reserve_interning(std::size_t expected_states) override;
+
  protected:
   // Uncached constraints-by-construction semantics of Def 2.16.
   Signature compute_signature(State q) override;
@@ -56,8 +68,9 @@ class DynamicPca : public Pca {
   std::vector<Aid> initial_;
   CreationPolicy creation_;
   HidingPolicy hiding_;
-  std::vector<Configuration> configs_;
-  std::map<Configuration, State> interned_;
+  std::deque<Configuration> configs_;  // deque: stable slots across growth
+  StateInterner interned_;
+  std::vector<State> keybuf_;  // scratch for canonical word encodings
 };
 
 }  // namespace cdse

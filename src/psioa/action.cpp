@@ -1,5 +1,6 @@
 #include "psioa/action.hpp"
 
+#include <mutex>
 #include <stdexcept>
 
 namespace cdse {
@@ -10,8 +11,17 @@ ActionTable& ActionTable::instance() {
 }
 
 ActionId ActionTable::intern(std::string_view name) {
-  std::lock_guard<std::mutex> lk(mu_);
-  auto it = ids_.find(std::string(name));
+  {
+    // Fast path: already interned -- shared lock, heterogeneous probe,
+    // zero allocation. This is every intern call after the first for a
+    // given name, i.e. the steady state of sampling and composition.
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  // Double-check: another thread may have interned it between the locks.
+  auto it = ids_.find(name);
   if (it != ids_.end()) return it->second;
   ActionId id = static_cast<ActionId>(names_.size());
   names_.emplace_back(name);
@@ -20,20 +30,20 @@ ActionId ActionTable::intern(std::string_view name) {
 }
 
 ActionId ActionTable::lookup(std::string_view name) const {
-  std::lock_guard<std::mutex> lk(mu_);
-  auto it = ids_.find(std::string(name));
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  auto it = ids_.find(name);
   return it == ids_.end() ? kInvalidAction : it->second;
 }
 
 const std::string& ActionTable::name(ActionId id) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::shared_lock<std::shared_mutex> lk(mu_);
   if (id >= names_.size())
     throw std::out_of_range("ActionTable::name: unknown id");
   return names_[id];
 }
 
 std::size_t ActionTable::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::shared_lock<std::shared_mutex> lk(mu_);
   return names_.size();
 }
 

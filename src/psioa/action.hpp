@@ -6,15 +6,18 @@
 // so action names are interned in one process-wide table. ActionId is a
 // dense 32-bit handle; ActionSet is a sorted-vector set (util/sorted_set).
 //
-// Thread-safety: intern/name are mutex-protected; name() returns a
-// reference into a deque, which stays stable across later interning. The
-// parallel sampler builds per-thread automaton instances whose action
-// names were already interned by the main thread, so contention is nil in
-// practice.
+// Thread-safety: the table is guarded by a shared_mutex. intern() takes
+// a shared (read) lock on its fast path -- the overwhelmingly common
+// already-interned case, including every act() call made while parallel
+// workers replay automata whose names the main thread interned -- and
+// only upgrades to an exclusive lock (with a double-check) to insert a
+// genuinely new name. Lookups are heterogeneous (string_view keys probe
+// the map directly), so the fast path allocates nothing. name() returns
+// a reference into a deque, which stays stable across later interning.
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -42,9 +45,18 @@ class ActionTable {
   ActionTable& operator=(const ActionTable&) = delete;
 
  private:
+  // Transparent hashing: find(string_view) probes without materializing
+  // a std::string key.
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   ActionTable() = default;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, ActionId> ids_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, ActionId, StringHash, std::equal_to<>> ids_;
   std::deque<std::string> names_;
 };
 

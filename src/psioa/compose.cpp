@@ -30,12 +30,18 @@ void ComposedPsioa::set_memoization(bool on) {
 }
 
 State ComposedPsioa::intern_tuple(const std::vector<State>& tuple) {
-  auto it = interned_.find(tuple);
-  if (it != interned_.end()) return it->second;
-  State q = tuples_.size();
-  tuples_.push_back(tuple);
-  interned_.emplace(tuple, q);
-  return q;
+  return interned_.intern_tuple(tuple.data(), tuple.size());
+}
+
+InternStats ComposedPsioa::intern_stats() const {
+  InternStats s = interned_.stats();
+  for (const auto& c : components_) s += c->intern_stats();
+  return s;
+}
+
+void ComposedPsioa::reserve_interning(std::size_t expected_states) {
+  interned_.reserve(expected_states);
+  for (auto& c : components_) c->reserve_interning(expected_states);
 }
 
 State ComposedPsioa::start_state() {
@@ -46,7 +52,7 @@ State ComposedPsioa::start_state() {
 }
 
 Signature ComposedPsioa::compute_signature(State q) {
-  const auto& tup = tuple(q);
+  const TupleRef tup = tuple(q);
   Signature acc = components_[0]->signature(tup[0]);
   for (std::size_t i = 1; i < components_.size(); ++i) {
     const Signature si = components_[i]->signature(tup[i]);
@@ -70,7 +76,10 @@ StateDist ComposedPsioa::compute_transition(State q, ActionId a) {
                            ActionTable::instance().name(a) +
                            "' not enabled at " + state_label(q));
   }
-  const std::vector<State> tup = tuple(q);  // copy: interning may realloc
+  // Arena keys have stable addresses, so the view stays valid across the
+  // interning below (the legacy map stored tuples in a reallocating
+  // vector and had to copy here).
+  const TupleRef tup = tuple(q);
   // Def 2.5: eta = (x)_j eta_j, with eta_j = dirac(q_j) for components
   // that do not have `a` in their current signature.
   ExactDisc<std::vector<State>> acc =
@@ -97,7 +106,7 @@ StateDist ComposedPsioa::compute_transition(State q, ActionId a) {
 }
 
 BitString ComposedPsioa::encode_state(State q) {
-  const auto& tup = tuple(q);
+  const TupleRef tup = tuple(q);
   std::vector<BitString> parts;
   parts.reserve(tup.size());
   for (std::size_t i = 0; i < components_.size(); ++i) {
@@ -107,7 +116,7 @@ BitString ComposedPsioa::encode_state(State q) {
 }
 
 std::string ComposedPsioa::state_label(State q) {
-  const auto& tup = tuple(q);
+  const TupleRef tup = tuple(q);
   std::string s = "(";
   for (std::size_t i = 0; i < components_.size(); ++i) {
     if (i) s += ", ";
@@ -118,14 +127,18 @@ std::string ComposedPsioa::state_label(State q) {
 }
 
 State ComposedPsioa::project(State q, std::size_t i) const {
-  return tuples_.at(q).at(i);
+  const TupleRef tup = tuple(q);
+  if (i >= tup.size()) {
+    throw std::out_of_range("ComposedPsioa: component index out of range");
+  }
+  return tup[i];
 }
 
-const std::vector<State>& ComposedPsioa::tuple(State q) const {
-  if (q >= tuples_.size()) {
+TupleRef ComposedPsioa::tuple(State q) const {
+  if (q >= interned_.size()) {
     throw std::out_of_range("ComposedPsioa: unknown composite state handle");
   }
-  return tuples_[q];
+  return interned_.tuple(q);
 }
 
 std::shared_ptr<ComposedPsioa> compose(std::vector<PsioaPtr> components) {

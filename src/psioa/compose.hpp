@@ -17,9 +17,13 @@
 // interned (state, action), so the class sits on MemoPsioa: each is
 // derived once per reachable pair and served from the memo (with a
 // compiled double-CDF row for the sampler) on every later visit.
+//
+// Tuples are interned through the shared arena-backed StateInterner
+// (util/state_interner.hpp): keys live inline in a bump arena with
+// stable addresses, so tuple() hands out borrowed views that survive
+// later interning, and discovery pays no per-state node allocation.
 
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
 #include "psioa/memo.hpp"
@@ -47,12 +51,17 @@ class ComposedPsioa : public MemoPsioa {
   /// q |` A_i of Def 2.18: the i-th component's state within q.
   State project(State q, std::size_t i) const;
 
-  /// The full component-state tuple for q.
-  const std::vector<State>& tuple(State q) const;
+  /// The full component-state tuple for q. The view borrows arena
+  /// storage: it stays valid while this automaton lives, including
+  /// across later interning.
+  TupleRef tuple(State q) const;
 
   /// Interns a tuple (exposed for the PCA layer, which needs to align
   /// composite PCA states with component configurations).
   State intern_tuple(const std::vector<State>& tuple);
+
+  InternStats intern_stats() const override;
+  void reserve_interning(std::size_t expected_states) override;
 
  protected:
   // Uncached Def 2.5 semantics; MemoPsioa caches the results per
@@ -61,20 +70,8 @@ class ComposedPsioa : public MemoPsioa {
   StateDist compute_transition(State q, ActionId a) override;
 
  private:
-  struct TupleHash {
-    std::size_t operator()(const std::vector<State>& v) const {
-      std::size_t h = 0xcbf29ce484222325ULL;
-      for (State s : v) {
-        h ^= std::hash<State>{}(s);
-        h *= 0x100000001b3ULL;
-      }
-      return h;
-    }
-  };
-
   std::vector<PsioaPtr> components_;
-  std::vector<std::vector<State>> tuples_;
-  std::unordered_map<std::vector<State>, State, TupleHash> interned_;
+  StateInterner interned_;
 };
 
 /// A_1 || ... || A_n. Requires n >= 1.

@@ -31,6 +31,10 @@ class HiddenPsioa : public MemoPsioa {
     MemoPsioa::set_memoization(on);
     inner_->set_memoization(on);
   }
+  InternStats intern_stats() const override { return inner_->intern_stats(); }
+  void reserve_interning(std::size_t expected_states) override {
+    inner_->reserve_interning(expected_states);
+  }
 
   Psioa& inner() { return *inner_; }
   PsioaPtr inner_ptr() const { return inner_; }

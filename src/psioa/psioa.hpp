@@ -35,6 +35,7 @@
 #include "measure/disc.hpp"
 #include "psioa/signature.hpp"
 #include "util/bitstring.hpp"
+#include "util/state_interner.hpp"
 
 namespace cdse {
 
@@ -78,6 +79,21 @@ class Psioa {
   /// components. Used to benchmark cached vs uncached rows and to build
   /// the "direct" side of the memo-equivalence property suite.
   virtual void set_memoization(bool on) { (void)on; }
+
+  /// Aggregate state-interning counters for this automaton and every
+  /// automaton it wraps (util/state_interner.hpp). Zero for leaves
+  /// without a handle store; interning automata add their own interner's
+  /// stats and wrappers forward like set_memoization. The E10 bench reads
+  /// this to report warm-up allocator traffic.
+  virtual InternStats intern_stats() const { return {}; }
+
+  /// Pre-sizes interning tables for an expected number of reachable
+  /// states, so BFS warm-up (sched/sampler's warm_automaton) discovers
+  /// states without mid-walk rehashes. Advisory; forwarded through
+  /// wrappers like set_memoization.
+  virtual void reserve_interning(std::size_t expected_states) {
+    (void)expected_states;
+  }
 
   // -- convenience helpers -------------------------------------------------
 

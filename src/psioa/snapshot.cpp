@@ -141,6 +141,11 @@ std::string SnapshotPsioa::state_label(State q) {
   return residue_->warm->state_label(q);
 }
 
+InternStats SnapshotPsioa::intern_stats() const {
+  std::lock_guard<std::mutex> lock(residue_->mu);
+  return residue_->warm->intern_stats();
+}
+
 Signature SnapshotPsioa::compute_signature(State q) {
   std::lock_guard<std::mutex> lock(residue_->mu);
   return residue_->warm->signature(q);

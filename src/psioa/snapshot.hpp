@@ -142,6 +142,11 @@ class SnapshotPsioa final : public MemoPsioa {
   const CompiledSnapshot& snapshot() const { return *snap_; }
   const SnapshotStats& snapshot_stats() const { return sstats_; }
 
+  /// Interning counters of the shared handle authority (the residue's
+  /// warm instance), taken under the residue lock. Views intern nothing
+  /// themselves, so this is the whole stack's arena footprint.
+  InternStats intern_stats() const override;
+
  protected:
   // Cold-miss path: one serialized compute on the residue's warm
   // instance, which also interns any newly discovered states so handles

@@ -179,6 +179,10 @@ Disc<Perception, double> parallel_sample_fdist(
 
 std::size_t warm_automaton(MemoPsioa& automaton, Scheduler& sched,
                            const WarmupPlan& plan, std::size_t max_depth) {
+  // Pre-size the interning tables so the BFS below discovers states
+  // without mid-walk rehashes (advisory; automata without a handle store
+  // ignore it).
+  automaton.reserve_interning(std::min(plan.reserve_states, plan.max_states));
   // Phase 1: episodes. Warms the hot region in sampling order and, as a
   // side effect, the scheduler's path-dependent rows. The stream is
   // dedicated so a clone warmed with the same plan replays identically.
@@ -239,6 +243,11 @@ void ParallelSampler::prepare(const WarmupPlan& plan, std::size_t max_depth) {
   residue_ = std::make_shared<SnapshotResidue>(warm_);
   choice_rows_ = sched->freeze_choice_rows();
   last_stats_ = SnapshotStats{};
+}
+
+InternStats ParallelSampler::residue_intern_stats() const {
+  if (warm_ == nullptr) return {};
+  return warm_->intern_stats();
 }
 
 std::shared_ptr<SnapshotPsioa> ParallelSampler::worker_view() const {

@@ -108,6 +108,11 @@ struct WarmupPlan {
   std::size_t max_states = std::size_t{1} << 20;
   /// Seed for the warm-up episode stream.
   std::uint64_t seed = 0x5eedULL;
+  /// Interning pre-size hint: warm_automaton calls
+  /// reserve_interning(min(reserve_states, max_states)) before the first
+  /// episode so BFS discovery proceeds without mid-walk rehashes.
+  /// Advisory only -- tables still grow past it on demand.
+  std::size_t reserve_states = 256;
 };
 
 /// Runs `plan` against one instance: episodes first, then the reachable
@@ -154,6 +159,11 @@ class ParallelSampler {
 
   /// Counters summed over the workers of the most recent sample_fdist.
   const SnapshotStats& last_stats() const { return last_stats_; }
+
+  /// Interning counters of the warm instance (the handle authority all
+  /// views share). Zero-valued before prepare(). Read by the E10 bench
+  /// to attribute warm-up memory to the handle store.
+  InternStats residue_intern_stats() const;
 
  private:
   PsioaFactory make_automaton_;

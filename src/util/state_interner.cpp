@@ -1,0 +1,247 @@
+#include "util/state_interner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+
+namespace cdse {
+
+namespace {
+
+std::atomic<StateInterner::Backend>& backend_flag() {
+  static std::atomic<StateInterner::Backend> flag{
+      StateInterner::Backend::kArena};
+  return flag;
+}
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+// Word-pads a byte length (keys are stored 8-aligned so tuple() views
+// are well-aligned on every backend).
+std::size_t padded(std::size_t len) { return (len + 7) & ~std::size_t{7}; }
+
+}  // namespace
+
+// ---------------------------------------------------------------- Arena
+
+Arena::Arena(std::size_t first_chunk_bytes)
+    : next_chunk_bytes_(first_chunk_bytes == 0 ? kFirstChunkBytes
+                                               : first_chunk_bytes) {}
+
+Arena::Chunk& Arena::grow(std::size_t min_bytes) {
+  const std::size_t size = std::max(next_chunk_bytes_, min_bytes);
+  Chunk chunk;
+  chunk.data = std::make_unique<std::byte[]>(size);
+  chunk.size = size;
+  reserved_ += size;
+  // Geometric growth keeps chunk count logarithmic in total bytes while
+  // the cap bounds the worst-case over-reserve on huge walks.
+  next_chunk_bytes_ = std::min(next_chunk_bytes_ * 2, kMaxChunkBytes);
+  chunks_.push_back(std::move(chunk));
+  return chunks_.back();
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  // Alignment must be computed on the address, not the offset: operator
+  // new[] only guarantees __STDCPP_DEFAULT_NEW_ALIGNMENT__ (typically
+  // 16) for the chunk base, so an aligned offset into an arbitrary base
+  // is not an aligned pointer for larger `align`.
+  if (bytes == 0) return nullptr;
+  if (!chunks_.empty()) {
+    Chunk& cur = chunks_.back();
+    const auto base = reinterpret_cast<std::uintptr_t>(cur.data.get());
+    const std::uintptr_t mask = static_cast<std::uintptr_t>(align) - 1;
+    const std::size_t aligned =
+        static_cast<std::size_t>(((base + cur.used + mask) & ~mask) - base);
+    if (aligned + bytes <= cur.size) {
+      used_ += (aligned - cur.used) + bytes;
+      cur.used = aligned + bytes;
+      return cur.data.get() + aligned;
+    }
+  }
+  // `align` extra bytes leave room to shift up to the first aligned
+  // address however the fresh chunk's base lands.
+  Chunk& chunk = grow(bytes + align);
+  const auto base = reinterpret_cast<std::uintptr_t>(chunk.data.get());
+  const std::size_t offset = static_cast<std::size_t>(
+      (static_cast<std::uintptr_t>(align) - (base & (align - 1))) &
+      (align - 1));
+  chunk.used = offset + bytes;
+  used_ += offset + bytes;
+  return chunk.data.get() + offset;
+}
+
+void Arena::reserve(std::size_t bytes) {
+  const std::size_t free_in_last =
+      chunks_.empty() ? 0 : chunks_.back().size - chunks_.back().used;
+  if (free_in_last < bytes) grow(bytes);
+}
+
+// --------------------------------------------------------- StateInterner
+
+StateInterner::Backend StateInterner::default_backend() {
+  return backend_flag().load(std::memory_order_relaxed);
+}
+
+void StateInterner::set_default_backend(Backend b) {
+  backend_flag().store(b, std::memory_order_relaxed);
+}
+
+StateInterner::StateInterner(Backend backend) : backend_(backend) {}
+
+std::uint64_t StateInterner::hash_bytes(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  // FNV-1a seeded with the length (arity for tuple keys), so keys that
+  // are prefixes of one another land in unrelated buckets.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^
+                    (0x100000001b3ULL * (static_cast<std::uint64_t>(len) + 1));
+  for (std::size_t i = 0; i < len; ++i) {
+    h = (h ^ p[i]) * 0x100000001b3ULL;
+  }
+  // splitmix64 finalizer: FNV alone avalanches poorly in the high bits,
+  // which an and-mask table consultation would feel directly.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+StateInterner::Handle StateInterner::intern_bytes(const void* data,
+                                                 std::size_t len) {
+  const std::uint64_t h = hash_bytes(data, len);
+  ++lookups_;
+  return backend_ == Backend::kArena ? intern_arena(data, len, h)
+                                     : intern_map(data, len, h);
+}
+
+StateInterner::Handle StateInterner::intern_tuple(const std::uint64_t* words,
+                                                  std::size_t n) {
+  return intern_bytes(words, n * sizeof(std::uint64_t));
+}
+
+StateInterner::Handle StateInterner::intern_arena(const void* data,
+                                                  std::size_t len,
+                                                  std::uint64_t h) {
+  if (slots_.empty()) grow_table(16);
+  std::size_t i = h & slot_mask_;
+  while (true) {
+    ++probes_;
+    const std::uint32_t s = slots_[i];
+    if (s == 0) break;
+    const Entry& e = entries_[s - 1];
+    if (e.hash == h && e.len == len &&
+        (len == 0 || std::memcmp(e.ptr, data, len) == 0)) {
+      return s - 1;
+    }
+    i = (i + 1) & slot_mask_;
+  }
+  const std::byte* stored = nullptr;
+  if (len != 0) {
+    void* dst = arena_.allocate(padded(len), alignof(std::uint64_t));
+    std::memcpy(dst, data, len);
+    stored = static_cast<const std::byte*>(dst);
+  }
+  entries_.push_back(
+      Entry{stored, h, static_cast<std::uint32_t>(len)});
+  slots_[i] = static_cast<std::uint32_t>(entries_.size());
+  // Load factor 0.7: rehash uses the cached hashes, no key re-reads.
+  if (entries_.size() * 10 >= slots_.size() * 7) {
+    grow_table(slots_.size() * 2);
+  }
+  return entries_.size() - 1;
+}
+
+StateInterner::Handle StateInterner::intern_map(const void* data,
+                                                std::size_t len,
+                                                std::uint64_t h) {
+  // Legacy shape on purpose: a key copy per lookup, a tree node per key,
+  // and a second heap copy for handle access -- the allocation pattern of
+  // the five per-instance maps this class replaced, kept as the
+  // differential reference and the bench baseline.
+  std::string lookup_key(static_cast<const char*>(data), len);
+  auto it = map_.find(lookup_key);
+  if (it != map_.end()) return it->second;
+  const Handle handle = entries_.size();
+  std::vector<std::uint64_t> payload(padded(len) / sizeof(std::uint64_t), 0);
+  if (len != 0) std::memcpy(payload.data(), data, len);
+  map_keys_.push_back(std::move(payload));
+  const std::vector<std::uint64_t>& stored = map_keys_.back();
+  entries_.push_back(Entry{
+      stored.empty() ? nullptr
+                     : reinterpret_cast<const std::byte*>(stored.data()),
+      h, static_cast<std::uint32_t>(len)});
+  // Accounting mirrors what the node-based design actually allocates:
+  // an rb-tree node (3 pointers + color + the pair), the key string (and
+  // its heap buffer past SSO), and the aligned payload copy.
+  constexpr std::size_t kNodeOverhead = 4 * sizeof(void*) + sizeof(Handle);
+  map_bytes_ += kNodeOverhead + sizeof(std::string) +
+                (len > 15 ? len + 1 : 0) +
+                sizeof(std::vector<std::uint64_t>) + padded(len);
+  map_.emplace(std::move(lookup_key), handle);
+  return handle;
+}
+
+void StateInterner::grow_table(std::size_t min_slots) {
+  const std::size_t n = round_up_pow2(std::max<std::size_t>(min_slots, 16));
+  if (n <= slots_.size()) return;
+  if (!slots_.empty()) ++rehashes_;
+  std::vector<std::uint32_t> fresh(n, 0);
+  const std::uint64_t mask = n - 1;
+  for (std::size_t e = 0; e < entries_.size(); ++e) {
+    std::size_t i = entries_[e].hash & mask;
+    while (fresh[i] != 0) i = (i + 1) & mask;
+    fresh[i] = static_cast<std::uint32_t>(e + 1);
+  }
+  slots_ = std::move(fresh);
+  slot_mask_ = mask;
+}
+
+std::pair<const std::byte*, std::size_t> StateInterner::key(Handle h) const {
+  if (h >= entries_.size()) {
+    throw std::out_of_range("StateInterner: unknown handle");
+  }
+  const Entry& e = entries_[h];
+  return {e.ptr, e.len};
+}
+
+TupleRef StateInterner::tuple(Handle h) const {
+  if (h >= entries_.size()) {
+    throw std::out_of_range("StateInterner: unknown handle");
+  }
+  const Entry& e = entries_[h];
+  return TupleRef{reinterpret_cast<const std::uint64_t*>(e.ptr),
+                  e.len / sizeof(std::uint64_t)};
+}
+
+void StateInterner::reserve(std::size_t expected_keys) {
+  if (backend_ != Backend::kArena || expected_keys == 0) return;
+  entries_.reserve(expected_keys);
+  grow_table(round_up_pow2(expected_keys * 10 / 7 + 1));
+}
+
+InternStats StateInterner::stats() const {
+  InternStats s;
+  s.keys = entries_.size();
+  s.lookups = lookups_;
+  s.probes = probes_;
+  s.rehashes = rehashes_;
+  if (backend_ == Backend::kArena) {
+    s.arena_bytes = arena_.bytes_reserved() +
+                    slots_.capacity() * sizeof(std::uint32_t) +
+                    entries_.capacity() * sizeof(Entry);
+    s.arena_chunks = arena_.chunk_count();
+  } else {
+    s.arena_bytes = map_bytes_ + entries_.capacity() * sizeof(Entry);
+    s.arena_chunks = 0;
+  }
+  return s;
+}
+
+}  // namespace cdse

@@ -1,0 +1,202 @@
+#pragma once
+// Arena-backed state interning: one allocator-free handle store shared by
+// every wrapper automaton that maps discovered structures to dense State
+// handles (composed tuples, PCA configurations, fault-wrapper keys).
+//
+// The paper's representation independence (and the CRDT-emulation
+// observation it echoes) is what licenses this layer: a handle store may
+// change freely as long as the bijection between structures and handles
+// is preserved. Handles here are dense and assigned in discovery order --
+// exactly the order the legacy per-instance maps assigned them -- so the
+// migration is semantics-neutral down to draw-for-draw seed
+// reproducibility (tests/intern_test.cpp pins this differentially).
+//
+// Two pieces:
+//   Arena         -- a chunked bump allocator. Chunks are never freed or
+//                    moved, so pointers into the arena stay stable across
+//                    later allocation; chunk sizes grow geometrically so
+//                    reserved bytes track used bytes within a small
+//                    constant factor.
+//   StateInterner -- an open-addressing hash table over variable-length
+//                    keys stored *inline* in the arena (one copy, no
+//                    per-key node allocation), with an entry table giving
+//                    O(1) handle -> key access. Keys are byte strings;
+//                    word-aligned tuple keys get a typed TupleRef view.
+//
+// The legacy behaviour remains available as Backend::kMap -- a node-based
+// std::map index with per-key heap copies, shaped like the five interners
+// this class replaced. It exists for the map-vs-arena differential tests
+// and as the allocator-traffic baseline of the E10 warm-up bench rows;
+// production code always runs on Backend::kArena (the default).
+//
+// Thread-safety: none (per-instance, like the maps it replaces); the
+// one-thread-per-instance rule of psioa.hpp covers it. The process-wide
+// backend default is atomic so tests/benches can flip it safely.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cdse {
+
+/// Interner/arena counters, exposed per automaton via
+/// Psioa::intern_stats() and summed over wrapper stacks so the E10 bench
+/// can report allocator traffic next to throughput.
+struct InternStats {
+  std::size_t keys = 0;       ///< interned keys (== dense handle count)
+  std::size_t lookups = 0;    ///< intern() calls
+  std::size_t probes = 0;     ///< slot probe steps across all lookups
+  std::size_t rehashes = 0;   ///< table growths (reinsert passes)
+  std::size_t arena_bytes = 0;  ///< bytes the backend holds for keys+tables
+  std::size_t arena_chunks = 0;  ///< arena chunks (0 on the map backend)
+
+  InternStats& operator+=(const InternStats& o) {
+    keys += o.keys;
+    lookups += o.lookups;
+    probes += o.probes;
+    rehashes += o.rehashes;
+    arena_bytes += o.arena_bytes;
+    arena_chunks += o.arena_chunks;
+    return *this;
+  }
+};
+
+/// Chunked bump allocator. allocate() never fails over to moving old
+/// chunks, so returned pointers are stable for the arena's lifetime;
+/// nothing is freed until destruction (interned keys are immortal by
+/// design -- handles must keep naming them).
+class Arena {
+ public:
+  static constexpr std::size_t kFirstChunkBytes = std::size_t{1} << 12;
+  static constexpr std::size_t kMaxChunkBytes = std::size_t{1} << 20;
+
+  explicit Arena(std::size_t first_chunk_bytes = kFirstChunkBytes);
+
+  /// Returns `bytes` bytes aligned to `align` (a power of two).
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Ensures the current chunk chain can absorb `bytes` more bytes.
+  void reserve(std::size_t bytes);
+
+  std::size_t bytes_used() const { return used_; }
+  std::size_t bytes_reserved() const { return reserved_; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  Chunk& grow(std::size_t min_bytes);
+
+  std::vector<Chunk> chunks_;
+  std::size_t next_chunk_bytes_;
+  std::size_t used_ = 0;
+  std::size_t reserved_ = 0;
+};
+
+/// Borrowed view of a word-sized interned key (a component-state tuple or
+/// any other State-array key). Valid for the interner's lifetime: keys
+/// live in the arena and never move.
+struct TupleRef {
+  const std::uint64_t* ptr = nullptr;
+  std::size_t len = 0;
+
+  std::size_t size() const { return len; }
+  bool empty() const { return len == 0; }
+  std::uint64_t operator[](std::size_t i) const { return ptr[i]; }
+  const std::uint64_t* begin() const { return ptr; }
+  const std::uint64_t* end() const { return ptr + len; }
+};
+
+class StateInterner {
+ public:
+  using Handle = std::uint64_t;
+
+  enum class Backend { kArena, kMap };
+
+  /// Process-wide default for newly constructed interners. Production is
+  /// kArena; tests and the E10 baseline rows flip to kMap.
+  static Backend default_backend();
+  static void set_default_backend(Backend b);
+
+  explicit StateInterner(Backend backend = default_backend());
+
+  /// Interns an arbitrary byte-string key; returns its dense handle
+  /// (size() - 1 on first sight, the prior handle on every later call).
+  Handle intern_bytes(const void* data, std::size_t len);
+
+  /// Interns a word-array key (component-state tuples, packed POD keys).
+  Handle intern_tuple(const std::uint64_t* words, std::size_t n);
+  Handle intern_tuple(const std::vector<std::uint64_t>& t) {
+    return intern_tuple(t.data(), t.size());
+  }
+
+  /// O(1) handle -> key. key() returns the raw bytes; tuple() the typed
+  /// word view (the key must have been interned via intern_tuple).
+  /// Both throw std::out_of_range on an unknown handle.
+  std::pair<const std::byte*, std::size_t> key(Handle h) const;
+  TupleRef tuple(Handle h) const;
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Pre-sizes the table (and arena) for `expected_keys`, so a BFS
+  /// discovery burst (warm_automaton) does not rehash mid-walk. No-op on
+  /// the map backend.
+  void reserve(std::size_t expected_keys);
+
+  /// FNV-1a over the key bytes, seeded with the key length and finished
+  /// with a splitmix64 avalanche. Seeding with the length is load-bearing:
+  /// the retired ComposedPsioa::TupleHash ignored arity, so equal-prefix
+  /// tuples of different lengths collided more than they should.
+  static std::uint64_t hash_bytes(const void* data, std::size_t len);
+  static std::uint64_t hash_tuple(const std::uint64_t* words, std::size_t n) {
+    return hash_bytes(words, n * sizeof(std::uint64_t));
+  }
+
+  InternStats stats() const;
+  Backend backend() const { return backend_; }
+
+ private:
+  struct Entry {
+    const std::byte* ptr;  // key bytes (arena slot or map payload)
+    std::uint64_t hash;
+    std::uint32_t len;  // in bytes
+  };
+
+  Handle intern_arena(const void* data, std::size_t len, std::uint64_t h);
+  Handle intern_map(const void* data, std::size_t len, std::uint64_t h);
+  void grow_table(std::size_t min_slots);
+
+  Backend backend_;
+
+  // Shared handle -> key table (both backends).
+  std::vector<Entry> entries_;
+
+  // Arena backend: inline key storage + open addressing. Slot values are
+  // handle + 1; 0 marks an empty slot.
+  Arena arena_;
+  std::vector<std::uint32_t> slots_;
+  std::uint64_t slot_mask_ = 0;
+
+  // Map backend: the legacy shape -- a node-based index keyed by a
+  // per-lookup key copy, plus a second per-key heap copy for handle
+  // access (word-aligned so tuple() works identically).
+  std::map<std::string, Handle> map_;
+  std::deque<std::vector<std::uint64_t>> map_keys_;
+  std::size_t map_bytes_ = 0;
+
+  std::size_t lookups_ = 0;
+  std::size_t probes_ = 0;
+  std::size_t rehashes_ = 0;
+};
+
+}  // namespace cdse
