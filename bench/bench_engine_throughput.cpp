@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "crypto/pairs.hpp"
+#include "fault/faulty.hpp"
 #include "pca/check.hpp"
 #include "protocols/coinflip.hpp"
 #include "protocols/environment.hpp"
@@ -28,6 +29,7 @@
 #include "psioa/memo.hpp"
 #include "psioa/random.hpp"
 #include "sched/cone_measure.hpp"
+#include "sched/exact_engine.hpp"
 #include "sched/sampler.hpp"
 #include "sched/schedulers.hpp"
 #include "secure/adversary.hpp"
@@ -371,15 +373,69 @@ BENCHMARK(BM_ColdWarmupFreezeArena)
     ->UseRealTime();
 
 void BM_ExactConeEnumeration(benchmark::State& state) {
+  // The iterative pending-edge default; the Legacy row below is the
+  // recursive reference it replaced (one ExecFragment copy per edge).
   const std::size_t depth = static_cast<std::size_t>(state.range(0));
   auto coin = make_coin("e10_d", Rational(1, 2));
   UniformScheduler sched(depth);
   TraceInsight f;
+  ConeStats stats;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(exact_fdist(*coin, sched, f, depth));
+    stats = ConeStats{};
+    benchmark::DoNotOptimize(exact_fdist(*coin, sched, f, depth, &stats));
   }
+  state.counters["frames_peak"] = static_cast<double>(stats.frames_peak);
+  state.counters["frames_pushed"] = static_cast<double>(stats.frames_pushed);
+  state.counters["leaves"] = static_cast<double>(stats.leaves);
 }
 BENCHMARK(BM_ExactConeEnumeration)->Arg(6)->Arg(9)->Arg(12);
+
+void BM_ExactConeEnumerationLegacy(benchmark::State& state) {
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  auto coin = make_coin("e10_d2", Rational(1, 2));
+  UniformScheduler sched(depth);
+  TraceInsight f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact_fdist_recursive(*coin, sched, f, depth));
+  }
+}
+BENCHMARK(BM_ExactConeEnumerationLegacy)->Arg(6)->Arg(9)->Arg(12);
+
+void BM_ParallelExactFdist(benchmark::State& state) {
+  // Deterministic parallel exact f-dist of a faulty channel (fault
+  // branching gives the cone real width): one frozen snapshot, subtree
+  // fan-out over the pool. The result is bit-identical at every Arg.
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t depth = 9;
+  ParallelConeEngine engine(
+      [] {
+        FaultPlan plan;
+        plan.drop = Rational(1, 8);
+        plan.duplicate = Rational(1, 8);
+        plan.delay = Rational(1, 4);
+        return make_faulty_channel("e10_pf", plan);
+      },
+      [depth] { return std::make_shared<UniformScheduler>(depth); });
+  WarmupPlan plan;
+  plan.episodes = 0;
+  plan.horizon = depth;
+  engine.prepare(plan, depth);
+  ThreadPool pool(threads);
+  TraceInsight f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.exact_fdist(f, depth, pool));
+  }
+  const ConeStats& s = engine.last_stats();
+  state.counters["splits"] = static_cast<double>(s.splits);
+  state.counters["frames_pushed"] = static_cast<double>(s.frames_pushed);
+  state.counters["leaves"] = static_cast<double>(s.leaves);
+}
+BENCHMARK(BM_ParallelExactFdist)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 void BM_CompositeTransition(benchmark::State& state) {
   const LedgerSystem sys = make_ledger_system(3, "e10_e");

@@ -13,12 +13,26 @@
 // 1 - (p^2 + (1-p)^2) = 2p(1-p), p = 2^-k -- strictly above the
 // single-query 2^-k. The harness asserts both facts.
 
+// E13b -- exact-engine ablation on the same search schema: the legacy
+// recursive enumerator vs the iterative prefix-sharing engine vs the
+// parallel engine at 1/2/4/8 workers, on a faulty-channel pair whose
+// probabilistic fault branching gives every word a real cone. All
+// engines must return the identical word, epsilon and words_evaluated
+// (the determinism contract of sched/exact_engine.hpp); wall-clock and
+// ConeStats rows are written machine-readably to BENCH_exact.json.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "bench_util.hpp"
 #include "crypto/pairs.hpp"
 #include "crypto/relay.hpp"
+#include "fault/faulty.hpp"
 #include "impl/optimal.hpp"
 #include "secure/adversary.hpp"
 #include "secure/emulation.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cdse {
 namespace {
@@ -92,7 +106,131 @@ int run() {
       ok, "E13: exhaustive search matches the closed-form advantage");
 }
 
+struct AblationRow {
+  std::string engine;
+  std::size_t workers;  // 0 = serial
+  double seconds;
+  BestDistinguisher best;
+};
+
+void write_bench_exact_json(const std::vector<AblationRow>& rows,
+                            double legacy_seconds) {
+  std::FILE* out = std::fopen("BENCH_exact.json", "w");
+  if (out == nullptr) return;
+  std::fprintf(out, "{\n  \"experiment\": \"E13b exact-engine ablation\",\n");
+  std::fprintf(out,
+               "  \"workload\": {\"system\": \"faulty-channel pair\", "
+               "\"alphabet\": 5, \"max_len\": 7, \"depth\": 12},\n");
+  std::fprintf(out, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const AblationRow& r = rows[i];
+    const ConeStats& s = r.best.stats;
+    std::fprintf(
+        out,
+        "    {\"engine\": \"%s\", \"workers\": %zu, \"seconds\": %.6f, "
+        "\"speedup_vs_legacy\": %.2f, \"eps\": \"%s\", "
+        "\"words_evaluated\": %zu, \"frames_peak\": %zu, "
+        "\"frames_pushed\": %zu, \"leaves\": %zu, \"halts\": %zu, "
+        "\"splits\": %zu, \"prefix_hits\": %zu, \"prefix_misses\": %zu}%s\n",
+        r.engine.c_str(), r.workers, r.seconds,
+        r.seconds > 0.0 ? legacy_seconds / r.seconds : 0.0,
+        r.best.eps.to_string().c_str(), r.best.words_evaluated,
+        s.frames_peak, s.frames_pushed, s.leaves, s.halts, s.splits,
+        s.prefix_hits, s.prefix_misses,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+}
+
+int run_e13b() {
+  bench::print_header(
+      "E13b: exact-engine ablation (legacy vs prefix-shared vs parallel)",
+      "all engines return the identical word/eps/words; prefix sharing "
+      "and worker fan-out only change wall-clock");
+  const std::string tag = "e13x";
+  FaultPlan plan_l;
+  plan_l.drop = Rational(1, 8);
+  plan_l.duplicate = Rational(1, 8);
+  plan_l.delay = Rational(1, 4);
+  FaultPlan plan_r;
+  plan_r.drop = Rational(1, 4);
+  plan_r.duplicate = Rational(1, 8);
+  plan_r.delay = Rational(1, 8);
+  const PsioaFactory make_lhs = [tag, plan_l]() -> PsioaPtr {
+    return make_faulty_channel(tag, plan_l);
+  };
+  const PsioaFactory make_rhs = [tag, plan_r]() -> PsioaPtr {
+    return make_faulty_channel(tag, plan_r);
+  };
+  const std::vector<ActionId> alphabet{
+      act("send0_" + tag), act("send1_" + tag), act("recv0_" + tag),
+      act("recv1_" + tag), act("faultdeliver_" + tag)};
+  const std::size_t max_len = 7;
+  const std::size_t depth = 12;
+  TraceInsight f;
+
+  std::vector<AblationRow> rows;
+  {
+    PsioaPtr lhs = make_lhs();
+    PsioaPtr rhs = make_rhs();
+    bench::Timer t;
+    BestDistinguisher best =
+        search_best_word_legacy(*lhs, *rhs, alphabet, max_len, f, depth);
+    rows.push_back({"legacy-recursive", 0, t.seconds(), std::move(best)});
+  }
+  {
+    PsioaPtr lhs = make_lhs();
+    PsioaPtr rhs = make_rhs();
+    bench::Timer t;
+    BestDistinguisher best =
+        search_best_word(*lhs, *rhs, alphabet, max_len, f, depth);
+    rows.push_back({"prefix-shared", 0, t.seconds(), std::move(best)});
+  }
+  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(workers);
+    bench::Timer t;
+    BestDistinguisher best = search_best_word_parallel(
+        make_lhs, make_rhs, alphabet, max_len, f, depth, pool);
+    rows.push_back({"parallel", workers, t.seconds(), std::move(best)});
+  }
+
+  const double legacy_seconds = rows.front().seconds;
+  const BestDistinguisher& ref = rows.front().best;
+  bool ok = true;
+  bench::print_row({"engine", "workers", "seconds", "speedup", "eps",
+                    "words", "prefix-hits"},
+                   17);
+  for (const AblationRow& r : rows) {
+    const bool same = r.best.word == ref.word && r.best.eps == ref.eps &&
+                      r.best.words_evaluated == ref.words_evaluated;
+    ok = ok && same;
+    char spd[32];
+    std::snprintf(spd, sizeof spd, "%.2fx",
+                  r.seconds > 0.0 ? legacy_seconds / r.seconds : 0.0);
+    char sec[32];
+    std::snprintf(sec, sizeof sec, "%.3f", r.seconds);
+    bench::print_row({r.engine, std::to_string(r.workers), sec, spd,
+                      r.best.eps.to_string(),
+                      std::to_string(r.best.words_evaluated),
+                      std::to_string(r.best.stats.prefix_hits)},
+                     17);
+  }
+  // Prefix sharing must actually fire -- the speedup claim rests on it.
+  ok = ok && rows[1].best.stats.prefix_hits > 0;
+  ok = ok && ref.eps > Rational(0);
+  write_bench_exact_json(rows, legacy_seconds);
+  return bench::verdict(
+      ok,
+      "E13b: every engine agrees with the recursive reference; "
+      "BENCH_exact.json written");
+}
+
 }  // namespace
 }  // namespace cdse
 
-int main() { return cdse::run(); }
+int main() {
+  const int r1 = cdse::run();
+  const int r2 = cdse::run_e13b();
+  return r1 != 0 ? r1 : r2;
+}

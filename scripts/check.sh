@@ -22,15 +22,17 @@ JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
 
 if [[ "${1:-}" == "--tsan" ]]; then
   # The suites that exercise real concurrency: the shared-snapshot layer
-  # (frozen-table reads racing residue overflows), the thread pool, and
-  # the interning suite (ActionTable shared-lock fast path + map-vs-arena
-  # differential through the parallel snapshot engine).
+  # (frozen-table reads racing residue overflows), the thread pool, the
+  # interning suite (ActionTable shared-lock fast path + map-vs-arena
+  # differential through the parallel snapshot engine), and the exact
+  # cone-measure engine (ParallelConeEngine subtree fan-out, parallel
+  # distinguisher search, parallel implementation/sweep grids).
   echo "== tsan: ThreadSanitizer build + concurrency suites =="
   cmake -B build-tsan -S . -DCDSE_SANITIZE="thread" >/dev/null
   cmake --build build-tsan -j "$JOBS" \
-    --target snapshot_test thread_pool_test intern_test
+    --target snapshot_test thread_pool_test intern_test exact_engine_test
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'Snapshot|ThreadPool|FrozenChoice|Parallel|Intern'
+    -R 'Snapshot|ThreadPool|FrozenChoice|Parallel|Intern|ExactEngine'
   echo "== tsan pass clean =="
   exit 0
 fi
@@ -42,12 +44,18 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   # is exit status + a non-empty artifact.
   echo "== bench-smoke: Release bench_engine_throughput =="
   cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-  cmake --build build-bench -j "$JOBS" --target bench_engine_throughput
+  cmake --build build-bench -j "$JOBS" \
+    --target bench_engine_throughput bench_optimal_distinguisher
   (cd build-bench && ./bench/bench_engine_throughput \
     --benchmark_min_time=0.05 --benchmark_out=BENCH_engine.json \
     --benchmark_out_format=json)
   test -s build-bench/BENCH_engine.json
-  echo "== bench-smoke clean: build-bench/BENCH_engine.json written =="
+  # E13/E13b self-check the engine-equivalence claim and emit the
+  # exact-engine ablation table (legacy vs iterative vs parallel).
+  (cd build-bench && ./bench/bench_optimal_distinguisher)
+  test -s build-bench/BENCH_exact.json
+  echo "== bench-smoke clean: build-bench/BENCH_engine.json and" \
+       "BENCH_exact.json written =="
   exit 0
 fi
 

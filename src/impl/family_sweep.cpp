@@ -11,20 +11,38 @@ FamilySweepReport family_epsilon_sweep(
     std::uint32_t exact_upto, std::size_t trials, std::uint64_t seed,
     ThreadPool& pool) {
   FamilySweepReport report;
-  std::vector<double> eps_series;
-  for (std::uint32_t k : ks) {
-    FamilySweepRow row;
-    row.k = k;
-    if (k <= exact_upto) {
-      PsioaPtr a = lhs.make(k);
-      PsioaPtr b = rhs.make(k);
-      SchedulerPtr s = sched.make(k);
-      row.exact =
-          exact_balance_epsilon(*a, *s, *b, *s, f, max_depth);
-      row.sampled = row.exact->to_double();
-      row.radius = 0.0;
-    }
+  report.rows.resize(ks.size());
+  for (std::size_t i = 0; i < ks.size(); ++i) report.rows[i].k = ks[i];
+
+  // Phase 1: the exact cells are independent (fresh instances per k from
+  // the pure family builders), so they fan out over the pool. Each cell
+  // is an exact rational, and rows land at their k's index, so the
+  // report is identical to the serial sweep at every worker count.
+  std::vector<std::size_t> exact_idx;
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    if (ks[i] <= exact_upto) exact_idx.push_back(i);
+  }
+  parallel_for_chunks(
+      pool, exact_idx.size(),
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        (void)chunk;
+        for (std::size_t j = begin; j < end; ++j) {
+          FamilySweepRow& row = report.rows[exact_idx[j]];
+          PsioaPtr a = lhs.make(row.k);
+          PsioaPtr b = rhs.make(row.k);
+          SchedulerPtr s = sched.make(row.k);
+          row.exact = exact_balance_epsilon(*a, *s, *b, *s, f, max_depth);
+          row.sampled = row.exact->to_double();
+          row.radius = 0.0;
+        }
+      });
+
+  // Phase 2: sampled cells run serially here because each one already
+  // spreads its trials over the same pool (nesting parallel_for_chunks
+  // inside a worker would deadlock on wait_idle).
+  for (FamilySweepRow& row : report.rows) {
     if (trials > 0 && !row.exact.has_value()) {
+      const std::uint32_t k = row.k;
       const SampledEpsilon se = sampled_balance_epsilon(
           [&lhs, k] { return lhs.make(k); },
           [&sched, k] { return sched.make(k); },
@@ -34,8 +52,12 @@ FamilySweepReport family_epsilon_sweep(
       row.sampled = se.estimate;
       row.radius = se.radius;
     }
+  }
+
+  std::vector<double> eps_series;
+  eps_series.reserve(report.rows.size());
+  for (const FamilySweepRow& row : report.rows) {
     eps_series.push_back(row.exact ? row.exact->to_double() : row.sampled);
-    report.rows.push_back(std::move(row));
   }
   report.negligible_looking = looks_negligible(ks, eps_series);
   report.fitted_exponent = fitted_decay_exponent(ks, eps_series);

@@ -23,6 +23,42 @@ ImplementationReport check_implementation(
   return report;
 }
 
+ImplementationReport check_implementation_parallel(
+    const PsioaFactory& a, const PsioaFactory& b,
+    const std::vector<LabeledPsioaFactory>& envs,
+    const std::vector<LabeledSchedulerFactory>& schedulers,
+    const SchedulerCorrespondence& correspond, const InsightFunction& f,
+    std::size_t max_depth, ThreadPool& pool) {
+  ImplementationReport report;
+  const std::size_t cells = envs.size() * schedulers.size();
+  report.rows.resize(cells);
+  // Env-major cell order, matching the serial checker's row order. Each
+  // cell builds its own E||A / E||B pair and scheduler instances, so no
+  // memo table is shared across workers.
+  parallel_for_chunks(
+      pool, cells,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        (void)chunk;
+        for (std::size_t idx = begin; idx < end; ++idx) {
+          const auto& env = envs[idx / schedulers.size()];
+          const auto& sched = schedulers[idx % schedulers.size()];
+          auto lhs = compose(env.make(), a());
+          auto rhs = compose(env.make(), b());
+          const SchedulerPtr sigma = sched.make();
+          const SchedulerPtr matched = correspond(sigma);
+          const Rational eps = exact_balance_epsilon(
+              *lhs, *sigma, *rhs, *matched, f, max_depth);
+          report.rows[idx] = {env.label, sched.label, eps};
+        }
+      });
+  // Exact epsilons reduce over the fixed row order; max over rationals is
+  // order-insensitive anyway, so the report is worker-count independent.
+  for (const auto& row : report.rows) {
+    if (row.eps > report.max_eps) report.max_eps = row.eps;
+  }
+  return report;
+}
+
 TransitivityRow check_transitivity_case(Psioa& e_a1, Psioa& e_a2,
                                         Psioa& e_a3, Scheduler& sigma,
                                         const InsightFunction& f,

@@ -60,6 +60,35 @@ ImplementationReport check_implementation(
     const SchedulerCorrespondence& correspond, const InsightFunction& f,
     std::size_t max_depth);
 
+/// Factory-labeled grid axes for the parallel checker. Factories must be
+/// pure builders (callable concurrently from pool workers); each cell
+/// constructs its own automata and scheduler instances, preserving the
+/// one-thread-per-instance rule of the memo layer.
+struct LabeledPsioaFactory {
+  std::string label;
+  PsioaFactory make;
+};
+
+struct LabeledSchedulerFactory {
+  std::string label;
+  SchedulerFactory make;
+};
+
+/// check_implementation with the (environment, scheduler) grid evaluated
+/// in parallel: cells fan out over the pool in env-major order, each on
+/// fresh instances, and the report rows come back in exactly the order
+/// the serial checker emits them (the reduction to max_eps runs over
+/// that fixed order, so the report is identical at every worker count --
+/// cell epsilons are exact rationals, not estimates). `correspond` runs
+/// on worker threads and must be thread-safe (the identity
+/// same_scheduler() and pure constructor lambdas are).
+ImplementationReport check_implementation_parallel(
+    const PsioaFactory& a, const PsioaFactory& b,
+    const std::vector<LabeledPsioaFactory>& envs,
+    const std::vector<LabeledSchedulerFactory>& schedulers,
+    const SchedulerCorrespondence& correspond, const InsightFunction& f,
+    std::size_t max_depth, ThreadPool& pool);
+
 /// Transitivity helper (Theorem 4.16 / B.4): epsilon13 <= eps12 + eps23
 /// checked on concrete chains by the caller; this just packages the
 /// triangle inequality evaluation for one environment/scheduler case.

@@ -1,26 +1,82 @@
 #include "impl/optimal.hpp"
 
+#include <deque>
+#include <unordered_map>
+
 #include "sched/schedulers.hpp"
 
 namespace cdse {
 
 namespace {
 
-/// Evaluates the word on one system: exact f-dist plus the longest
-/// schedule length reached anywhere in the support (for pruning).
+/// Letter ranks taken from the alphabet vector: the extension loop tries
+/// letters in alphabet order, so the search pre-order coincides with
+/// lexicographic order under these ranks (a word precedes its
+/// extensions, which precede later siblings' subtrees).
+class LexRank {
+ public:
+  explicit LexRank(const std::vector<ActionId>& alphabet) {
+    for (std::size_t i = 0; i < alphabet.size(); ++i) {
+      rank_.emplace(alphabet[i], i);
+    }
+  }
+
+  bool before(const std::vector<ActionId>& a,
+              const std::vector<ActionId>& b) const {
+    const std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a[i] != b[i]) return rank_.at(a[i]) < rank_.at(b[i]);
+    }
+    return a.size() < b.size();
+  }
+
+ private:
+  std::unordered_map<ActionId, std::size_t> rank_;
+};
+
+/// A (word, epsilon) candidate under the deterministic reduction:
+/// maximum epsilon, ties to the lexicographically smallest word. The
+/// comparator is order-independent, so merging candidates in any fixed
+/// sequence yields the same winner -- the property that makes the
+/// parallel reduction bit-identical to the serial first-improvement
+/// scan (pre-order evaluation == lex order means "first strict
+/// improvement" and "lex-min argmax" pick the same word).
+struct Candidate {
+  bool set = false;
+  std::vector<ActionId> word;
+  Rational eps;
+};
+
+void offer(Candidate& best, const std::vector<ActionId>& word,
+           const Rational& eps, const LexRank& lex) {
+  if (!best.set || eps > best.eps ||
+      (eps == best.eps && lex.before(word, best.word))) {
+    best.set = true;
+    best.word = word;
+    best.eps = eps;
+  }
+}
+
+void merge(Candidate& best, const Candidate& other, const LexRank& lex) {
+  if (other.set) offer(best, other.word, other.eps, lex);
+}
+
+/// Evaluates the word on one system through the recursive reference
+/// enumerator: exact f-dist plus the longest schedule length reached
+/// anywhere in the support (for pruning).
 struct WordEval {
   ExactDisc<Perception> fdist;
   std::size_t max_reached = 0;
 };
 
-WordEval evaluate(Psioa& system, const std::vector<ActionId>& word,
-                  const InsightFunction& f, std::size_t depth) {
+WordEval evaluate_legacy(Psioa& system, const std::vector<ActionId>& word,
+                         const InsightFunction& f, std::size_t depth) {
   // Inputs are schedulable: the word doubles as the environment's
   // injection strategy, so the search covers open systems too. Callers
   // restrict the alphabet to the actions an environment could drive.
   SequenceScheduler sched(word, /*local_only=*/false);
   WordEval ev;
-  for_each_halted_execution(
+  for_each_halted_execution_recursive(
       system, sched, depth,
       [&](const ExecFragment& alpha, const Rational& p) {
         ev.fdist.add(f.apply(system, alpha), p);
@@ -29,11 +85,12 @@ WordEval evaluate(Psioa& system, const std::vector<ActionId>& word,
   return ev;
 }
 
-void search(Psioa& lhs, Psioa& rhs, const std::vector<ActionId>& alphabet,
-            std::size_t max_len, const InsightFunction& f, std::size_t depth,
-            std::vector<ActionId>& word, BestDistinguisher& best) {
-  const WordEval l = evaluate(lhs, word, f, depth);
-  const WordEval r = evaluate(rhs, word, f, depth);
+void search_legacy(Psioa& lhs, Psioa& rhs,
+                   const std::vector<ActionId>& alphabet, std::size_t max_len,
+                   const InsightFunction& f, std::size_t depth,
+                   std::vector<ActionId>& word, BestDistinguisher& best) {
+  const WordEval l = evaluate_legacy(lhs, word, f, depth);
+  const WordEval r = evaluate_legacy(rhs, word, f, depth);
   ++best.words_evaluated;
   const Rational eps = balance_distance(l.fdist, r.fdist);
   if (eps > best.eps) {
@@ -49,7 +106,35 @@ void search(Psioa& lhs, Psioa& rhs, const std::vector<ActionId>& alphabet,
   }
   for (ActionId a : alphabet) {
     word.push_back(a);
-    search(lhs, rhs, alphabet, max_len, f, depth, word, best);
+    search_legacy(lhs, rhs, alphabet, max_len, f, depth, word, best);
+    word.pop_back();
+  }
+}
+
+/// The prefix-sharing DFS: identical traversal and pruning to the legacy
+/// search, but each word's f-dists come from extending the parent's
+/// cached frontier. Child frontiers are evicted once their subtree is
+/// exhausted, so the cache holds the ancestors of the active word only.
+void search_prefix(ConeFrontierCache& cl, ConeFrontierCache& cr,
+                   const std::vector<ActionId>& alphabet, std::size_t max_len,
+                   const LexRank& lex, std::vector<ActionId>& word,
+                   Candidate& best, std::size_t& words_evaluated) {
+  const ConeFrontier& l = cl.frontier(word);
+  const ConeFrontier& r = cr.frontier(word);
+  ++words_evaluated;
+  const Rational eps = balance_distance(l.fdist, r.fdist);
+  offer(best, word, eps, lex);
+  if (word.size() >= max_len) return;
+  if (!word.empty() && l.max_reached < word.size() &&
+      r.max_reached < word.size()) {
+    return;
+  }
+  for (ActionId a : alphabet) {
+    word.push_back(a);
+    search_prefix(cl, cr, alphabet, max_len, lex, word, best,
+                  words_evaluated);
+    cl.evict(word);
+    cr.evict(word);
     word.pop_back();
   }
 }
@@ -60,14 +145,131 @@ std::string BestDistinguisher::word_string() const {
   return trace_string(word);
 }
 
+BestDistinguisher search_best_word_legacy(
+    Psioa& lhs, Psioa& rhs, const std::vector<ActionId>& alphabet,
+    std::size_t max_len, const InsightFunction& f, std::size_t depth) {
+  BestDistinguisher best;
+  std::vector<ActionId> word;
+  search_legacy(lhs, rhs, alphabet, max_len, f, depth, word, best);
+  return best;
+}
+
 BestDistinguisher search_best_word(Psioa& lhs, Psioa& rhs,
                                    const std::vector<ActionId>& alphabet,
                                    std::size_t max_len,
                                    const InsightFunction& f,
                                    std::size_t depth) {
+  ConeFrontierCache cl(lhs, f, depth);
+  ConeFrontierCache cr(rhs, f, depth);
+  const LexRank lex(alphabet);
+  Candidate cand;
   BestDistinguisher best;
   std::vector<ActionId> word;
-  search(lhs, rhs, alphabet, max_len, f, depth, word, best);
+  search_prefix(cl, cr, alphabet, max_len, lex, word, cand,
+                best.words_evaluated);
+  if (cand.set) {
+    best.word = std::move(cand.word);
+    best.eps = cand.eps;
+  }
+  best.stats = cl.stats();
+  best.stats += cr.stats();
+  return best;
+}
+
+BestDistinguisher search_best_word_parallel(
+    const PsioaFactory& make_lhs, const PsioaFactory& make_rhs,
+    const std::vector<ActionId>& alphabet, std::size_t max_len,
+    const InsightFunction& f, std::size_t depth, ThreadPool& pool,
+    std::size_t frontier_target) {
+  // Freeze one warmed instance per side. The full-horizon walk compiles
+  // every (state, action) row the search can touch, so worker views
+  // almost never fall through to the serialized residue.
+  WarmupPlan plan;
+  plan.episodes = 0;
+  plan.horizon = depth;
+  auto uniform_factory = [depth]() -> SchedulerPtr {
+    return std::make_shared<UniformScheduler>(depth);
+  };
+  ParallelSampler left(make_lhs, uniform_factory);
+  ParallelSampler right(make_rhs, uniform_factory);
+  left.prepare(plan, depth);
+  right.prepare(plan, depth);
+
+  const LexRank lex(alphabet);
+  BestDistinguisher best;
+  Candidate cand;
+  ConeStats stats;
+
+  // Phase 1 (calling thread): breadth-first over the word tree until
+  // enough un-expanded subtrees exist to feed the pool. Expansion uses
+  // the same prune-then-extend rule as the DFS, so phase-1 words plus
+  // the subtree words partition exactly the legacy evaluation set.
+  auto lv = left.worker_view();
+  auto rv = right.worker_view();
+  ConeFrontierCache cl(*lv, f, depth);
+  ConeFrontierCache cr(*rv, f, depth);
+  const std::size_t target =
+      frontier_target != 0
+          ? frontier_target
+          : 4 * std::max<std::size_t>(std::size_t{1}, pool.size());
+  std::deque<std::vector<ActionId>> queue;
+  queue.emplace_back();
+  while (!queue.empty() && queue.size() < target) {
+    std::vector<ActionId> word = std::move(queue.front());
+    queue.pop_front();
+    const ConeFrontier& l = cl.frontier(word);
+    const ConeFrontier& r = cr.frontier(word);
+    ++best.words_evaluated;
+    offer(cand, word, balance_distance(l.fdist, r.fdist), lex);
+    if (word.size() >= max_len) continue;
+    if (!word.empty() && l.max_reached < word.size() &&
+        r.max_reached < word.size()) {
+      continue;
+    }
+    for (ActionId a : alphabet) {
+      std::vector<ActionId> child = word;
+      child.push_back(a);
+      queue.push_back(std::move(child));
+    }
+  }
+  std::vector<std::vector<ActionId>> tasks(queue.begin(), queue.end());
+  stats += cl.stats();
+  stats += cr.stats();
+  stats.splits = tasks.size();
+
+  // Phase 2: one DFS per task word, fanned over the pool. Each chunk
+  // owns a pair of thin snapshot views and frontier caches (kept across
+  // the chunk's tasks, so sibling tasks share ancestor frontiers too).
+  const std::size_t lanes = std::max<std::size_t>(std::size_t{1}, pool.size());
+  std::vector<Candidate> task_best(tasks.size());
+  std::vector<std::size_t> task_count(tasks.size(), 0);
+  std::vector<ConeStats> lane_stats(lanes);
+  parallel_for_chunks(
+      pool, tasks.size(),
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        auto lw = left.worker_view();
+        auto rw = right.worker_view();
+        ConeFrontierCache wl(*lw, f, depth);
+        ConeFrontierCache wr(*rw, f, depth);
+        for (std::size_t i = begin; i < end; ++i) {
+          std::vector<ActionId> word = tasks[i];
+          search_prefix(wl, wr, alphabet, max_len, lex, word, task_best[i],
+                        task_count[i]);
+        }
+        lane_stats[chunk] += wl.stats();
+        lane_stats[chunk] += wr.stats();
+      });
+
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    merge(cand, task_best[i], lex);
+    best.words_evaluated += task_count[i];
+  }
+  for (const auto& s : lane_stats) stats += s;
+  if (cand.set) {
+    best.word = std::move(cand.word);
+    best.eps = cand.eps;
+  }
+  best.stats = stats;
   return best;
 }
 

@@ -13,10 +13,22 @@
 // The search prunes words whose prefix already stalls on both systems
 // (a SequenceScheduler halts at the first disabled letter, so every
 // extension of a stalled word induces the same f-dists).
+//
+// Engines. search_best_word extends each parent word's halted frontier
+// (ConeFrontierCache) instead of re-enumerating the shared prefix cone
+// per word; search_best_word_parallel additionally freezes both systems
+// into shared snapshots and fans independent word subtrees across a
+// ThreadPool. Both visit exactly the legacy set of words (identical
+// pruning, hence identical words_evaluated) and resolve epsilon ties to
+// the first word in the search pre-order -- equivalently, the
+// lexicographically smallest word under the alphabet's order -- so all
+// three engines return the identical word and epsilon, and the parallel
+// result is independent of the worker count.
 
 #include <vector>
 
 #include "impl/balance.hpp"
+#include "sched/exact_engine.hpp"
 
 namespace cdse {
 
@@ -24,6 +36,7 @@ struct BestDistinguisher {
   std::vector<ActionId> word;   ///< the epsilon-maximizing schedule
   Rational eps;                 ///< its exact balance epsilon
   std::size_t words_evaluated = 0;
+  ConeStats stats;              ///< engine counters (prefix hits, frames, ...)
 
   std::string word_string() const;
 };
@@ -31,10 +44,33 @@ struct BestDistinguisher {
 /// Searches all words over `alphabet` of length <= max_len, evaluating
 /// the exact epsilon between lhs and rhs under the same word on both
 /// sides (shared vocabulary). `depth` caps the cone enumeration.
+/// Prefix-sharing serial engine.
 BestDistinguisher search_best_word(Psioa& lhs, Psioa& rhs,
                                    const std::vector<ActionId>& alphabet,
                                    std::size_t max_len,
                                    const InsightFunction& f,
                                    std::size_t depth);
+
+/// The historical per-word engine: re-enumerates both cones through the
+/// recursive reference enumerator for every word. Kept as the
+/// differential baseline for tests and the E13 engine-ablation bench.
+BestDistinguisher search_best_word_legacy(
+    Psioa& lhs, Psioa& rhs, const std::vector<ActionId>& alphabet,
+    std::size_t max_len, const InsightFunction& f, std::size_t depth);
+
+/// Parallel prefix-sharing search. Freezes one warmed instance per side
+/// (WarmupPlan horizon = depth, so workers hit lock-free compiled rows),
+/// expands the word tree breadth-first on the calling thread until at
+/// least `frontier_target` (default 4x pool size) independent subtrees
+/// exist, then fans the subtrees across the pool -- each worker running
+/// the serial prefix-sharing search over its own thin snapshot views.
+/// Per-task results merge in fixed task order under the deterministic
+/// tie-break, so word, epsilon and words_evaluated are identical to the
+/// serial engines at every worker count.
+BestDistinguisher search_best_word_parallel(
+    const PsioaFactory& make_lhs, const PsioaFactory& make_rhs,
+    const std::vector<ActionId>& alphabet, std::size_t max_len,
+    const InsightFunction& f, std::size_t depth, ThreadPool& pool,
+    std::size_t frontier_target = 0);
 
 }  // namespace cdse

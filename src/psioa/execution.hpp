@@ -39,6 +39,14 @@ class ExecFragment {
     states_.push_back(q2);
   }
 
+  /// Drops transitions past the first n, keeping capacity. The in-place
+  /// twin of prefix(): the iterative cone enumerator backtracks by
+  /// truncating one shared path instead of copying a fragment per edge.
+  void truncate(std::size_t n) {
+    actions_.resize(n);
+    states_.resize(n + 1);
+  }
+
   /// Concatenation alpha ^ alpha' (defined iff alpha'.fstate == lstate;
   /// throws std::invalid_argument otherwise).
   ExecFragment concat(const ExecFragment& tail) const;

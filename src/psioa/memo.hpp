@@ -105,6 +105,14 @@ class MemoPsioa : public Psioa {
   /// same reason as signature_ref.
   virtual const CompiledRow& compiled_row(State q, ActionId a);
 
+  /// The cached exact transition distribution by reference: what
+  /// transition(q, a) returns, without the per-call StateDist copy. The
+  /// exact cone enumerator's hot loop reads rows through this hook (the
+  /// reference lifetime matches compiled_row's).
+  const StateDist& transition_dist(State q, ActionId a) {
+    return compiled_row(q, a).dist;
+  }
+
   void set_memoization(bool on) override;
   bool memoization_enabled() const { return memo_on_; }
   void clear_memo();

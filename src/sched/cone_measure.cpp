@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "sched/exact_engine.hpp"
+
 namespace cdse {
 
 namespace {
@@ -16,12 +18,7 @@ void enumerate(Psioa& automaton, Scheduler& sched, std::size_t max_depth,
     return;
   }
   const ActionChoice choice = sched.choose(automaton, alpha);
-  const Rational scheduled = choice.total();
-  if (scheduled > Rational(1)) {
-    throw std::logic_error("cone measure: scheduler '" + sched.name() +
-                           "' returned total mass > 1");
-  }
-  const Rational halt = Rational(1) - scheduled;
+  const Rational halt = scheduled_halt_mass(choice, sched);
   if (!halt.is_zero()) visit(alpha, prob * halt);
   const Signature sig = automaton.signature(alpha.lstate());
   for (const auto& [a, w] : choice.entries()) {
@@ -44,6 +41,15 @@ void enumerate(Psioa& automaton, Scheduler& sched, std::size_t max_depth,
 
 void for_each_halted_execution(
     Psioa& automaton, Scheduler& sched, std::size_t max_depth,
+    const std::function<void(const ExecFragment&, const Rational&)>& visit,
+    ConeStats* stats) {
+  ExecFragment path = ExecFragment::starting_at(automaton.start_state());
+  enumerate_cone(automaton, sched, max_depth, path, Rational(1), visit,
+                 stats);
+}
+
+void for_each_halted_execution_recursive(
+    Psioa& automaton, Scheduler& sched, std::size_t max_depth,
     const std::function<void(const ExecFragment&, const Rational&)>& visit) {
   enumerate(automaton, sched, max_depth,
             ExecFragment::starting_at(automaton.start_state()), Rational(1),
@@ -52,9 +58,22 @@ void for_each_halted_execution(
 
 ExactDisc<Perception> exact_fdist(Psioa& automaton, Scheduler& sched,
                                   const InsightFunction& f,
-                                  std::size_t max_depth) {
+                                  std::size_t max_depth, ConeStats* stats) {
   ExactDisc<Perception> dist;
   for_each_halted_execution(
+      automaton, sched, max_depth,
+      [&](const ExecFragment& alpha, const Rational& p) {
+        dist.add(f.apply(automaton, alpha), p);
+      },
+      stats);
+  return dist;
+}
+
+ExactDisc<Perception> exact_fdist_recursive(Psioa& automaton, Scheduler& sched,
+                                            const InsightFunction& f,
+                                            std::size_t max_depth) {
+  ExactDisc<Perception> dist;
+  for_each_halted_execution_recursive(
       automaton, sched, max_depth,
       [&](const ExecFragment& alpha, const Rational& p) {
         dist.add(f.apply(automaton, alpha), p);

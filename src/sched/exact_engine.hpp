@@ -1,0 +1,149 @@
+#pragma once
+// Iterative, parallel, prefix-sharing exact cone-measure engine.
+//
+// The recursive enumerator of sched/cone_measure.hpp deep-copied the
+// ExecFragment on every edge (an O(depth) copy per edge, O(depth * edges)
+// total) and re-enumerated the entire shared prefix cone for every word
+// of the optimal-distinguisher search and every (environment, scheduler)
+// cell of the implementation sweeps. This module replaces it with the
+// standard exact-model-checking decomposition:
+//
+//   enumerate_cone     -- an explicit pending-edge stack that push/pops
+//       ONE in-place path (ExecFragment::truncate + append). The live
+//       stack scales with depth x branching, never with cone size, and
+//       the visit order is exactly the recursive pre-order.
+//   ParallelConeEngine -- deterministic parallel exact f-dists: the cone
+//       is expanded breadth-first to a frontier of independent subtrees,
+//       subtrees fan out over the existing ThreadPool on thin
+//       SnapshotPsioa views (WarmupPlan + freeze(), lock-free compiled
+//       rows), and per-worker ExactDisc partials merge in fixed frontier
+//       order. Rational addition is associative and commutative and
+//       ExactDisc keeps a canonical sorted form, so the merged measure is
+//       bit-identical for ANY worker count.
+//   ConeFrontierCache  -- prefix sharing for off-line (word) schedulers:
+//       the halted frontier of word w is extended by one letter to give
+//       the frontier of w^a, so search_best_word explores the word tree
+//       by extending its parent's frontier instead of re-enumerating the
+//       cone from the root.
+//
+// Every path is exact (Rational end to end); determinism is an algebraic
+// property of the merge, not a scheduling property of the pool.
+// ConeStats counters make the claimed work reduction observable.
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "sched/cone_measure.hpp"
+#include "sched/sampler.hpp"
+
+namespace cdse {
+
+/// Extends for_each_halted_execution's visit contract with a live
+/// in-place path: enumerates the cone of the subtree rooted at `path`
+/// (whose cone probability is `prefix_prob`) under `sched`, visiting
+/// every halt/leaf event in the recursive enumerator's pre-order. `path`
+/// is mutated during the walk and restored to its entry contents before
+/// returning (on success); the reference passed to `visit` aliases it,
+/// so callers must copy if they retain fragments.
+void enumerate_cone(
+    Psioa& automaton, Scheduler& sched, std::size_t max_depth,
+    ExecFragment& path, const Rational& prefix_prob,
+    const std::function<void(const ExecFragment&, const Rational&)>& visit,
+    ConeStats* stats = nullptr);
+
+/// The halted frontier of one schedule word w (offline SequenceScheduler
+/// semantics, local_only = false): everything the cone of w contributes
+/// to an f-dist, split into the part no extension can change and the
+/// part an extension re-expands.
+struct ConeFrontier {
+  struct LiveEntry {
+    ExecFragment frag;  ///< consumed the whole word; length == |w|
+    Rational prob;      ///< exact cone probability of reaching frag
+    Perception perc;    ///< f(frag): its halt contribution under w itself
+  };
+
+  /// Contributions settled for every extension of w: depth-capped leaves
+  /// and executions that stalled on a disabled mid-word letter.
+  ExactDisc<Perception> settled;
+  /// Fragments still live at |w|: halted under w, re-expanded under w^a.
+  std::vector<LiveEntry> live;
+  /// The exact f-dist of w: settled + the live halting mass.
+  ExactDisc<Perception> fdist;
+  /// Longest |alpha| among settled visit events (pruning bookkeeping).
+  std::size_t settled_max_len = 0;
+  /// Longest |alpha| over ALL visit events of w's cone -- identical to
+  /// the max_reached the per-word enumerator derives, so the search's
+  /// stall-pruning rule carries over verbatim.
+  std::size_t max_reached = 0;
+};
+
+/// Frontier store keyed by schedule word. frontier(w) answers from the
+/// cache or builds w's frontier by extending the longest cached prefix
+/// one letter at a time (each level touches only the live fragments of
+/// its parent -- the shared prefix cone is never re-enumerated). Node
+/// storage is a std::map, so returned references stay valid across later
+/// insertions and evictions; one thread per cache instance, like the
+/// automaton memo layers underneath it.
+class ConeFrontierCache {
+ public:
+  ConeFrontierCache(Psioa& automaton, const InsightFunction& f,
+                    std::size_t max_depth);
+
+  /// The frontier of `word` (computed and cached on miss, together with
+  /// every missing prefix level on the way down).
+  const ConeFrontier& frontier(const std::vector<ActionId>& word);
+
+  /// Drops one cached word (no-op when absent). The searches evict a
+  /// child's frontier as soon as its subtree is exhausted, keeping the
+  /// cache O(depth) while ancestors of the active word stay shared.
+  void evict(const std::vector<ActionId>& word);
+
+  std::size_t size() const { return cache_.size(); }
+  const ConeStats& stats() const { return stats_; }
+
+ private:
+  const ConeFrontier& insert(const std::vector<ActionId>& word,
+                             ConeFrontier fr);
+  ConeFrontier root_frontier();
+  ConeFrontier extend(const ConeFrontier& parent, ActionId a);
+
+  Psioa& automaton_;
+  const InsightFunction& f_;
+  std::size_t max_depth_;
+  MemoPsioa* memo_ = nullptr;  // compiled-row fast path when available
+  std::map<std::vector<ActionId>, ConeFrontier> cache_;
+  ConeStats stats_;
+};
+
+/// Deterministic parallel exact f-dists over one frozen snapshot.
+/// prepare() warms one instance (WarmupPlan, as ParallelSampler does) and
+/// freezes its compiled tables; exact_fdist() expands the cone
+/// breadth-first on the calling thread until at least `frontier_target`
+/// independent subtrees exist (default 4x pool size), fans the subtrees
+/// across the pool on thin SnapshotPsioa views, and merges the exact
+/// partials in fixed frontier order. Exactness makes the merge
+/// order-insensitive, so the result is bit-identical to the serial
+/// enumerator at every worker count.
+class ParallelConeEngine {
+ public:
+  ParallelConeEngine(PsioaFactory make_automaton, SchedulerFactory make_sched);
+
+  /// Warms and freezes one instance. Use the depth you will enumerate at.
+  void prepare(const WarmupPlan& plan, std::size_t max_depth);
+  bool prepared() const { return sampler_.prepared(); }
+
+  ExactDisc<Perception> exact_fdist(const InsightFunction& f,
+                                    std::size_t max_depth, ThreadPool& pool,
+                                    std::size_t frontier_target = 0);
+
+  /// Counters of the most recent exact_fdist (splits = subtrees fanned
+  /// out; frames/leaves/halts summed over the workers + the expansion).
+  const ConeStats& last_stats() const { return stats_; }
+
+ private:
+  ParallelSampler sampler_;
+  ConeStats stats_;
+};
+
+}  // namespace cdse

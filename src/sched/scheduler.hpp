@@ -118,6 +118,15 @@ class Scheduler {
 
 using SchedulerPtr = std::shared_ptr<Scheduler>;
 
+/// Validates a choice's total mass (Def 3.1: at most 1) and returns the
+/// halting residual 1 - total. The single mass-validation path shared by
+/// the exact cone enumerators: the total is summed once, the residual is
+/// reused instead of being re-derived, and the unit constant is hoisted
+/// rather than rebuilt per call. Throws std::logic_error naming `sched`
+/// on an overweight choice.
+Rational scheduled_halt_mass(const ActionChoice& choice,
+                             const Scheduler& sched);
+
 /// Produces a fresh scheduler instance; the unit of distribution for the
 /// parallel sampler (one instance per worker, like PsioaFactory).
 using SchedulerFactory = std::function<SchedulerPtr()>;

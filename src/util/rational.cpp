@@ -62,6 +62,13 @@ Rational Rational::operator-() const {
 }
 
 Rational& Rational::operator+=(const Rational& o) {
+  // Identity fast paths: both operands are normalized, so adding zero
+  // (or into zero) needs neither the cross-multiplication nor the gcd.
+  if (o.num_ == 0) return *this;
+  if (num_ == 0) {
+    *this = o;
+    return *this;
+  }
   *this = from_i128(static_cast<__int128>(num_) * o.den_ +
                         static_cast<__int128>(o.num_) * den_,
                     static_cast<__int128>(den_) * o.den_);
@@ -71,6 +78,22 @@ Rational& Rational::operator+=(const Rational& o) {
 Rational& Rational::operator-=(const Rational& o) { return *this += -o; }
 
 Rational& Rational::operator*=(const Rational& o) {
+  // The enumerator's prob * w * tw chains hit these constantly: absorb
+  // zero (restoring the canonical 0/1), and skip the 128-bit product +
+  // gcd entirely when either factor is exactly 1. Operands are already
+  // normalized, so the result of each fast path is normalized too -- and
+  // none of them can overflow, preserving the throw contract for the
+  // general path.
+  if (num_ == 0) return *this;
+  if (o.num_ == 0) {
+    *this = Rational();
+    return *this;
+  }
+  if (o.num_ == 1 && o.den_ == 1) return *this;
+  if (num_ == 1 && den_ == 1) {
+    *this = o;
+    return *this;
+  }
   *this = from_i128(static_cast<__int128>(num_) * o.num_,
                     static_cast<__int128>(den_) * o.den_);
   return *this;
@@ -78,6 +101,8 @@ Rational& Rational::operator*=(const Rational& o) {
 
 Rational& Rational::operator/=(const Rational& o) {
   if (o.num_ == 0) throw std::domain_error("Rational: division by zero");
+  if (num_ == 0) return *this;
+  if (o.num_ == 1 && o.den_ == 1) return *this;
   *this = from_i128(static_cast<__int128>(num_) * o.den_,
                     static_cast<__int128>(den_) * o.num_);
   return *this;

@@ -62,7 +62,15 @@ void ThreadPool::worker_loop() {
     }
     {
       std::lock_guard<std::mutex> lk(mu_);
-      if (err && !first_error_) first_error_ = err;
+      if (err) {
+        if (!first_error_) first_error_ = std::move(err);
+        // Either way the worker's reference dies while the lock is held:
+        // the receiving thread must observe the handoff through mu_, so
+        // the exception object is never destroyed concurrently with the
+        // receiver reading it (the refcounting inside an uninstrumented
+        // libstdc++ is invisible to TSan).
+        err = nullptr;
+      }
       if (--in_flight_ == 0) cv_idle_.notify_all();
     }
   }

@@ -97,6 +97,83 @@ TEST(Rational, OverflowAfterReductionThrows) {
   EXPECT_THROW(a * a, std::overflow_error);
 }
 
+// The 0/1 fast paths skip the 128-bit product and gcd; they must leave
+// results in canonical normalized form and preserve every contract of
+// the general path.
+
+TEST(Rational, MultiplyByZeroShortCircuitsToCanonicalZero) {
+  Rational a(3, 7);
+  a *= Rational(0);
+  EXPECT_TRUE(a.is_zero());
+  EXPECT_EQ(a.num(), 0);
+  EXPECT_EQ(a.den(), 1);  // canonical 0/1, not 0/7
+  Rational z;
+  z *= Rational(5, 9);
+  EXPECT_EQ(z, Rational(0));
+  EXPECT_EQ(z.den(), 1);
+}
+
+TEST(Rational, MultiplyByOneIsIdentityBothSides) {
+  Rational a(-5, 6);
+  a *= Rational(1);
+  EXPECT_EQ(a, Rational(-5, 6));
+  Rational one(1);
+  one *= Rational(-5, 6);
+  EXPECT_EQ(one, Rational(-5, 6));
+  // Negative one must NOT take the unit fast path.
+  Rational b(2, 3);
+  b *= Rational(-1);
+  EXPECT_EQ(b, Rational(-2, 3));
+}
+
+TEST(Rational, AddZeroFastPathsKeepNormalization) {
+  Rational a(4, 6);  // normalized to 2/3
+  a += Rational(0);
+  EXPECT_EQ(a.num(), 2);
+  EXPECT_EQ(a.den(), 3);
+  Rational z;
+  z += Rational(4, 6);
+  EXPECT_EQ(z.num(), 2);
+  EXPECT_EQ(z.den(), 3);
+}
+
+TEST(Rational, DivideByOneAndZeroNumeratorFastPaths) {
+  Rational a(7, 9);
+  a /= Rational(1);
+  EXPECT_EQ(a, Rational(7, 9));
+  Rational z;
+  z /= Rational(3, 5);
+  EXPECT_EQ(z, Rational(0));
+  // The divisor-zero check still precedes every fast path.
+  EXPECT_THROW(Rational(0) / Rational(0), std::domain_error);
+}
+
+TEST(Rational, FastPathsCannotMaskOverflow) {
+  // A value at the 64-bit edge survives *1 and *0 (no product formed),
+  // while the general path still throws.
+  const std::int64_t big = (1LL << 62);
+  Rational a(big, 1);
+  Rational keep = a;
+  keep *= Rational(1);
+  EXPECT_EQ(keep, a);
+  Rational gone = a;
+  gone *= Rational(0);
+  EXPECT_TRUE(gone.is_zero());
+  EXPECT_THROW(a * a, std::overflow_error);
+  EXPECT_THROW(a + a, std::overflow_error);
+}
+
+TEST(Rational, EnumeratorChainProductMatchesGeneralPath) {
+  // prob * w * tw chains as the cone enumerator emits them: unit
+  // scheduler mass times a dyadic transition weight, repeatedly.
+  Rational chained(1);
+  for (int i = 0; i < 20; ++i) {
+    chained *= Rational(1);
+    chained *= Rational(1, 2);
+  }
+  EXPECT_EQ(chained, Rational(1, 1LL << 20));
+}
+
 // Field-axiom spot checks over a grid of small rationals.
 class RationalAxioms : public ::testing::TestWithParam<int> {};
 
