@@ -1,0 +1,326 @@
+// E18: million-session service soak.
+//
+// Drives the MacSessionService soak (src/service/soak.hpp) through three
+// sub-experiments and writes every row machine-readably to
+// BENCH_service.json in the working directory:
+//
+//   E18a  worker sweep -- the session budget split over {1, 2, 4, 8}
+//         pool workers, GC on: throughput and p50/p99 latency per op
+//         class (open/auth/forge/close), plus GC and RSS accounting.
+//         Checks every row completes, the forgery rate tracks the 2^-k
+//         advantage, session GC leaves zero live keys, and compaction
+//         keeps the interner's entry tables bounded (the no-unbounded-
+//         RSS-growth acceptance).
+//   E18b  GC differential -- the same workload at the same seed with GC
+//         on vs off must produce identical outcome digests, forgery
+//         counts, and completion: collection and compaction are
+//         invisible to live sessions (the test suite pins the
+//         DynamicPca-level trace equality; this pins it at service
+//         scale).
+//   E18c  fault drill -- (i) per-request deadlines so tight every
+//         attempt times out, exhausting retry-with-seed-rotation, and
+//         (ii) injected crash-stop sessions. Both must degrade to
+//         partial rows (complete = false) while the driver returns
+//         normally -- never a hang or abort.
+//
+// Flags: --sessions=N  total lifecycles across the E18a sweep
+//                      (default 500000; CI smoke passes 1000)
+//        --seed=N      master seed
+//        --drill       run the fault drills as the *process* contract:
+//                      prints partial rows and exits non-zero.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "service/soak.hpp"
+
+namespace cdse {
+namespace {
+
+struct BenchRow {
+  std::string id;
+  std::string mode;  // "sweep" | "gc-on" | "gc-off" | "drill-..."
+  SoakReport rep;
+};
+
+std::string mb(std::size_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f",
+                static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return buf;
+}
+
+void print_report_row(const BenchRow& row) {
+  const SoakReport& r = row.rep;
+  const SoakOpStats& forge = r.ops[static_cast<std::size_t>(SoakOp::kForge)];
+  bench::print_row(
+      {row.id, std::to_string(r.workers),
+       std::to_string(r.sessions_completed) + "/" +
+           std::to_string(r.sessions_requested),
+       std::to_string(static_cast<std::uint64_t>(r.throughput_ops)),
+       std::to_string(forge.latency.quantile_ns(0.5)) + "/" +
+           std::to_string(forge.latency.quantile_ns(0.99)),
+       std::to_string(r.forgeries), mb(r.rss_end_bytes),
+       mb(r.gc_bytes_reclaimed), r.complete ? "ok" : "PARTIAL"},
+      12);
+  if (!r.error.empty()) {
+    bench::print_row({"", "error: " + r.error}, 12);
+  }
+}
+
+void write_bench_service_json(const std::vector<BenchRow>& rows,
+                              std::size_t sessions, std::uint32_t k) {
+  std::FILE* out = std::fopen("BENCH_service.json", "w");
+  if (out == nullptr) return;
+  std::fprintf(out, "{\n  \"experiment\": \"E18 service soak\",\n");
+  std::fprintf(out,
+               "  \"workload\": {\"system\": \"sharded MAC session "
+               "service\", \"sessions\": %zu, \"k\": %u},\n",
+               sessions, k);
+  std::fprintf(out, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SoakReport& r = rows[i].rep;
+    std::fprintf(
+        out,
+        "    {\"id\": \"%s\", \"mode\": \"%s\", \"workers\": %zu, "
+        "\"gc\": %s, \"complete\": %s, \"error\": \"%s\", "
+        "\"sessions_requested\": %" PRIu64 ", "
+        "\"sessions_completed\": %" PRIu64 ", \"rejected\": %" PRIu64 ", "
+        "\"crashed\": %" PRIu64 ", \"abandoned\": %" PRIu64 ", "
+        "\"forgeries\": %" PRIu64 ", \"forgery_rate\": %.6g, "
+        "\"advantage\": %.6g, \"outcome_digest\": %" PRIu64 ", "
+        "\"wall_seconds\": %.6f, \"throughput_ops\": %.1f, "
+        "\"epochs\": %" PRIu64 ", \"shards_compacted\": %" PRIu64 ", "
+        "\"gc_bytes_reclaimed\": %" PRIu64 ", "
+        "\"interner_live_keys\": %" PRIu64 ", "
+        "\"interner_total_keys\": %" PRIu64 ", "
+        "\"rss_start_bytes\": %zu, \"rss_peak_bytes\": %zu, "
+        "\"rss_end_bytes\": %zu,\n      \"ops\": {",
+        rows[i].id.c_str(), rows[i].mode.c_str(), r.workers,
+        rows[i].mode == "gc-off" ? "false" : "true",
+        r.complete ? "true" : "false", r.error.c_str(), r.sessions_requested,
+        r.sessions_completed, r.rejected, r.crashed, r.abandoned,
+        r.forgeries, r.forgery_rate, r.advantage, r.outcome_digest,
+        r.wall_seconds, r.throughput_ops, r.epochs, r.shards_compacted,
+        r.gc_bytes_reclaimed, r.interner_live_keys, r.interner_total_keys,
+        r.rss_start_bytes, r.rss_peak_bytes, r.rss_end_bytes);
+    for (std::size_t op = 0; op < kSoakOpClasses; ++op) {
+      const SoakOpStats& os = r.ops[op];
+      std::fprintf(
+          out,
+          "\"%s\": {\"requests\": %" PRIu64 ", \"ok\": %" PRIu64 ", "
+          "\"timeouts\": %" PRIu64 ", \"retries\": %" PRIu64 ", "
+          "\"failures\": %" PRIu64 ", \"p50_us\": %.3f, \"p99_us\": %.3f, "
+          "\"max_us\": %.3f}%s",
+          soak_op_name(op), os.requests, os.ok, os.timeouts, os.retries,
+          os.failures,
+          static_cast<double>(os.latency.quantile_ns(0.5)) / 1000.0,
+          static_cast<double>(os.latency.quantile_ns(0.99)) / 1000.0,
+          static_cast<double>(os.latency.max_ns()) / 1000.0,
+          op + 1 < kSoakOpClasses ? ", " : "");
+    }
+    std::fprintf(out, "}}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+}
+
+}  // namespace
+}  // namespace cdse
+
+int main(int argc, char** argv) {
+  using namespace cdse;
+  std::size_t total_sessions = 500000;
+  std::uint64_t seed = 0x50a4e18ULL;
+  bool drill_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--sessions=", 11) == 0) {
+      total_sessions = static_cast<std::size_t>(
+          std::strtoull(argv[i] + 11, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--drill") == 0) {
+      drill_mode = true;
+    }
+  }
+  const std::uint32_t k = 10;
+  std::vector<BenchRow> rows;
+
+  auto base_options = [&](std::size_t sessions, std::size_t workers) {
+    SoakOptions o;
+    o.sessions = sessions;
+    o.workers = workers;
+    o.seed = seed;
+    o.k = k;
+    o.wave = std::clamp<std::size_t>(sessions / 8, 64, 8192);
+    o.hold_waves = 2;
+    return o;
+  };
+
+  if (drill_mode) {
+    // Process-level degradation contract: tight deadlines + crash-stop
+    // injection must yield partial rows and a NON-ZERO exit, without an
+    // abort or hang.
+    bench::print_header(
+        "E18 fault drill (process mode)",
+        "deadline exhaustion and crash-stop sessions degrade to partial "
+        "rows and a non-zero exit");
+    SoakOptions d1 = base_options(std::min<std::size_t>(total_sessions, 2000),
+                                  4);
+    d1.deadline = std::chrono::nanoseconds{1};
+    d1.max_retries = 2;
+    rows.push_back({"drill-deadline", "drill-deadline", run_soak(d1)});
+    SoakOptions d2 = base_options(std::min<std::size_t>(total_sessions, 2000),
+                                  4);
+    d2.crash_prob = 0.25;
+    rows.push_back({"drill-crash", "drill-crash", run_soak(d2)});
+    bench::print_row({"row", "workers", "done", "ops/s", "forge p50/99ns",
+                      "forgeries", "rss MB", "gc MB", "status"},
+                     12);
+    for (const auto& row : rows) print_report_row(row);
+    write_bench_service_json(rows, total_sessions, k);
+    const bool degraded_cleanly =
+        !rows[0].rep.complete && !rows[1].rep.complete;
+    std::printf("[%s] drill degraded to partial rows; exiting non-zero\n",
+                degraded_cleanly ? "DEGRADED" : "UNEXPECTED");
+    return degraded_cleanly ? 2 : 3;
+  }
+
+  int failures = 0;
+
+  // -- E18a: worker sweep --------------------------------------------------
+  bench::print_header(
+      "E18a: service soak worker sweep (GC on)",
+      "every row completes; forgery rate tracks 2^-k; session GC leaves "
+      "zero live keys and bounded entry tables");
+  bench::print_row({"row", "workers", "done", "ops/s", "forge p50/99ns",
+                    "forgeries", "rss MB", "gc MB", "status"},
+                   12);
+  const std::size_t per_row = std::max<std::size_t>(1, total_sessions / 4);
+  for (std::size_t workers : {1, 2, 4, 8}) {
+    const std::string id = "sweep-w" + std::to_string(workers);
+    bool ok = bench::guarded_row(id, [&] {
+      SoakOptions o = base_options(per_row, workers);
+      SoakReport r = run_soak(o);
+      rows.push_back({id, "sweep", r});
+      print_report_row(rows.back());
+      bool row_ok = r.complete;
+      // Forgery rate: deterministic at fixed seed, bounded by a 6-sigma
+      // binomial envelope around 2^-k.
+      const double p = r.advantage;
+      const double n = static_cast<double>(r.sessions_completed);
+      if (n > 0) {
+        const double sigma = std::sqrt(p * (1.0 - p) / n);
+        row_ok = row_ok && std::abs(r.forgery_rate - p) <= 6.0 * sigma + 1e-12;
+      }
+      // Session GC: nothing live after the drain, entry tables pruned by
+      // compaction (3 keys/session would otherwise accumulate forever).
+      row_ok = row_ok && r.interner_live_keys == 0;
+      row_ok = row_ok &&
+               r.interner_total_keys <=
+                   std::max<std::uint64_t>(4096, 3 * r.sessions_requested / 4);
+      return row_ok;
+    }, 12);
+    if (!ok) ++failures;
+  }
+
+  // RSS flatness across the heaviest row: peak growth over the run stays
+  // far below what 3 keys/session would accumulate unreclaimed.
+  if (!rows.empty()) {
+    const SoakReport& last = rows.back().rep;
+    const std::size_t growth =
+        last.rss_peak_bytes > last.rss_start_bytes
+            ? last.rss_peak_bytes - last.rss_start_bytes
+            : 0;
+    const bool rss_ok = last.rss_start_bytes == 0 ||  // no RSS source
+                        growth < (std::size_t{256} << 20);
+    bench::print_row({"rss-growth", mb(growth) + " MB peak growth",
+                      rss_ok ? "ok" : "FAIL"},
+                     16);
+    if (!rss_ok) ++failures;
+  }
+
+  // -- E18b: GC on/off differential ----------------------------------------
+  bench::print_header(
+      "E18b: GC differential",
+      "same seed, GC on vs off: identical outcome digest, forgeries, and "
+      "completion -- collection/compaction invisible to live sessions");
+  const std::size_t diff_sessions = std::min<std::size_t>(per_row, 20000);
+  {
+    SoakOptions on = base_options(diff_sessions, 4);
+    on.gc = true;
+    SoakOptions off = base_options(diff_sessions, 4);
+    off.gc = false;
+    const SoakReport r_on = run_soak(on);
+    const SoakReport r_off = run_soak(off);
+    rows.push_back({"gc-on", "gc-on", r_on});
+    print_report_row(rows.back());
+    rows.push_back({"gc-off", "gc-off", r_off});
+    print_report_row(rows.back());
+    const bool digest_ok =
+        r_on.outcome_digest == r_off.outcome_digest &&
+        r_on.forgeries == r_off.forgeries &&
+        r_on.sessions_completed == r_off.sessions_completed &&
+        r_on.complete && r_off.complete;
+    // And GC must have actually reclaimed: dead chunks returned, no live
+    // keys; the GC-off run keeps every key it ever interned.
+    const bool reclaim_ok = r_on.gc_bytes_reclaimed > 0 &&
+                            r_on.interner_live_keys == 0 &&
+                            r_off.interner_live_keys >=
+                                3 * r_off.sessions_completed;
+    if (!digest_ok || !reclaim_ok) ++failures;
+    bench::print_row({"differential", digest_ok ? "digests equal" : "MISMATCH",
+                      reclaim_ok ? "gc reclaimed" : "NO RECLAIM"},
+                     16);
+  }
+
+  // -- E18c: fault drill (in-process) --------------------------------------
+  bench::print_header(
+      "E18c: fault drill (in-process)",
+      "deadline exhaustion and crash-stop sessions degrade to partial "
+      "reports (complete=false) without hanging or aborting");
+  {
+    SoakOptions d1 = base_options(std::min<std::size_t>(diff_sessions, 2000),
+                                  4);
+    d1.deadline = std::chrono::nanoseconds{1};
+    d1.max_retries = 2;
+    const SoakReport r1 = run_soak(d1);
+    rows.push_back({"drill-deadline", "drill-deadline", r1});
+    print_report_row(rows.back());
+    std::uint64_t timeouts = 0, retries = 0, op_failures = 0;
+    for (const auto& os : r1.ops) {
+      timeouts += os.timeouts;
+      retries += os.retries;
+      op_failures += os.failures;
+    }
+    const bool d1_ok = !r1.complete && timeouts > 0 && retries > 0 &&
+                       op_failures > 0 && r1.sessions_completed == 0;
+
+    SoakOptions d2 = base_options(std::min<std::size_t>(diff_sessions, 2000),
+                                  4);
+    d2.crash_prob = 0.25;
+    const SoakReport r2 = run_soak(d2);
+    rows.push_back({"drill-crash", "drill-crash", r2});
+    print_report_row(rows.back());
+    const bool d2_ok = !r2.complete && r2.crashed > 0 &&
+                       r2.sessions_completed > 0 &&
+                       r2.sessions_completed + r2.crashed ==
+                           r2.sessions_requested;
+    if (!d1_ok || !d2_ok) ++failures;
+    bench::print_row({"drill", d1_ok ? "deadline degraded" : "DEADLINE FAIL",
+                      d2_ok ? "crash degraded" : "CRASH FAIL"},
+                     16);
+  }
+
+  write_bench_service_json(rows, total_sessions, k);
+  return bench::verdict(failures == 0,
+                        "E18: soak completes, GC differential holds, drills "
+                        "degrade gracefully; BENCH_service.json written");
+}

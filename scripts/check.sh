@@ -4,15 +4,21 @@
 #
 #   scripts/check.sh            # both passes
 #   scripts/check.sh --fast     # tier-1 only
+#   scripts/check.sh --asan     # ASan/UBSan pass only (the sanitized
+#                               # half of the default gate; the CI asan
+#                               # job runs exactly this)
 #   scripts/check.sh --tsan     # ThreadSanitizer pass only (own build
 #                               # dir: TSan cannot share ASan's), running
 #                               # the concurrency-bearing suites
 #   scripts/check.sh --bench-smoke  # Release build of the E10 engine
 #                               # bench, tiny-parameter run, checks that
-#                               # BENCH_engine.json is produced (the CI
-#                               # bench-smoke job runs exactly this)
+#                               # BENCH_engine.json is produced; also
+#                               # runs the E18 service soak at <=1k
+#                               # sessions and checks BENCH_service.json
+#                               # (the CI bench-smoke job runs exactly
+#                               # this)
 #
-# The sanitized pass skips the experiment-labelled ctest entries: the
+# The sanitized passes skip the experiment-labelled ctest entries: the
 # harnesses re-run under the plain pass already, and sanitizer slowdown
 # would push the long sweeps past their timeouts.
 set -euo pipefail
@@ -20,19 +26,34 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
 
+run_asan() {
+  echo "== sanitized: ASan/UBSan build + unit ctest =="
+  cmake -B build-san -S . -DCDSE_SANITIZE="address;undefined" >/dev/null
+  cmake --build build-san -j "$JOBS"
+  ctest --test-dir build-san --output-on-failure -j "$JOBS" -LE experiment
+}
+
+if [[ "${1:-}" == "--asan" ]]; then
+  run_asan
+  echo "== asan pass clean =="
+  exit 0
+fi
+
 if [[ "${1:-}" == "--tsan" ]]; then
   # The suites that exercise real concurrency: the shared-snapshot layer
   # (frozen-table reads racing residue overflows), the thread pool, the
-  # interning suite (ActionTable shared-lock fast path + map-vs-arena
-  # differential through the parallel snapshot engine), and the exact
-  # cone-measure engine (ParallelConeEngine subtree fan-out, parallel
-  # distinguisher search, parallel implementation/sweep grids).
+  # interning suites (ActionTable shared-lock fast path, map-vs-arena
+  # differential, sharded-interner concurrent interning + epoch GC), the
+  # session service / soak driver (sharded session table over the pool),
+  # and the exact cone-measure engine (ParallelConeEngine subtree
+  # fan-out, parallel distinguisher search, parallel sweep grids).
   echo "== tsan: ThreadSanitizer build + concurrency suites =="
   cmake -B build-tsan -S . -DCDSE_SANITIZE="thread" >/dev/null
   cmake --build build-tsan -j "$JOBS" \
-    --target snapshot_test thread_pool_test intern_test exact_engine_test
+    --target snapshot_test thread_pool_test intern_test intern_gc_test \
+             service_soak_test exact_engine_test
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'Snapshot|ThreadPool|FrozenChoice|Parallel|Intern|ExactEngine'
+    -R 'Snapshot|ThreadPool|FrozenChoice|Parallel|Intern|ExactEngine|ShardedInternGc|DynamicPcaGc|MacSessionSvc|SoakLatency|Soak'
   echo "== tsan pass clean =="
   exit 0
 fi
@@ -45,7 +66,8 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   echo "== bench-smoke: Release bench_engine_throughput =="
   cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
   cmake --build build-bench -j "$JOBS" \
-    --target bench_engine_throughput bench_optimal_distinguisher
+    --target bench_engine_throughput bench_optimal_distinguisher \
+             bench_service_soak
   (cd build-bench && ./bench/bench_engine_throughput \
     --benchmark_min_time=0.05 --benchmark_out=BENCH_engine.json \
     --benchmark_out_format=json)
@@ -54,8 +76,13 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
   # exact-engine ablation table (legacy vs iterative vs parallel).
   (cd build-bench && ./bench/bench_optimal_distinguisher)
   test -s build-bench/BENCH_exact.json
-  echo "== bench-smoke clean: build-bench/BENCH_engine.json and" \
-       "BENCH_exact.json written =="
+  # E18 at smoke scale: a tiny soak (1k lifecycles across the worker
+  # sweep) plus the GC differential and in-process fault drills; the
+  # full 500k-cycle row set is a local/perf-runner concern.
+  (cd build-bench && ./bench/bench_service_soak --sessions=1000)
+  test -s build-bench/BENCH_service.json
+  echo "== bench-smoke clean: build-bench/BENCH_engine.json," \
+       "BENCH_exact.json and BENCH_service.json written =="
   exit 0
 fi
 
@@ -69,9 +96,6 @@ if [[ "${1:-}" == "--fast" ]]; then
   exit 0
 fi
 
-echo "== sanitized: ASan/UBSan build + unit ctest =="
-cmake -B build-san -S . -DCDSE_SANITIZE="address;undefined" >/dev/null
-cmake --build build-san -j "$JOBS"
-ctest --test-dir build-san --output-on-failure -j "$JOBS" -LE experiment
+run_asan
 
 echo "== all checks passed =="

@@ -87,7 +87,67 @@ StateDist DynamicPca::compute_transition(State q, ActionId a) {
   for (const auto& [cfg, w] : eta.entries()) {
     out.add(intern_config(cfg), w);
   }
+  if (on_destroyed_) {
+    // Empty-signature destruction (Def 2.12): an automaton present in c
+    // but absent from *every* successor configuration has been destroyed
+    // by this transition. Report each such aid exactly once.
+    for (const auto& [aid, sub_state] : c.items()) {
+      (void)sub_state;
+      bool survives = false;
+      for (const auto& [cfg, w] : eta.entries()) {
+        (void)w;
+        if (cfg.contains(aid)) {
+          survives = true;
+          break;
+        }
+      }
+      if (!survives) on_destroyed_(aid, q, a);
+    }
+  }
   return out;
+}
+
+std::size_t DynamicPca::retire_states_of(const std::vector<Aid>& dead_aids) {
+  if (dead_aids.empty()) return 0;
+  if (snapshot_outstanding()) {
+    throw std::logic_error(
+        "DynamicPca " + name() +
+        ": retire_states_of while a frozen snapshot is outstanding");
+  }
+  auto is_dead = [&](Aid aid) {
+    return std::find(dead_aids.begin(), dead_aids.end(), aid) !=
+           dead_aids.end();
+  };
+  for (Aid aid : initial_) {
+    if (is_dead(aid)) {
+      throw std::logic_error("DynamicPca " + name() +
+                             ": cannot retire initial-configuration member");
+    }
+  }
+  std::size_t retired = 0;
+  for (State q = 0; q < configs_.size(); ++q) {
+    if (!interned_.is_live(q)) continue;
+    const Configuration& c = configs_[q];
+    bool mentions_dead = false;
+    for (const auto& [aid, sub_state] : c.items()) {
+      (void)sub_state;
+      if (is_dead(aid)) {
+        mentions_dead = true;
+        break;
+      }
+    }
+    if (!mentions_dead) continue;
+    interned_.retire(q);
+    configs_[q] = Configuration();  // drop the stored items immediately
+    ++retired;
+  }
+  if (retired == 0) return 0;
+  states_retired_ += retired;
+  interned_.collect();
+  // Memoized rows may target retired states (e.g. the row that *led into*
+  // the dead session); drop them so nothing resurrects a stale handle.
+  invalidate_states([this](State q) { return !interned_.is_live(q); });
+  return retired;
 }
 
 BitString DynamicPca::encode_state(State q) {
@@ -123,9 +183,9 @@ ActionSet DynamicPca::hidden_actions(State q) {
 }
 
 const Configuration& DynamicPca::config_at(State q) const {
-  if (q >= configs_.size()) {
+  if (q >= configs_.size() || !interned_.is_live(q)) {
     throw std::out_of_range("DynamicPca " + name() +
-                            ": unknown state handle");
+                            ": unknown or retired state handle");
   }
   return configs_[q];
 }

@@ -57,6 +57,43 @@ class DynamicPca : public Pca {
   InternStats intern_stats() const override;
   void reserve_interning(std::size_t expected_states) override;
 
+  // -- session GC (run-time destruction made reclaimable) ------------------
+  //
+  // Def 2.12 destruction already removes an automaton from the live
+  // configuration; these hooks make the *handle store* follow suit, so a
+  // long-running service does not keep every dead session's interned
+  // configurations forever.
+
+  /// Observer for empty-signature destruction: invoked (once per
+  /// destroyed automaton per transition computation) when a transition
+  /// out of `from` on `a` produces a successor configuration that no
+  /// longer contains `aid`. Fires from compute_transition, i.e. at most
+  /// once per memoized (state, action) row. The service layer uses it to
+  /// schedule epoch retirement of the session's states.
+  using DestructionObserver =
+      std::function<void(Aid aid, State from, ActionId a)>;
+  void set_destruction_observer(DestructionObserver obs) {
+    on_destroyed_ = std::move(obs);
+  }
+
+  /// Epoch-boundary GC: retires every interned state whose configuration
+  /// contains any of `dead_aids`, drops the stored Configuration copies,
+  /// collects the interner (releasing fully-dead arena chunks), and
+  /// invalidates memoized rows that mention a retired state. Handles are
+  /// never reused: re-creating a session re-interns its configurations
+  /// under fresh handles, and retired handles throw from config()/
+  /// signature()/transition().
+  ///
+  /// Caller contract (the epoch discipline): no live execution still
+  /// holds a retired state, and no frozen snapshot of this instance is
+  /// outstanding (throws std::logic_error if one is -- snapshots pin the
+  /// handle space). Members of the initial configuration are never
+  /// retired. Returns the number of states retired.
+  std::size_t retire_states_of(const std::vector<Aid>& dead_aids);
+
+  /// States retired by session GC so far.
+  std::size_t states_retired() const { return states_retired_; }
+
  protected:
   // Uncached constraints-by-construction semantics of Def 2.16.
   Signature compute_signature(State q) override;
@@ -71,6 +108,8 @@ class DynamicPca : public Pca {
   std::deque<Configuration> configs_;  // deque: stable slots across growth
   StateInterner interned_;
   std::vector<State> keybuf_;  // scratch for canonical word encodings
+  DestructionObserver on_destroyed_;
+  std::size_t states_retired_ = 0;
 };
 
 }  // namespace cdse

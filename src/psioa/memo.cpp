@@ -54,4 +54,34 @@ void MemoPsioa::set_memoization(bool on) {
 
 void MemoPsioa::clear_memo() { memo_.clear(); }
 
+std::size_t MemoPsioa::invalidate_states(
+    const std::function<bool(State)>& dead) {
+  std::size_t dropped = 0;
+  for (auto it = memo_.begin(); it != memo_.end();) {
+    if (dead(it->first)) {
+      dropped += it->second.rows.size();
+      it = memo_.erase(it);
+      continue;
+    }
+    auto& rows = it->second.rows;
+    for (auto rit = rows.begin(); rit != rows.end();) {
+      bool stale = false;
+      for (State target : rit->second.targets) {
+        if (dead(target)) {
+          stale = true;
+          break;
+        }
+      }
+      if (stale) {
+        rit = rows.erase(rit);
+        ++dropped;
+      } else {
+        ++rit;
+      }
+    }
+    ++it;
+  }
+  return dropped;
+}
+
 }  // namespace cdse

@@ -33,6 +33,8 @@
 // per-worker tables.
 
 #include <cstddef>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -117,6 +119,20 @@ class MemoPsioa : public Psioa {
   bool memoization_enabled() const { return memo_on_; }
   void clear_memo();
 
+  /// Session-GC hook: drops every cached signature/row of a state for
+  /// which `dead` returns true, and every cached row whose transition
+  /// *targets* such a state. Without this, a memoized row could keep
+  /// serving a retired handle after the interner has reclaimed (and a
+  /// reopened session has re-issued) it. Returns rows dropped.
+  std::size_t invalidate_states(const std::function<bool(State)>& dead);
+
+  /// True while the snapshot returned by the most recent freeze() is
+  /// still alive. Snapshots pin this instance's handle space, so session
+  /// GC (DynamicPca::retire_states_of) refuses to run while one is
+  /// outstanding. Tracks the latest freeze only -- callers layering
+  /// multiple snapshots over one instance must sequence GC themselves.
+  bool snapshot_outstanding() const { return !last_snapshot_.expired(); }
+
   /// Copies the currently cached signatures and compiled rows into an
   /// immutable CompiledSnapshot (psioa/snapshot.hpp) that SnapshotPsioa
   /// views share read-only across sampler workers. The snapshot captures
@@ -143,6 +159,7 @@ class MemoPsioa : public Psioa {
   std::unordered_map<State, StateMemo> memo_;
   CompiledRow scratch_;    // memo-off compiled_row storage
   Signature scratch_sig_;  // memo-off signature_ref storage
+  std::weak_ptr<const CompiledSnapshot> last_snapshot_;  // freeze() guard
 };
 
 /// Memoizing view over any automaton, sharing its state handles: wraps

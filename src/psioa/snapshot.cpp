@@ -40,8 +40,11 @@ std::shared_ptr<const CompiledSnapshot> MemoPsioa::freeze() {
     fs.rows = m.rows;
     frozen.emplace(q, std::move(fs));
   }
-  return std::make_shared<const CompiledSnapshot>(start_state(), name(),
-                                                  std::move(frozen));
+  auto snapshot = std::make_shared<const CompiledSnapshot>(
+      start_state(), name(), std::move(frozen));
+  // Session GC consults this: a live snapshot pins the handle space.
+  last_snapshot_ = snapshot;
+  return snapshot;
 }
 
 SnapshotStats& SnapshotStats::operator+=(const SnapshotStats& o) {

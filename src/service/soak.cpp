@@ -1,0 +1,314 @@
+#include "service/soak.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace cdse {
+
+void LatencyRecorder::record(std::uint64_t ns) {
+  const int b = ns == 0 ? 0 : std::bit_width(ns);
+  ++buckets_[static_cast<std::size_t>(b)];
+  ++count_;
+  sum_ns_ += ns;
+  max_ns_ = std::max(max_ns_, ns);
+}
+
+void LatencyRecorder::merge(const LatencyRecorder& o) {
+  for (int b = 0; b < kBuckets; ++b) buckets_[b] += o.buckets_[b];
+  count_ += o.count_;
+  sum_ns_ += o.sum_ns_;
+  max_ns_ = std::max(max_ns_, o.max_ns_);
+}
+
+std::uint64_t LatencyRecorder::quantile_ns(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(p * static_cast<double>(count_) + 0.5));
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cum += buckets_[b];
+    if (cum >= target) {
+      if (b == 0) return 0;
+      const std::uint64_t lo = std::uint64_t{1} << (b - 1);
+      const std::uint64_t hi = (b >= 64) ? ~std::uint64_t{0}
+                                         : (std::uint64_t{1} << b) - 1;
+      return lo + (hi - lo) / 2;
+    }
+  }
+  return max_ns_;
+}
+
+const char* soak_op_name(std::size_t op) {
+  static const char* kNames[kSoakOpClasses] = {"open", "auth", "forge",
+                                               "close"};
+  return op < kSoakOpClasses ? kNames[op] : "?";
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t op_idx(SoakOp op) { return static_cast<std::size_t>(op); }
+
+/// Worker-local accumulation, merged under one lock per chunk.
+struct ChunkStats {
+  std::array<SoakOpStats, kSoakOpClasses> ops;
+  std::uint64_t crashed = 0;
+};
+
+struct Runner {
+  const SoakOptions& o;
+  MacSessionService& svc;
+  SoakReport& rep;
+
+  /// One timed attempt of an op; records latency, flags a blown
+  /// deadline. A timed-out attempt never counts as ok, whatever the
+  /// (late) status was.
+  template <typename Fn>
+  OpStatus timed(ChunkStats& cs, SoakOp cls, Fn&& fn, bool* timed_out) {
+    SoakOpStats& os = cs.ops[op_idx(cls)];
+    const auto t0 = Clock::now();
+    const OpStatus st = fn();
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             t0)
+            .count());
+    ++os.requests;
+    os.latency.record(ns);
+    *timed_out = o.deadline.count() > 0 &&
+                 ns > static_cast<std::uint64_t>(o.deadline.count());
+    if (*timed_out) {
+      ++os.timeouts;
+    } else if (st == OpStatus::kOk) {
+      ++os.ok;
+    }
+    return st;
+  }
+
+  /// Front half of a lifecycle: open + auth + forge. On a blown deadline
+  /// the session is torn down and the whole half retried on a rotated
+  /// RNG stream; on crash-stop it is abandoned without retry (a crashed
+  /// session stays crashed). On success the session is left open for a
+  /// later wave's close.
+  void run_front(SnapshotPsioa& view, ChunkStats& cs, std::uint64_t sid) {
+    for (std::size_t attempt = 0;; ++attempt) {
+      bool to = false;
+      SoakOp failed = SoakOp::kOpen;
+      OpStatus st =
+          timed(cs, SoakOp::kOpen, [&] { return svc.open(view, sid); }, &to);
+      if (st == OpStatus::kRejected) return;  // backpressure: shed, no retry
+      bool ok = st == OpStatus::kOk && !to;
+      if (ok && attempt > 0) svc.rotate_seed(sid, attempt - 1);
+      if (ok) {
+        failed = SoakOp::kAuth;
+        st = timed(cs, SoakOp::kAuth, [&] { return svc.auth(view, sid); },
+                   &to);
+        if (st == OpStatus::kCrashed) {
+          svc.abandon(sid);
+          ++cs.crashed;
+          return;
+        }
+        ok = st == OpStatus::kOk && !to;
+      }
+      if (ok) {
+        failed = SoakOp::kForge;
+        st = timed(cs, SoakOp::kForge, [&] { return svc.forge(view, sid); },
+                   &to);
+        ok = st == OpStatus::kOk && !to;
+      }
+      if (ok) return;
+      if (svc.is_open(sid)) svc.abandon(sid);
+      if (attempt >= o.max_retries) {
+        ++cs.ops[op_idx(failed)].failures;
+        return;
+      }
+      ++cs.ops[op_idx(failed)].retries;
+    }
+  }
+
+  /// Back half: fire the session's output. kNotFound means the front
+  /// half already gave the session up (crash/timeout) -- not an error.
+  void run_back(SnapshotPsioa& view, ChunkStats& cs, std::uint64_t sid) {
+    for (std::size_t attempt = 0;; ++attempt) {
+      bool to = false;
+      const OpStatus st = timed(
+          cs, SoakOp::kClose, [&] { return svc.close(view, sid); }, &to);
+      if (st == OpStatus::kNotFound) return;
+      if (st == OpStatus::kCrashed) {
+        svc.abandon(sid);
+        ++cs.crashed;
+        return;
+      }
+      if (st == OpStatus::kOk && !to) return;
+      if (st == OpStatus::kOk) {
+        // Closed, but past deadline: the effect stands, the request is
+        // still an SLO miss. Nothing left to retry.
+        ++cs.ops[op_idx(SoakOp::kClose)].failures;
+        return;
+      }
+      if (attempt >= o.max_retries) {
+        ++cs.ops[op_idx(SoakOp::kClose)].failures;
+        if (svc.is_open(sid)) svc.abandon(sid);
+        return;
+      }
+      ++cs.ops[op_idx(SoakOp::kClose)].retries;
+    }
+  }
+};
+
+}  // namespace
+
+SoakReport run_soak(const SoakOptions& opts) {
+  SoakReport rep;
+  rep.sessions_requested = opts.sessions;
+  const std::size_t wave = std::max<std::size_t>(1, opts.wave);
+
+  MacSessionService::Options so;
+  so.k = opts.k;
+  so.seed = opts.seed;
+  so.shards = opts.shards;
+  so.gc = opts.gc;
+  so.compact_threshold = opts.compact_threshold;
+  so.crash_prob = opts.crash_prob;
+  so.max_admitted = opts.max_admitted != 0
+                        ? opts.max_admitted
+                        : (opts.hold_waves + 2) * wave;
+  MacSessionService svc(so);
+  rep.advantage = svc.advantage();
+
+  ThreadPool pool(opts.workers);
+  rep.workers = pool.size();
+  rep.rss_start_bytes = process_rss_bytes();
+  rep.rss_peak_bytes = rep.rss_start_bytes;
+
+  std::mutex merge_mu;
+  bool degraded = false;
+  Runner runner{opts, svc, rep};
+
+  // Fan one wave phase over the pool; the barrier is wait_idle_for, so a
+  // wedged task degrades the run instead of hanging it.
+  auto run_phase = [&](bool front, std::uint64_t base, std::size_t n) {
+    if (degraded || n == 0) return;
+    const std::size_t chunks = std::max<std::size_t>(
+        1, std::min(pool.size(), n));
+    const std::size_t per = n / chunks;
+    const std::size_t rem = n % chunks;
+    std::size_t begin = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t end = begin + per + (c < rem ? 1 : 0);
+      pool.submit([&, front, base, begin, end] {
+        auto view = svc.worker_view();
+        ChunkStats cs;
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::uint64_t sid = base + i;
+          if (front) {
+            runner.run_front(*view, cs, sid);
+          } else {
+            runner.run_back(*view, cs, sid);
+          }
+        }
+        std::lock_guard<std::mutex> lk(merge_mu);
+        for (std::size_t op = 0; op < kSoakOpClasses; ++op) {
+          SoakOpStats& dst = rep.ops[op];
+          const SoakOpStats& src = cs.ops[op];
+          dst.requests += src.requests;
+          dst.ok += src.ok;
+          dst.timeouts += src.timeouts;
+          dst.retries += src.retries;
+          dst.failures += src.failures;
+          dst.latency.merge(src.latency);
+        }
+        rep.crashed += cs.crashed;
+      });
+      begin = end;
+    }
+    std::string diag;
+    try {
+      if (!pool.wait_idle_for(opts.idle_timeout, &diag)) {
+        degraded = true;
+        rep.complete = false;
+        rep.error = diag;
+      }
+    } catch (const std::exception& e) {
+      degraded = true;
+      rep.complete = false;
+      rep.error = e.what();
+    }
+  };
+
+  const auto t_start = Clock::now();
+  std::deque<std::pair<std::uint64_t, std::size_t>> held;
+  std::uint64_t next = 0;
+  while (!degraded &&
+         (next < opts.sessions || !held.empty())) {
+    if (next < opts.sessions) {
+      const std::size_t n =
+          std::min<std::size_t>(wave, opts.sessions - next);
+      run_phase(true, next, n);
+      held.emplace_back(next, n);
+      next += n;
+    }
+    if (!degraded &&
+        (held.size() > opts.hold_waves ||
+         (next >= opts.sessions && !held.empty()))) {
+      const auto [base, n] = held.front();
+      held.pop_front();
+      run_phase(false, base, n);
+    }
+    // Quiescent epoch boundary: both phase barriers have drained, so
+    // collect/compact may renumber handles of the sessions still held
+    // open (they are remapped in place).
+    const auto cr = svc.advance_epoch();
+    ++rep.epochs;
+    rep.shards_compacted += cr.shards_compacted;
+    rep.gc_bytes_reclaimed += cr.bytes_reclaimed;
+    rep.rss_peak_bytes = std::max(rep.rss_peak_bytes, process_rss_bytes());
+  }
+  rep.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - t_start).count();
+
+  const ServiceStats ss = svc.stats();
+  rep.sessions_completed = ss.closed;
+  rep.rejected = ss.rejected;
+  rep.abandoned = ss.abandoned;
+  rep.forgeries = ss.forgeries;
+  rep.forgery_rate =
+      ss.forged_attempts == 0
+          ? 0.0
+          : static_cast<double>(ss.forgeries) /
+                static_cast<double>(ss.forged_attempts);
+  rep.outcome_digest = ss.outcome_digest;
+
+  std::uint64_t ok_total = 0;
+  std::uint64_t failures_total = 0;
+  for (const auto& os : rep.ops) {
+    ok_total += os.ok;
+    failures_total += os.failures;
+  }
+  rep.throughput_ops = rep.wall_seconds > 0.0
+                           ? static_cast<double>(ok_total) / rep.wall_seconds
+                           : 0.0;
+  // Complete means every requested lifecycle either closed or was shed
+  // by admission backpressure; crash-stops and given-up requests degrade
+  // the report even though the driver handled them gracefully.
+  if (failures_total != 0 ||
+      rep.sessions_completed + rep.rejected != rep.sessions_requested) {
+    rep.complete = false;
+  }
+
+  rep.intern = svc.intern_stats();
+  rep.interner_live_keys = svc.interner_live_keys();
+  rep.interner_total_keys = svc.interner_size();
+  rep.rss_end_bytes = process_rss_bytes();
+  rep.rss_peak_bytes = std::max(rep.rss_peak_bytes, rep.rss_end_bytes);
+  return rep;
+}
+
+}  // namespace cdse

@@ -1,0 +1,139 @@
+#pragma once
+// Soak driver: waves of MAC-session lifecycles over a ThreadPool, with
+// the overload-robustness policies the service bench (E18) measures.
+//
+// Load shape. Sessions are processed in waves of `wave` ids. A wave's
+// front half (open + auth + forge) runs fan-out over the pool; its
+// sessions then stay open for `hold_waves` further waves before a later
+// wave's back half closes them -- so live sessions always span epoch
+// boundaries, which is precisely the case session GC must not perturb
+// (collect/compact runs between waves, while those sessions hold
+// interned keys that compaction may renumber). The driver drains all
+// held waves at the end, so every non-crashed session is closed.
+//
+// Robustness policies, per request:
+//   deadline  -- a request whose wall-clock time exceeds it counts as a
+//                timeout and is retried on a rotated RNG stream
+//                (seed + (attempt+1)*golden-gamma, the guarded sampler's
+//                rotation) up to max_retries, after which the session is
+//                abandoned and the row degrades to partial.
+//   crash     -- crash-stopped sessions (service-injected, drill mode)
+//                answer kCrashed; the driver abandons them and keeps the
+//                wave moving.
+//   stuck     -- each wave barrier uses ThreadPool::wait_idle_for; on
+//                timeout the driver stops issuing, captures the stuck-
+//                task diagnostic, and returns the partial report with
+//                complete = false instead of hanging.
+//
+// Determinism. With deadline == 0 and crash_prob == 0 every lifecycle
+// completes, and the report's outcome_digest / forgeries are pure
+// functions of (seed, sessions): independent of workers, wave size, GC
+// on/off, and compaction schedule. That is the GC differential the test
+// suite pins. Latencies and RSS are measurements, not semantics.
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "service/session_service.hpp"
+
+namespace cdse {
+
+/// Log2-bucketed latency histogram: O(1) record, fixed footprint,
+/// mergeable across chunks. Quantiles come back as the geometric
+/// midpoint of the answering bucket -- 2x resolution, plenty for the
+/// p50/p99 rows the bench emits.
+class LatencyRecorder {
+ public:
+  void record(std::uint64_t ns);
+  void merge(const LatencyRecorder& o);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t max_ns() const { return max_ns_; }
+  double mean_ns() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_ns_) /
+                             static_cast<double>(count_);
+  }
+  /// p in (0, 1]; 0 count gives 0.
+  std::uint64_t quantile_ns(double p) const;
+
+ private:
+  static constexpr int kBuckets = 65;  // bit_width(ns) in [0, 64]
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ns_ = 0;
+  std::uint64_t max_ns_ = 0;
+};
+
+/// The four op classes a session lifecycle issues.
+enum class SoakOp : std::size_t { kOpen = 0, kAuth, kForge, kClose };
+constexpr std::size_t kSoakOpClasses = 4;
+const char* soak_op_name(std::size_t op);
+
+struct SoakOpStats {
+  std::uint64_t requests = 0;  ///< attempts (includes retries)
+  std::uint64_t ok = 0;
+  std::uint64_t timeouts = 0;  ///< attempts that blew the deadline
+  std::uint64_t retries = 0;   ///< seed rotations consumed
+  std::uint64_t failures = 0;  ///< requests given up on (after retries)
+  LatencyRecorder latency;     ///< per attempt, timeouts included
+};
+
+struct SoakOptions {
+  std::size_t sessions = 1000;   ///< total lifecycles to run
+  std::size_t wave = 256;        ///< lifecycles opened per wave
+  std::size_t hold_waves = 2;    ///< waves a session stays open across
+  std::size_t workers = 0;       ///< pool threads (0 = hardware)
+  std::uint64_t seed = 0x50a4ULL;
+  std::uint32_t k = 10;          ///< per-session advantage 2^-k
+  bool gc = true;
+  double compact_threshold = 0.5;
+  std::size_t shards = 0;
+  std::size_t max_admitted = 0;  ///< 0 = sized from wave/hold_waves
+  /// Per-request wall-clock deadline; zero = unlimited (no timeouts).
+  std::chrono::nanoseconds deadline{0};
+  std::size_t max_retries = 2;
+  double crash_prob = 0.0;       ///< crash-stop injection rate
+  /// Per-wave barrier timeout before degrading with a stuck diagnostic.
+  std::chrono::milliseconds idle_timeout{60000};
+};
+
+struct SoakReport {
+  bool complete = true;     ///< every requested lifecycle was driven
+  std::string error;        ///< stuck diagnostic / first task error
+
+  std::size_t workers = 0;
+  std::uint64_t sessions_requested = 0;
+  std::uint64_t sessions_completed = 0;  ///< closed (full lifecycle)
+  std::uint64_t rejected = 0;            ///< backpressured at admission
+  std::uint64_t crashed = 0;             ///< crash-stops encountered
+  std::uint64_t abandoned = 0;           ///< torn down without close
+  std::uint64_t forgeries = 0;
+  double forgery_rate = 0.0;  ///< forgeries / forge successes
+  double advantage = 0.0;     ///< expected rate, 2^-k
+  std::uint64_t outcome_digest = 0;
+
+  double wall_seconds = 0.0;
+  double throughput_ops = 0.0;  ///< successful requests per second
+
+  std::array<SoakOpStats, kSoakOpClasses> ops;
+
+  // GC / memory accounting.
+  std::uint64_t epochs = 0;
+  std::uint64_t shards_compacted = 0;
+  std::uint64_t gc_bytes_reclaimed = 0;
+  std::uint64_t interner_live_keys = 0;   ///< at exit
+  std::uint64_t interner_total_keys = 0;  ///< keys currently indexed
+  InternStats intern;                     ///< aggregated, at exit
+  std::size_t rss_start_bytes = 0;
+  std::size_t rss_peak_bytes = 0;
+  std::size_t rss_end_bytes = 0;
+};
+
+/// Runs the soak; never throws on task failure or overload -- those
+/// degrade the report (complete = false, error set) instead.
+SoakReport run_soak(const SoakOptions& opts);
+
+}  // namespace cdse

@@ -40,19 +40,24 @@ Arena::Chunk& Arena::grow(std::size_t min_bytes) {
   chunk.size = size;
   reserved_ += size;
   // Geometric growth keeps chunk count logarithmic in total bytes while
-  // the cap bounds the worst-case over-reserve on huge walks.
+  // the cap bounds the worst-case over-reserve on huge walks. The cap is
+  // also the GC granularity: session keys drain at most 1 MiB chunks.
   next_chunk_bytes_ = std::min(next_chunk_bytes_ * 2, kMaxChunkBytes);
   chunks_.push_back(std::move(chunk));
   return chunks_.back();
 }
 
-void* Arena::allocate(std::size_t bytes, std::size_t align) {
+void* Arena::allocate(std::size_t bytes, std::size_t align,
+                      std::uint32_t* chunk_out) {
   // Alignment must be computed on the address, not the offset: operator
   // new[] only guarantees __STDCPP_DEFAULT_NEW_ALIGNMENT__ (typically
   // 16) for the chunk base, so an aligned offset into an arbitrary base
   // is not an aligned pointer for larger `align`.
-  if (bytes == 0) return nullptr;
-  if (!chunks_.empty()) {
+  if (bytes == 0) {
+    if (chunk_out != nullptr) *chunk_out = kNoChunk;
+    return nullptr;
+  }
+  if (!chunks_.empty() && chunks_.back().data != nullptr) {
     Chunk& cur = chunks_.back();
     const auto base = reinterpret_cast<std::uintptr_t>(cur.data.get());
     const std::uintptr_t mask = static_cast<std::uintptr_t>(align) - 1;
@@ -61,6 +66,11 @@ void* Arena::allocate(std::size_t bytes, std::size_t align) {
     if (aligned + bytes <= cur.size) {
       used_ += (aligned - cur.used) + bytes;
       cur.used = aligned + bytes;
+      cur.live += bytes;
+      live_ += bytes;
+      if (chunk_out != nullptr) {
+        *chunk_out = static_cast<std::uint32_t>(chunks_.size() - 1);
+      }
       return cur.data.get() + aligned;
     }
   }
@@ -72,13 +82,59 @@ void* Arena::allocate(std::size_t bytes, std::size_t align) {
       (static_cast<std::uintptr_t>(align) - (base & (align - 1))) &
       (align - 1));
   chunk.used = offset + bytes;
+  chunk.live = bytes;
   used_ += offset + bytes;
+  live_ += bytes;
+  if (chunk_out != nullptr) {
+    *chunk_out = static_cast<std::uint32_t>(chunks_.size() - 1);
+  }
   return chunk.data.get() + offset;
+}
+
+std::size_t Arena::deallocate_from(std::uint32_t chunk, std::size_t bytes) {
+  if (chunk >= chunks_.size()) {
+    throw std::out_of_range("Arena: deallocate_from unknown chunk");
+  }
+  Chunk& c = chunks_[chunk];
+  if (bytes > c.live) {
+    throw std::logic_error("Arena: deallocate_from over-discharge");
+  }
+  c.live -= bytes;
+  live_ -= bytes;
+  // The bump target stays held even when fully dead: the next allocation
+  // reuses its tail instead of growing a fresh chunk.
+  const bool is_bump_target = (chunk + 1 == chunks_.size());
+  if (c.live == 0 && !is_bump_target && c.data != nullptr) {
+    c.data.reset();
+    released_ += c.size;
+    ++freed_chunks_;
+    return c.size;
+  }
+  return 0;
+}
+
+std::size_t Arena::release_dead_chunks() {
+  // Sweeps chunks that went fully dead *before* losing bump-target
+  // status (deallocate_from spares the bump target; once grow() moves
+  // past such a chunk no further discharge will ever revisit it).
+  std::size_t total = 0;
+  for (std::size_t i = 0; i + 1 < chunks_.size(); ++i) {
+    Chunk& c = chunks_[i];
+    if (c.live == 0 && c.data != nullptr) {
+      c.data.reset();
+      released_ += c.size;
+      ++freed_chunks_;
+      total += c.size;
+    }
+  }
+  return total;
 }
 
 void Arena::reserve(std::size_t bytes) {
   const std::size_t free_in_last =
-      chunks_.empty() ? 0 : chunks_.back().size - chunks_.back().used;
+      chunks_.empty() || chunks_.back().data == nullptr
+          ? 0
+          : chunks_.back().size - chunks_.back().used;
   if (free_in_last < bytes) grow(bytes);
 }
 
@@ -115,10 +171,15 @@ std::uint64_t StateInterner::hash_bytes(const void* data, std::size_t len) {
 
 StateInterner::Handle StateInterner::intern_bytes(const void* data,
                                                  std::size_t len) {
-  const std::uint64_t h = hash_bytes(data, len);
+  return intern_bytes_hashed(data, len, hash_bytes(data, len));
+}
+
+StateInterner::Handle StateInterner::intern_bytes_hashed(const void* data,
+                                                         std::size_t len,
+                                                         std::uint64_t hash) {
   ++lookups_;
-  return backend_ == Backend::kArena ? intern_arena(data, len, h)
-                                     : intern_map(data, len, h);
+  return backend_ == Backend::kArena ? intern_arena(data, len, hash)
+                                     : intern_map(data, len, hash);
 }
 
 StateInterner::Handle StateInterner::intern_tuple(const std::uint64_t* words,
@@ -136,26 +197,41 @@ StateInterner::Handle StateInterner::intern_arena(const void* data,
     const std::uint32_t s = slots_[i];
     if (s == 0) break;
     const Entry& e = entries_[s - 1];
-    if (e.hash == h && e.len == len &&
+    // A retired entry never matches: an equal key re-interned after
+    // retirement gets a fresh handle (its slot stays occupied until the
+    // next collect() rebuild, so probing continues past it).
+    if (!entry_dead(e) && e.hash == h && e.len == len &&
         (len == 0 || std::memcmp(e.ptr, data, len) == 0)) {
       return s - 1;
     }
     i = (i + 1) & slot_mask_;
   }
   const std::byte* stored = nullptr;
+  std::uint32_t chunk = kNoEntryChunk;
   if (len != 0) {
-    void* dst = arena_.allocate(padded(len), alignof(std::uint64_t));
+    void* dst = arena_.allocate(padded(len), alignof(std::uint64_t), &chunk);
     std::memcpy(dst, data, len);
     stored = static_cast<const std::byte*>(dst);
   }
   entries_.push_back(
-      Entry{stored, h, static_cast<std::uint32_t>(len)});
+      Entry{stored, h, static_cast<std::uint32_t>(len), chunk});
   slots_[i] = static_cast<std::uint32_t>(entries_.size());
-  // Load factor 0.7: rehash uses the cached hashes, no key re-reads.
-  if (entries_.size() * 10 >= slots_.size() * 7) {
+  // Load factor 0.7 over *occupied* slots: live entries plus retired
+  // ones whose slots have not been dropped by a collect() rebuild yet
+  // (counting all entries ever would over-grow the table after GC).
+  if ((live_keys() + pending_retired_.size()) * 10 >= slots_.size() * 7) {
     grow_table(slots_.size() * 2);
   }
   return entries_.size() - 1;
+}
+
+std::size_t StateInterner::map_key_bytes(std::size_t len) {
+  // What the node-based design actually allocates per key: an rb-tree
+  // node (3 pointers + color + the pair), the key string (and its heap
+  // buffer past SSO), and the aligned payload copy.
+  constexpr std::size_t kNodeOverhead = 4 * sizeof(void*) + sizeof(Handle);
+  return kNodeOverhead + sizeof(std::string) + (len > 15 ? len + 1 : 0) +
+         sizeof(std::vector<std::uint64_t>) + padded(len);
 }
 
 StateInterner::Handle StateInterner::intern_map(const void* data,
@@ -176,14 +252,8 @@ StateInterner::Handle StateInterner::intern_map(const void* data,
   entries_.push_back(Entry{
       stored.empty() ? nullptr
                      : reinterpret_cast<const std::byte*>(stored.data()),
-      h, static_cast<std::uint32_t>(len)});
-  // Accounting mirrors what the node-based design actually allocates:
-  // an rb-tree node (3 pointers + color + the pair), the key string (and
-  // its heap buffer past SSO), and the aligned payload copy.
-  constexpr std::size_t kNodeOverhead = 4 * sizeof(void*) + sizeof(Handle);
-  map_bytes_ += kNodeOverhead + sizeof(std::string) +
-                (len > 15 ? len + 1 : 0) +
-                sizeof(std::vector<std::uint64_t>) + padded(len);
+      h, static_cast<std::uint32_t>(len), kNoEntryChunk});
+  map_bytes_ += map_key_bytes(len);
   map_.emplace(std::move(lookup_key), handle);
   return handle;
 }
@@ -195,6 +265,7 @@ void StateInterner::grow_table(std::size_t min_slots) {
   std::vector<std::uint32_t> fresh(n, 0);
   const std::uint64_t mask = n - 1;
   for (std::size_t e = 0; e < entries_.size(); ++e) {
+    if (entry_dead(entries_[e])) continue;  // GC: dead keys stay unindexed
     std::size_t i = entries_[e].hash & mask;
     while (fresh[i] != 0) i = (i + 1) & mask;
     fresh[i] = static_cast<std::uint32_t>(e + 1);
@@ -203,17 +274,105 @@ void StateInterner::grow_table(std::size_t min_slots) {
   slot_mask_ = mask;
 }
 
+void StateInterner::rebuild_slots() {
+  if (slots_.empty()) return;
+  std::fill(slots_.begin(), slots_.end(), 0u);
+  const std::uint64_t mask = slot_mask_;
+  for (std::size_t e = 0; e < entries_.size(); ++e) {
+    if (entry_dead(entries_[e])) continue;
+    std::size_t i = entries_[e].hash & mask;
+    while (slots_[i] != 0) i = (i + 1) & mask;
+    slots_[i] = static_cast<std::uint32_t>(e + 1);
+  }
+}
+
+bool StateInterner::retire(Handle h) {
+  if (h >= entries_.size() || entry_dead(entries_[h])) return false;
+  Entry& e = entries_[h];
+  if (backend_ == Backend::kMap) {
+    // The map node must go *now*, or an equal key interned before the
+    // next collect() would resolve to the dead handle. The payload heap
+    // copy goes with it; only the tombstoned Entry survives.
+    if (e.ptr != nullptr) {
+      map_.erase(std::string(reinterpret_cast<const char*>(e.ptr), e.len));
+      std::vector<std::uint64_t>().swap(map_keys_[h]);
+    } else {
+      map_.erase(std::string());
+    }
+    const std::size_t freed = map_key_bytes(e.len);
+    map_bytes_ -= freed;
+    bytes_reclaimed_ += freed;
+    e.ptr = nullptr;
+  }
+  e.chunk |= kDeadBit;
+  pending_retired_.push_back(h);
+  ++retired_;
+  return true;
+}
+
+bool StateInterner::is_live(Handle h) const {
+  return h < entries_.size() && !entry_dead(entries_[h]);
+}
+
+std::size_t StateInterner::collect() {
+  if (pending_retired_.empty()) return 0;
+  const std::size_t n = pending_retired_.size();
+  if (backend_ == Backend::kArena) {
+    for (Handle h : pending_retired_) {
+      Entry& e = entries_[h];
+      const std::uint32_t chunk = e.chunk & ~kDeadBit;
+      if (chunk != kNoEntryChunk) {
+        bytes_reclaimed_ += arena_.deallocate_from(chunk, padded(e.len));
+      }
+      e.ptr = nullptr;
+    }
+    bytes_reclaimed_ += arena_.release_dead_chunks();
+    // One rebuild per epoch drops every dead slot at once -- the
+    // amortized cost the deferred-retirement design buys.
+    rebuild_slots();
+  }
+  pending_retired_.clear();
+  return n;
+}
+
+void StateInterner::compact(std::vector<Handle>* old_to_new) {
+  collect();
+  const std::size_t old_count = entries_.size();
+  if (old_to_new != nullptr) {
+    old_to_new->assign(old_count, kInvalidHandle);
+  }
+  StateInterner fresh(backend_);
+  fresh.reserve(live_keys());
+  for (std::size_t h = 0; h < old_count; ++h) {
+    const Entry& e = entries_[h];
+    if (entry_dead(e)) continue;
+    const Handle nh = fresh.intern_bytes(e.ptr, e.len);
+    if (old_to_new != nullptr) (*old_to_new)[h] = nh;
+  }
+  // Cumulative counters survive the rebuild; the dropped backend's held
+  // bytes (dead entries, slot slack, drained-but-held chunks) count as
+  // reclaimed.
+  const std::size_t old_held = stats().arena_bytes;
+  fresh.lookups_ = lookups_;
+  fresh.probes_ = probes_;
+  fresh.rehashes_ = rehashes_;
+  fresh.bytes_reclaimed_ = bytes_reclaimed_;
+  const std::size_t new_held = fresh.stats().arena_bytes;
+  fresh.bytes_reclaimed_ += old_held > new_held ? old_held - new_held : 0;
+  *this = std::move(fresh);
+}
+
 std::pair<const std::byte*, std::size_t> StateInterner::key(Handle h) const {
-  if (h >= entries_.size()) {
-    throw std::out_of_range("StateInterner: unknown handle");
+  if (h >= entries_.size() || entry_dead(entries_[h])) {
+    throw std::out_of_range("StateInterner: unknown or retired handle");
   }
   const Entry& e = entries_[h];
   return {e.ptr, e.len};
 }
 
 TupleRef StateInterner::tuple(Handle h) const {
-  if (h >= entries_.size()) {
-    throw std::out_of_range("StateInterner: unknown handle");
+  if (h >= entries_.size() || entry_dead(entries_[h])) {
+    throw std::out_of_range("StateInterner: unknown or retired handle");
   }
   const Entry& e = entries_[h];
   return TupleRef{reinterpret_cast<const std::uint64_t*>(e.ptr),
@@ -232,14 +391,25 @@ InternStats StateInterner::stats() const {
   s.lookups = lookups_;
   s.probes = probes_;
   s.rehashes = rehashes_;
+  s.keys_retired = retired_;
+  s.bytes_reclaimed = bytes_reclaimed_;
   if (backend_ == Backend::kArena) {
-    s.arena_bytes = arena_.bytes_reserved() +
+    s.arena_bytes = arena_.bytes_held() +
                     slots_.capacity() * sizeof(std::uint32_t) +
                     entries_.capacity() * sizeof(Entry);
-    s.arena_chunks = arena_.chunk_count();
+    s.arena_chunks = arena_.held_chunk_count();
+    s.bytes_live = arena_.bytes_live();
   } else {
     s.arena_bytes = map_bytes_ + entries_.capacity() * sizeof(Entry);
     s.arena_chunks = 0;
+    // Like-for-like with the arena's key-byte balance: padded payload
+    // bytes of live keys only (node/string overhead excluded, as chunk
+    // bookkeeping is excluded on the arena side).
+    std::size_t live = 0;
+    for (const Entry& e : entries_) {
+      if (!entry_dead(e)) live += padded(e.len);
+    }
+    s.bytes_live = live;
   }
   return s;
 }

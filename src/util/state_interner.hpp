@@ -12,11 +12,15 @@
 // reproducibility (tests/intern_test.cpp pins this differentially).
 //
 // Two pieces:
-//   Arena         -- a chunked bump allocator. Chunks are never freed or
-//                    moved, so pointers into the arena stay stable across
-//                    later allocation; chunk sizes grow geometrically so
+//   Arena         -- a chunked bump allocator. Chunks are never moved, so
+//                    pointers into the arena stay stable across later
+//                    allocation; chunk sizes grow geometrically so
 //                    reserved bytes track used bytes within a small
-//                    constant factor.
+//                    constant factor. Chunks carry a live-byte balance:
+//                    a chunk whose every allocation has been returned via
+//                    deallocate_from() releases its memory (the chunk
+//                    record stays, so chunk indices remain stable) --
+//                    the unit of reclamation for session GC.
 //   StateInterner -- an open-addressing hash table over variable-length
 //                    keys stored *inline* in the arena (one copy, no
 //                    per-key node allocation), with an entry table giving
@@ -48,12 +52,18 @@ namespace cdse {
 /// Psioa::intern_stats() and summed over wrapper stacks so the E10 bench
 /// can report allocator traffic next to throughput.
 struct InternStats {
-  std::size_t keys = 0;       ///< interned keys (== dense handle count)
+  std::size_t keys = 0;       ///< interned keys ever (== handles issued)
   std::size_t lookups = 0;    ///< intern() calls
   std::size_t probes = 0;     ///< slot probe steps across all lookups
   std::size_t rehashes = 0;   ///< table growths (reinsert passes)
-  std::size_t arena_bytes = 0;  ///< bytes the backend holds for keys+tables
-  std::size_t arena_chunks = 0;  ///< arena chunks (0 on the map backend)
+  std::size_t arena_bytes = 0;  ///< bytes the backend *currently holds*
+                                ///< for keys+tables (drops as GC frees)
+  std::size_t arena_chunks = 0;  ///< held arena chunks (0 on map backend)
+  std::size_t keys_retired = 0;  ///< handles retired by session GC
+  std::size_t bytes_live = 0;    ///< key bytes owned by live handles only
+  std::size_t bytes_reclaimed = 0;  ///< cumulative bytes returned by GC
+                                    ///< (freed chunks / erased map nodes
+                                    ///< / compaction)
 
   InternStats& operator+=(const InternStats& o) {
     keys += o.keys;
@@ -62,36 +72,69 @@ struct InternStats {
     rehashes += o.rehashes;
     arena_bytes += o.arena_bytes;
     arena_chunks += o.arena_chunks;
+    keys_retired += o.keys_retired;
+    bytes_live += o.bytes_live;
+    bytes_reclaimed += o.bytes_reclaimed;
     return *this;
   }
 };
 
 /// Chunked bump allocator. allocate() never fails over to moving old
-/// chunks, so returned pointers are stable for the arena's lifetime;
-/// nothing is freed until destruction (interned keys are immortal by
-/// design -- handles must keep naming them).
+/// chunks, so returned pointers are stable for as long as their chunk is
+/// held. Individual allocations are never freed in place; instead each
+/// chunk keeps a live-byte balance (charged by allocate, discharged by
+/// deallocate_from), and a chunk whose balance reaches zero -- and which
+/// is no longer the bump target -- releases its memory wholesale. That
+/// is the GC granularity session retirement needs: destroyed-session
+/// keys drain their chunks, and epoch collection returns whole chunks.
 class Arena {
  public:
   static constexpr std::size_t kFirstChunkBytes = std::size_t{1} << 12;
   static constexpr std::size_t kMaxChunkBytes = std::size_t{1} << 20;
+  static constexpr std::uint32_t kNoChunk = 0xffffffffu;
 
   explicit Arena(std::size_t first_chunk_bytes = kFirstChunkBytes);
 
-  /// Returns `bytes` bytes aligned to `align` (a power of two).
-  void* allocate(std::size_t bytes, std::size_t align);
+  /// Returns `bytes` bytes aligned to `align` (a power of two). When
+  /// `chunk_out` is given it receives the index of the owning chunk, the
+  /// token deallocate_from() later takes.
+  void* allocate(std::size_t bytes, std::size_t align,
+                 std::uint32_t* chunk_out = nullptr);
+
+  /// Discharges `bytes` of live mass from chunk `chunk` (as charged by
+  /// the matching allocate). When the chunk's balance reaches zero and it
+  /// is not the current bump target, its memory is released; the chunk
+  /// record survives so indices stay stable. Returns the bytes this call
+  /// released back to the OS (the chunk size, or 0).
+  std::size_t deallocate_from(std::uint32_t chunk, std::size_t bytes);
+
+  /// Releases every fully-dead held chunk except the bump target
+  /// (deallocate_from already frees eagerly; this sweep catches chunks
+  /// that drained while they *were* the bump target and were then
+  /// passed over by growth). Returns bytes released.
+  std::size_t release_dead_chunks();
 
   /// Ensures the current chunk chain can absorb `bytes` more bytes.
   void reserve(std::size_t bytes);
 
   std::size_t bytes_used() const { return used_; }
   std::size_t bytes_reserved() const { return reserved_; }
+  /// Bytes currently held (reserved minus chunks released by GC).
+  std::size_t bytes_held() const { return reserved_ - released_; }
+  /// Live-allocation balance across held chunks.
+  std::size_t bytes_live() const { return live_; }
+  /// Cumulative bytes released by dead-chunk reclamation.
+  std::size_t bytes_released() const { return released_; }
   std::size_t chunk_count() const { return chunks_.size(); }
+  /// Chunks still holding memory.
+  std::size_t held_chunk_count() const { return chunks_.size() - freed_chunks_; }
 
  private:
   struct Chunk {
     std::unique_ptr<std::byte[]> data;
     std::size_t size = 0;
     std::size_t used = 0;
+    std::size_t live = 0;  // charged minus discharged bytes
   };
 
   Chunk& grow(std::size_t min_bytes);
@@ -100,6 +143,9 @@ class Arena {
   std::size_t next_chunk_bytes_;
   std::size_t used_ = 0;
   std::size_t reserved_ = 0;
+  std::size_t released_ = 0;
+  std::size_t live_ = 0;
+  std::size_t freed_chunks_ = 0;
 };
 
 /// Borrowed view of a word-sized interned key (a component-state tuple or
@@ -119,6 +165,7 @@ struct TupleRef {
 class StateInterner {
  public:
   using Handle = std::uint64_t;
+  static constexpr Handle kInvalidHandle = ~Handle{0};
 
   enum class Backend { kArena, kMap };
 
@@ -131,7 +178,15 @@ class StateInterner {
 
   /// Interns an arbitrary byte-string key; returns its dense handle
   /// (size() - 1 on first sight, the prior handle on every later call).
+  /// A key equal to a *retired* key does not resurrect the old handle:
+  /// it is interned afresh under a new one (session GC depends on this
+  /// -- reopening a session id must yield fresh handles).
   Handle intern_bytes(const void* data, std::size_t len);
+
+  /// Same, with the caller-computed hash_bytes(data, len). The sharded
+  /// interner hashes once to pick a shard and forwards the hash here.
+  Handle intern_bytes_hashed(const void* data, std::size_t len,
+                             std::uint64_t hash);
 
   /// Interns a word-array key (component-state tuples, packed POD keys).
   Handle intern_tuple(const std::uint64_t* words, std::size_t n);
@@ -147,6 +202,41 @@ class StateInterner {
 
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
+
+  // -- session GC ----------------------------------------------------------
+  //
+  // Epoch discipline: retire() is cheap and immediate in its *naming*
+  // effect (the handle stops resolving, the key can be re-interned under
+  // a fresh handle), while the *memory* effect is deferred to collect(),
+  // which the owner calls at an epoch boundary when no consumer still
+  // holds retired handles. compact() additionally renumbers live handles
+  // densely; it is opt-in because it breaks handle stability and must be
+  // paired with a remap of every stored handle (the sharded interner
+  // does exactly that through its remap callback).
+
+  /// Marks `h` dead: key()/tuple() throw for it from now on, and an
+  /// equal key interns fresh. Memory is reclaimed by the next collect().
+  /// Returns false when `h` is unknown or already retired.
+  bool retire(Handle h);
+
+  /// True for an issued, un-retired handle.
+  bool is_live(Handle h) const;
+
+  /// Handles issued and not retired.
+  std::size_t live_keys() const { return entries_.size() - retired_; }
+
+  /// Applies pending retirements: discharges dead keys from the arena
+  /// (releasing fully-dead chunks) and rebuilds the slot table without
+  /// them. On the map backend nodes were already erased at retire();
+  /// collect() only rebuilds bookkeeping. Returns keys collected.
+  std::size_t collect();
+
+  /// Rebuilds the backend from live keys only, renumbering them densely
+  /// in handle order. `old_to_new` (if given) is resized to the old
+  /// handle count; retired handles map to kInvalidHandle. Implies
+  /// collect(). Cumulative counters (lookups/probes/rehashes/
+  /// bytes_reclaimed) survive.
+  void compact(std::vector<Handle>* old_to_new = nullptr);
 
   /// Pre-sizes the table (and arena) for `expected_keys`, so a BFS
   /// discovery burst (warm_automaton) does not rehash mid-walk. No-op on
@@ -169,12 +259,24 @@ class StateInterner {
   struct Entry {
     const std::byte* ptr;  // key bytes (arena slot or map payload)
     std::uint64_t hash;
-    std::uint32_t len;  // in bytes
+    std::uint32_t len;    // in bytes
+    std::uint32_t chunk;  // owning arena chunk | kDeadBit when retired
   };
+  // Retirement flag, OR'd into Entry::chunk (chunk indices stay < 2^31).
+  static constexpr std::uint32_t kDeadBit = 0x80000000u;
+  // Entry::chunk sentinel for keys without an owning arena chunk (map
+  // backend, zero-length keys). Deliberately NOT Arena::kNoChunk: that
+  // bit pattern contains kDeadBit, and a live entry must not read as
+  // retired.
+  static constexpr std::uint32_t kNoEntryChunk = 0x7fffffffu;
+
+  static bool entry_dead(const Entry& e) { return (e.chunk & kDeadBit) != 0; }
+  static std::size_t map_key_bytes(std::size_t len);
 
   Handle intern_arena(const void* data, std::size_t len, std::uint64_t h);
   Handle intern_map(const void* data, std::size_t len, std::uint64_t h);
   void grow_table(std::size_t min_slots);
+  void rebuild_slots();
 
   Backend backend_;
 
@@ -193,6 +295,11 @@ class StateInterner {
   std::map<std::string, Handle> map_;
   std::deque<std::vector<std::uint64_t>> map_keys_;
   std::size_t map_bytes_ = 0;
+
+  // Session-GC bookkeeping.
+  std::vector<Handle> pending_retired_;  // retired, not yet collected
+  std::size_t retired_ = 0;              // dead handles (pending + collected)
+  std::size_t bytes_reclaimed_ = 0;      // cumulative, survives compact()
 
   std::size_t lookups_ = 0;
   std::size_t probes_ = 0;

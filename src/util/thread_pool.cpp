@@ -44,6 +44,36 @@ void ThreadPool::wait_idle() {
   }
 }
 
+bool ThreadPool::wait_idle_for(std::chrono::milliseconds timeout,
+                               std::string* diagnostic) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const bool drained =
+      cv_idle_.wait_for(lk, timeout, [this] { return in_flight_ == 0; });
+  if (!drained) {
+    if (diagnostic != nullptr) {
+      const std::size_t queued = queue_.size();
+      const std::size_t running = in_flight_ - queued;
+      *diagnostic = "thread pool not idle after " +
+                    std::to_string(timeout.count()) + " ms: " +
+                    std::to_string(running) + " task(s) running, " +
+                    std::to_string(queued) + " queued on " +
+                    std::to_string(workers_.size()) + " worker(s)";
+    }
+    return false;
+  }
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+  return true;
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return in_flight_;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

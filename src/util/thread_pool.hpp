@@ -15,12 +15,14 @@
 // an exception still pending at destruction is discarded (destructors
 // must not throw).
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -46,12 +48,26 @@ class ThreadPool {
   /// reused afterwards).
   void wait_idle();
 
+  /// wait_idle with a deadline: returns true when the pool drained
+  /// within `timeout` (rethrowing a pending task exception exactly like
+  /// wait_idle). On timeout it returns false and, when `diagnostic` is
+  /// non-null, writes a stuck-task report (tasks queued vs running) --
+  /// the soak driver's alternative to hanging forever on a wedged task.
+  /// The pool is left untouched: tasks keep running, and a later
+  /// wait_idle()/wait_idle_for() picks them (and the first error) up.
+  bool wait_idle_for(std::chrono::milliseconds timeout,
+                     std::string* diagnostic = nullptr);
+
+  /// Tasks submitted but not yet finished (queued + running). A racy
+  /// snapshot, for diagnostics only.
+  std::size_t pending() const;
+
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;

@@ -1,0 +1,388 @@
+// Session GC at the PCA and service layers, and the soak driver's
+// robustness contract (src/service).
+//
+// The load-bearing property is the GC differential: retiring
+// dead-session state (DynamicPca::retire_states_of, service
+// close+advance_epoch) must never perturb live sessions -- signatures,
+// exact f-dists, and draw-for-draw compiled-row samples stay identical
+// to a control instance that never collected, and the soak report's
+// outcome digest is invariant under GC on/off, worker count, and
+// compaction schedule.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "crypto/service.hpp"
+#include "service/soak.hpp"
+
+namespace cdse {
+namespace {
+
+// -- DynamicPca session GC ---------------------------------------------------
+
+TEST(DynamicPcaGc, DestructionObserverFiresOncePerMemoizedRow) {
+  const MacServicePair svc = make_mac_service_pair({1}, "gcob");
+  DynamicPca& x = *svc.real_pca;
+  std::vector<std::tuple<Aid, State, ActionId>> fired;
+  x.set_destruction_observer([&](Aid aid, State from, ActionId a) {
+    fired.emplace_back(aid, from, a);
+  });
+
+  State q = x.start_state();
+  q = x.transition(q, act("open_gcob_0")).support()[0];
+  q = x.transition(q, act("auth_gcob_0")).support()[0];
+  const StateDist d = x.transition(q, act("forge_gcob_0"));
+  EXPECT_TRUE(fired.empty());  // session alive through the whole front half
+
+  // Resolving either outcome destroys the session automaton (empty
+  // signature, Def 2.12): the observer reports Aid 1, once per row.
+  for (State q2 : d.support()) {
+    const Signature sig = x.signature(q2);
+    for (ActionId a : sig.out) x.transition(q2, a);
+  }
+  ASSERT_EQ(fired.size(), 2u);
+  for (const auto& [aid, from, a] : fired) EXPECT_EQ(aid, 1u);
+
+  // Memoized re-queries serve the cached rows: no re-firing.
+  for (State q2 : d.support()) {
+    const Signature sig = x.signature(q2);
+    for (ActionId a : sig.out) x.transition(q2, a);
+  }
+  EXPECT_EQ(fired.size(), 2u);
+}
+
+TEST(DynamicPcaGc, RetireStatesOfReclaimsDeadSessionStates) {
+  const MacServicePair svc = make_mac_service_pair({1}, "gcrt");
+  DynamicPca& x = *svc.real_pca;
+  const State q0 = x.start_state();
+  const State q1 = x.transition(q0, act("open_gcrt_0")).support()[0];
+  const State q2 = x.transition(q1, act("auth_gcrt_0")).support()[0];
+  const StateDist forge = x.transition(q2, act("forge_gcrt_0"));
+  for (State qr : forge.support()) {
+    const Signature sig = x.signature(qr);
+    for (ActionId a : sig.out) {
+      EXPECT_EQ(x.transition(qr, a).support()[0], q0);
+    }
+  }
+  const BitString enc_q1 = x.encode_state(q1);
+  const std::size_t keys_before = x.intern_stats().keys;
+  EXPECT_EQ(keys_before, 5u);  // start/idle/authed/win/lose
+
+  // Every state mentioning the dead session goes; the start state stays.
+  EXPECT_EQ(x.retire_states_of({Aid{1}}), 4u);
+  EXPECT_EQ(x.states_retired(), 4u);
+  EXPECT_THROW(x.config(q1), std::out_of_range);
+  EXPECT_THROW(x.config(q2), std::out_of_range);
+  EXPECT_THROW(x.transition(q1, act("auth_gcrt_0")), std::out_of_range);
+  EXPECT_NO_THROW(x.config(q0));
+  // 4 of 5 keys retired; the chunk itself stays held while the start
+  // state's key keeps it partially live (chunk-granular reclamation).
+  EXPECT_EQ(x.intern_stats().keys_retired, 4u);
+
+  // Reopening re-creates the session under a *fresh* handle whose
+  // semantics (encoding, configuration) match the retired one exactly.
+  const State r1 = x.transition(q0, act("open_gcrt_0")).support()[0];
+  EXPECT_NE(r1, q1);
+  EXPECT_EQ(x.config(r1).size(), 2u);
+  EXPECT_TRUE(x.encode_state(r1) == enc_q1);
+  EXPECT_EQ(x.intern_stats().keys, keys_before + 1);
+}
+
+TEST(DynamicPcaGc, RefusesSnapshotPinsAndInitialMembers) {
+  const MacServicePair svc = make_mac_service_pair({1}, "gcpin");
+  DynamicPca& x = *svc.real_pca;
+  const State q0 = x.start_state();
+  State q = x.transition(q0, act("open_gcpin_0")).support()[0];
+  q = x.transition(q, act("auth_gcpin_0")).support()[0];
+
+  // The hub is in the initial configuration: never retirable.
+  EXPECT_THROW(x.retire_states_of({Aid{0}}), std::logic_error);
+
+  // A frozen snapshot pins the handle space.
+  auto snap = x.freeze();
+  EXPECT_THROW(x.retire_states_of({Aid{1}}), std::logic_error);
+  snap.reset();
+  EXPECT_GT(x.retire_states_of({Aid{1}}), 0u);
+}
+
+TEST(DynamicPcaGc, DifferentialGcNeverPerturbsLiveSessions) {
+  // Two identical two-session services; one retires session 0's states,
+  // the control never collects. Driving session 1 afterwards must agree
+  // between them: signatures, exact f-dists (weights + state encodings),
+  // and draw-for-draw samples through the compiled rows.
+  const MacServicePair A = make_mac_service_pair({4, 4}, "gcdf");
+  const MacServicePair B = make_mac_service_pair({4, 4}, "gcdf");
+  auto drive_session0 = [](DynamicPca& x) {
+    State q = x.start_state();
+    q = x.transition(q, act("open_gcdf_0")).support()[0];
+    q = x.transition(q, act("auth_gcdf_0")).support()[0];
+    const StateDist d = x.transition(q, act("forge_gcdf_0"));
+    for (State qr : d.support()) {
+      const Signature sig = x.signature(qr);
+      for (ActionId a : sig.out) x.transition(qr, a);
+    }
+  };
+  drive_session0(*A.real_pca);
+  drive_session0(*B.real_pca);
+  ASSERT_EQ(A.real_pca->retire_states_of({Aid{1}}), 4u);
+
+  DynamicPca& xa = *A.real_pca;
+  DynamicPca& xb = *B.real_pca;
+  // One lock-step transition on both sides, with the full comparison.
+  auto step_both = [&](State qa, State qb, ActionId a) {
+    EXPECT_TRUE(xa.signature(qa) == xb.signature(qb));
+    const StateDist& da = xa.transition_dist(qa, a);
+    const StateDist& db = xb.transition_dist(qb, a);
+    EXPECT_EQ(da.entries().size(), db.entries().size());
+    for (std::size_t i = 0; i < da.entries().size(); ++i) {
+      EXPECT_TRUE(da.entries()[i].second == db.entries()[i].second);
+      EXPECT_TRUE(xa.encode_state(da.entries()[i].first) ==
+                  xb.encode_state(db.entries()[i].first));
+    }
+    const CompiledRow& ra = xa.compiled_row(qa, a);
+    const CompiledRow& rb = xb.compiled_row(qb, a);
+    for (double u : {0.0, 0.031, 0.0624, 0.0626, 0.5, 0.93, 0.9999}) {
+      EXPECT_TRUE(xa.encode_state(ra.sample(u)) ==
+                  xb.encode_state(rb.sample(u)));
+    }
+    return std::pair<State, State>{ra.targets[0], rb.targets[0]};
+  };
+
+  auto [qa, qb] = step_both(xa.start_state(), xb.start_state(),
+                            act("open_gcdf_1"));
+  std::tie(qa, qb) = step_both(qa, qb, act("auth_gcdf_1"));
+  // Forge fans out to win/lose; chase both outcomes to destruction.
+  const std::vector<State> outs_a = xa.transition(qa, act("forge_gcdf_1")).support();
+  const std::vector<State> outs_b = xb.transition(qb, act("forge_gcdf_1")).support();
+  std::tie(qa, qb) = step_both(qa, qb, act("forge_gcdf_1"));
+  ASSERT_EQ(outs_a.size(), 2u);
+  ASSERT_EQ(outs_b.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const Signature sig = xa.signature(outs_a[i]);
+    ASSERT_EQ(sig.out.size(), 1u);
+    step_both(outs_a[i], outs_b[i], sig.out[0]);
+  }
+}
+
+// -- MacSessionService -------------------------------------------------------
+
+TEST(MacSessionSvc, LifecycleRetiresKeysAndReopensFresh) {
+  MacSessionService::Options o;
+  o.k = 4;
+  o.shards = 2;
+  o.tag = "ms_a";
+  MacSessionService svc(o);
+  auto view = svc.worker_view();
+
+  EXPECT_EQ(svc.auth(*view, 7), OpStatus::kNotFound);
+  EXPECT_EQ(svc.open(*view, 7), OpStatus::kOk);
+  EXPECT_EQ(svc.open(*view, 7), OpStatus::kBadState);   // double open
+  EXPECT_EQ(svc.forge(*view, 7), OpStatus::kBadState);  // phase mismatch
+  EXPECT_EQ(svc.auth(*view, 7), OpStatus::kOk);
+  EXPECT_EQ(svc.forge(*view, 7), OpStatus::kOk);
+  const auto h1 = svc.session_handles(7);
+  ASSERT_EQ(h1.size(), 3u);  // one key per visited template state
+
+  bool win = false;
+  EXPECT_EQ(svc.close(*view, 7, &win), OpStatus::kOk);
+  EXPECT_FALSE(svc.is_open(7));
+  EXPECT_TRUE(svc.session_handles(7).empty());
+  // Satellite contract: a destroyed session leaves no reachable interned
+  // state, before *and* after the epoch boundary.
+  EXPECT_EQ(svc.interner_live_keys(), 0u);
+  svc.advance_epoch();
+  EXPECT_EQ(svc.interner_live_keys(), 0u);
+
+  // Reopening the same sid yields fresh handles for every state.
+  EXPECT_EQ(svc.open(*view, 7), OpStatus::kOk);
+  EXPECT_EQ(svc.auth(*view, 7), OpStatus::kOk);
+  EXPECT_EQ(svc.forge(*view, 7), OpStatus::kOk);
+  const auto h2 = svc.session_handles(7);
+  ASSERT_EQ(h2.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NE(h2[i], h1[i]);
+  EXPECT_EQ(svc.close(*view, 7), OpStatus::kOk);
+
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.opened, 2u);
+  EXPECT_EQ(s.closed, 2u);
+  EXPECT_EQ(s.live, 0u);
+  // Def 2.12 wiring witness: warming the template saw both resolving
+  // rows destroy the session automaton.
+  EXPECT_EQ(s.template_destructions, 2u);
+  EXPECT_DOUBLE_EQ(svc.advantage(), 1.0 / 16.0);
+}
+
+TEST(MacSessionSvc, BackpressureRejectsBeyondAdmissionBound) {
+  MacSessionService::Options o;
+  o.k = 4;
+  o.max_admitted = 2;
+  o.tag = "ms_b";
+  MacSessionService svc(o);
+  auto view = svc.worker_view();
+  EXPECT_EQ(svc.open(*view, 1), OpStatus::kOk);
+  EXPECT_EQ(svc.open(*view, 2), OpStatus::kOk);
+  EXPECT_EQ(svc.open(*view, 3), OpStatus::kRejected);
+  EXPECT_EQ(svc.stats().rejected, 1u);
+  // Shedding is load-coupled, not permanent: capacity freed, sid admitted.
+  EXPECT_EQ(svc.abandon(1), OpStatus::kOk);
+  EXPECT_EQ(svc.open(*view, 3), OpStatus::kOk);
+}
+
+TEST(MacSessionSvc, CrashDrillStopsSessionsAndAbandonReclaims) {
+  MacSessionService::Options o;
+  o.k = 4;
+  o.crash_prob = 1.0;
+  o.tag = "ms_c";
+  MacSessionService svc(o);
+  auto view = svc.worker_view();
+  EXPECT_EQ(svc.open(*view, 5), OpStatus::kOk);  // crash marked at open
+  EXPECT_EQ(svc.auth(*view, 5), OpStatus::kCrashed);
+  EXPECT_EQ(svc.forge(*view, 5), OpStatus::kCrashed);
+  EXPECT_EQ(svc.close(*view, 5), OpStatus::kCrashed);
+  EXPECT_EQ(svc.abandon(5), OpStatus::kOk);
+  EXPECT_EQ(svc.stats().abandoned, 1u);
+  EXPECT_EQ(svc.interner_live_keys(), 0u);
+}
+
+TEST(MacSessionSvc, EpochCompactionRemapsHeldSessions) {
+  MacSessionService::Options o;
+  o.k = 4;
+  o.shards = 2;
+  o.compact_threshold = 0.3;
+  o.tag = "ms_d";
+  MacSessionService svc(o);
+  auto view = svc.worker_view();
+  constexpr std::uint64_t kSessions = 3000;
+  constexpr std::uint64_t kHeld = 10;
+  for (std::uint64_t sid = 0; sid < kSessions; ++sid) {
+    ASSERT_EQ(svc.open(*view, sid), OpStatus::kOk);
+    ASSERT_EQ(svc.auth(*view, sid), OpStatus::kOk);
+    ASSERT_EQ(svc.forge(*view, sid), OpStatus::kOk);
+  }
+  for (std::uint64_t sid = kHeld; sid < kSessions; ++sid) {
+    ASSERT_EQ(svc.close(*view, sid), OpStatus::kOk);
+  }
+  // Garbage fraction is ~99.7%: compaction must fire, renumbering local
+  // handles -- the held sessions' stored handles are rewritten in place.
+  const auto cr = svc.advance_epoch();
+  EXPECT_GE(cr.shards_compacted, 1u);
+  EXPECT_GT(cr.keys_collected, 0u);
+  EXPECT_GT(cr.bytes_reclaimed, 0u);
+  EXPECT_EQ(svc.interner_live_keys(), 3 * kHeld);
+  // Held sessions survived compaction: their keys resolve and they close.
+  for (std::uint64_t sid = 0; sid < kHeld; ++sid) {
+    ASSERT_EQ(svc.session_handles(sid).size(), 3u);
+    ASSERT_EQ(svc.close(*view, sid), OpStatus::kOk);
+  }
+  EXPECT_EQ(svc.stats().closed, kSessions);
+  EXPECT_EQ(svc.interner_live_keys(), 0u);
+}
+
+// -- LatencyRecorder ---------------------------------------------------------
+
+TEST(SoakLatency, Log2QuantilesAndMerge) {
+  LatencyRecorder r;
+  for (int i = 0; i < 99; ++i) r.record(1000);
+  r.record(std::uint64_t{1} << 20);
+  EXPECT_EQ(r.count(), 100u);
+  EXPECT_EQ(r.max_ns(), std::uint64_t{1} << 20);
+  // p50 answers from the [512, 1023] bucket; p100 from the outlier's.
+  EXPECT_GE(r.quantile_ns(0.5), 512u);
+  EXPECT_LE(r.quantile_ns(0.5), 1023u);
+  EXPECT_GE(r.quantile_ns(1.0), std::uint64_t{1} << 20);
+  EXPECT_GT(r.mean_ns(), 1000.0);
+
+  LatencyRecorder other;
+  other.record(0);
+  other.merge(r);
+  EXPECT_EQ(other.count(), 101u);
+  EXPECT_EQ(other.max_ns(), r.max_ns());
+  EXPECT_EQ(other.quantile_ns(0.001), 0u);
+}
+
+// -- run_soak ----------------------------------------------------------------
+
+TEST(Soak, OutcomeDigestInvariantUnderGcAndWorkers) {
+  SoakOptions base;
+  base.sessions = 4000;
+  base.wave = 128;
+  base.hold_waves = 2;
+  base.k = 6;
+  base.seed = 0xfeedULL;
+  base.workers = 1;
+  base.shards = 2;
+  base.compact_threshold = 0.3;
+
+  const SoakReport r1 = run_soak(base);
+  EXPECT_TRUE(r1.complete) << r1.error;
+  EXPECT_EQ(r1.sessions_completed, base.sessions);
+  EXPECT_EQ(r1.interner_live_keys, 0u);
+  EXPECT_GT(r1.gc_bytes_reclaimed, 0u);
+  EXPECT_GT(r1.epochs, 0u);
+  EXPECT_EQ(r1.ops[0].ok, base.sessions);  // open
+  EXPECT_EQ(r1.ops[3].ok, base.sessions);  // close
+
+  SoakOptions par = base;
+  par.workers = 4;
+  const SoakReport r4 = run_soak(par);
+  EXPECT_TRUE(r4.complete) << r4.error;
+
+  SoakOptions nogc = base;
+  nogc.gc = false;
+  const SoakReport rn = run_soak(nogc);
+  EXPECT_TRUE(rn.complete) << rn.error;
+
+  // The differential: same (seed, sid set) => same outcomes, whatever
+  // the worker count or GC schedule.
+  EXPECT_EQ(r4.outcome_digest, r1.outcome_digest);
+  EXPECT_EQ(rn.outcome_digest, r1.outcome_digest);
+  EXPECT_EQ(r4.forgeries, r1.forgeries);
+  EXPECT_EQ(rn.forgeries, r1.forgeries);
+  EXPECT_EQ(rn.sessions_completed, r1.sessions_completed);
+  // GC off keeps every key alive: 3 per completed session.
+  EXPECT_EQ(rn.interner_live_keys, 3 * base.sessions);
+}
+
+TEST(Soak, DeadlineDrillDegradesToPartialReport) {
+  SoakOptions o;
+  o.sessions = 64;
+  o.wave = 16;
+  o.workers = 2;
+  o.deadline = std::chrono::nanoseconds{1};  // unmeetable
+  o.max_retries = 1;
+  const SoakReport r = run_soak(o);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.sessions_completed, 0u);
+  std::uint64_t timeouts = 0, retries = 0, failures = 0;
+  for (const auto& os : r.ops) {
+    timeouts += os.timeouts;
+    retries += os.retries;
+    failures += os.failures;
+  }
+  EXPECT_GT(timeouts, 0u);
+  EXPECT_GT(retries, 0u);   // seed rotation was attempted
+  EXPECT_GT(failures, 0u);  // and eventually given up on
+  // Degradation is graceful: the partial rows still carry latencies.
+  EXPECT_GT(r.ops[0].latency.count(), 0u);
+}
+
+TEST(Soak, CrashDrillAbandonsEveryCrashedSession) {
+  SoakOptions o;
+  o.sessions = 64;
+  o.wave = 16;
+  o.workers = 2;
+  o.crash_prob = 1.0;
+  const SoakReport r = run_soak(o);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.crashed, o.sessions);
+  EXPECT_EQ(r.abandoned, o.sessions);
+  EXPECT_EQ(r.sessions_completed, 0u);
+  EXPECT_EQ(r.interner_live_keys, 0u);  // abandon retired their keys
+}
+
+}  // namespace
+}  // namespace cdse

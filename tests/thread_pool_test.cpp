@@ -8,6 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -99,6 +102,53 @@ TEST(ThreadPool, DestructionWithPendingFailureIsClean) {
     // No wait_idle: destructor takes over with the error still latched.
   }
   EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPool, WaitIdleForDrainsAndReturnsTrue) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) pool.submit([&ran] { ran.fetch_add(1); });
+  std::string diag = "untouched";
+  EXPECT_TRUE(pool.wait_idle_for(std::chrono::milliseconds(10000), &diag));
+  EXPECT_EQ(diag, "untouched");  // only written on timeout
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, WaitIdleForTimesOutWithStuckDiagnostic) {
+  // One task blocks until released: the bounded wait must return false
+  // with a running/queued breakdown instead of hanging, and the pool must
+  // drain normally once the task is released.
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  pool.submit([&] {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return release; });
+  });
+  pool.submit([] {});  // sits queued behind the stuck task
+  std::string diag;
+  EXPECT_FALSE(pool.wait_idle_for(std::chrono::milliseconds(50), &diag));
+  EXPECT_NE(diag.find("not idle"), std::string::npos);
+  EXPECT_NE(diag.find("1 task(s) running"), std::string::npos);
+  EXPECT_NE(diag.find("1 queued"), std::string::npos);
+  EXPECT_GE(pool.pending(), 1u);
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    release = true;
+  }
+  cv.notify_all();
+  EXPECT_TRUE(pool.wait_idle_for(std::chrono::milliseconds(10000), nullptr));
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPool, WaitIdleForRethrowsFirstErrorOnDrain) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("timed batch failed"); });
+  EXPECT_THROW(pool.wait_idle_for(std::chrono::milliseconds(10000), nullptr),
+               std::runtime_error);
+  // Error consumed: the pool is reusable, like after wait_idle().
+  EXPECT_NO_THROW(pool.wait_idle());
 }
 
 TEST(ThreadPool, ParallelForPropagatesChunkFailure) {
