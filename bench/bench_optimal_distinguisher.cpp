@@ -20,7 +20,17 @@
 // engines must return the identical word, epsilon and words_evaluated
 // (the determinism contract of sched/exact_engine.hpp); wall-clock and
 // ConeStats rows are written machine-readably to BENCH_exact.json.
+//
+// E13c -- quotient-reduction ablation: an interleaving-heavy composed
+// stack (two independent "fork" automata, each branching uniformly into
+// mutually bisimilar mid states, so the product's interleavings multiply
+// redundant branches) enumerated raw vs under
+// ReductionPolicy::bisimulation(). The exact f-dist must be identical;
+// the reduced run must push at least 2x fewer frames. Rows (blocks,
+// reduction ratio, frame counts, speedup vs unreduced) join
+// BENCH_exact.json.
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -30,6 +40,9 @@
 #include "crypto/relay.hpp"
 #include "fault/faulty.hpp"
 #include "impl/optimal.hpp"
+#include "psioa/compose.hpp"
+#include "psioa/explicit_psioa.hpp"
+#include "sched/schedulers.hpp"
 #include "secure/adversary.hpp"
 #include "secure/emulation.hpp"
 #include "util/thread_pool.hpp"
@@ -113,20 +126,33 @@ struct AblationRow {
   BestDistinguisher best;
 };
 
+/// One E13c measurement: the fork-product stack enumerated raw or via
+/// the bisimulation quotient, serial or fanned over a pool.
+struct QuotientRow {
+  std::string mode;     // "unreduced" / "reduced"
+  std::size_t workers;  // 0 = serial
+  double seconds = 0.0;
+  std::size_t frames_pushed = 0;
+  std::size_t states = 0;  // snapshot states (reduced rows only)
+  std::size_t blocks = 0;  // quotient blocks (reduced rows only)
+};
+
 void write_bench_exact_json(const std::vector<AblationRow>& rows,
-                            double legacy_seconds) {
+                            const std::vector<QuotientRow>& qrows) {
   std::FILE* out = std::fopen("BENCH_exact.json", "w");
   if (out == nullptr) return;
-  std::fprintf(out, "{\n  \"experiment\": \"E13b exact-engine ablation\",\n");
-  std::fprintf(out,
+  const double legacy_seconds = rows.front().seconds;
+  std::FILE* o = out;
+  std::fprintf(o, "{\n  \"experiment\": \"E13b/E13c exact-engine ablations\",\n");
+  std::fprintf(o,
                "  \"workload\": {\"system\": \"faulty-channel pair\", "
                "\"alphabet\": 5, \"max_len\": 7, \"depth\": 12},\n");
-  std::fprintf(out, "  \"rows\": [\n");
+  std::fprintf(o, "  \"rows\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const AblationRow& r = rows[i];
     const ConeStats& s = r.best.stats;
     std::fprintf(
-        out,
+        o,
         "    {\"engine\": \"%s\", \"workers\": %zu, \"seconds\": %.6f, "
         "\"speedup_vs_legacy\": %.2f, \"eps\": \"%s\", "
         "\"words_evaluated\": %zu, \"frames_peak\": %zu, "
@@ -139,11 +165,34 @@ void write_bench_exact_json(const std::vector<AblationRow>& rows,
         s.prefix_hits, s.prefix_misses,
         i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(o, "  ],\n");
+  std::fprintf(o,
+               "  \"e13c_workload\": {\"system\": \"fork-product (2 forks, "
+               "width 4)\", \"depth\": 6},\n");
+  std::fprintf(o, "  \"e13c_rows\": [\n");
+  const double unreduced_seconds =
+      qrows.empty() ? 0.0 : qrows.front().seconds;
+  for (std::size_t i = 0; i < qrows.size(); ++i) {
+    const QuotientRow& r = qrows[i];
+    std::fprintf(
+        o,
+        "    {\"mode\": \"%s\", \"workers\": %zu, \"seconds\": %.6f, "
+        "\"speedup_vs_unreduced\": %.2f, \"frames_pushed\": %zu, "
+        "\"quotient_states\": %zu, \"quotient_blocks\": %zu, "
+        "\"reduction_ratio\": %.2f}%s\n",
+        r.mode.c_str(), r.workers, r.seconds,
+        r.seconds > 0.0 ? unreduced_seconds / r.seconds : 0.0,
+        r.frames_pushed, r.states, r.blocks,
+        r.blocks > 0 ? static_cast<double>(r.states) /
+                           static_cast<double>(r.blocks)
+                     : 1.0,
+        i + 1 < qrows.size() ? "," : "");
+  }
+  std::fprintf(o, "  ]\n}\n");
   std::fclose(out);
 }
 
-int run_e13b() {
+int run_e13b(std::vector<AblationRow>& out_rows) {
   bench::print_header(
       "E13b: exact-engine ablation (legacy vs prefix-shared vs parallel)",
       "all engines return the identical word/eps/words; prefix sharing "
@@ -219,18 +268,138 @@ int run_e13b() {
   // Prefix sharing must actually fire -- the speedup claim rests on it.
   ok = ok && rows[1].best.stats.prefix_hits > 0;
   ok = ok && ref.eps > Rational(0);
-  write_bench_exact_json(rows, legacy_seconds);
+  out_rows = std::move(rows);
+  return bench::verdict(
+      ok, "E13b: every engine agrees with the recursive reference");
+}
+
+/// One fork: s0 branches uniformly (internal action) into `width` mid
+/// states that all emit the same tick output back to s0 -- the mids are
+/// mutually bisimilar by construction, so the quotient collapses each
+/// fork to 2 blocks and the product of two forks from (1+width)^2
+/// states to 4.
+PsioaPtr make_fork(const std::string& tag, std::size_t width) {
+  auto fork = std::make_shared<ExplicitPsioa>("fork_" + tag);
+  const ActionId a_branch = act("branch_" + tag);
+  const ActionId a_tick = act("tick_" + tag);
+  const State s0 = fork->add_state("idle");
+  Signature sig0;
+  sig0.internal = {a_branch};
+  fork->set_signature(s0, sig0);
+  fork->set_start(s0);
+  Signature sigm;
+  sigm.out = {a_tick};
+  StateDist spread;
+  for (std::size_t i = 0; i < width; ++i) {
+    const State mid = fork->add_state("mid" + std::to_string(i));
+    fork->set_signature(mid, sigm);
+    fork->add_step(mid, a_tick, s0);
+    spread.add(mid, Rational(1, static_cast<std::int64_t>(width)));
+  }
+  fork->add_transition(s0, a_branch, spread);
+  fork->validate();
+  return fork;
+}
+
+int run_e13c(std::vector<QuotientRow>& out_rows) {
+  bench::print_header(
+      "E13c: quotient-reduction ablation (raw vs bisimulation quotient)",
+      "identical exact f-dist; >= 2x fewer frames on the interleaving-"
+      "heavy fork product");
+  const std::size_t width = 4;
+  const std::size_t depth = 6;
+  const PsioaFactory make_sys = [width]() -> PsioaPtr {
+    return compose(make_fork("e13q_a", width), make_fork("e13q_b", width));
+  };
+  TraceInsight f;
+  std::vector<QuotientRow> rows;
+
+  ExactDisc<Perception> want;
+  {
+    PsioaPtr sys = make_sys();
+    UniformScheduler sched(depth);
+    ConeStats stats;
+    bench::Timer t;
+    want = exact_fdist(*sys, sched, f, depth, &stats);
+    rows.push_back({"unreduced", 0, t.seconds(), stats.frames_pushed, 0, 0});
+  }
+  bool ok = true;
+  {
+    PsioaPtr sys = make_sys();
+    UniformScheduler sched(depth);
+    ConeStats stats;
+    bench::Timer t;
+    // The reduction cost (freeze + partition + quotient) is inside the
+    // timed region: the speedup column is end to end, not best case.
+    const auto red = reduce_for_enumeration(*sys, depth,
+                                            ReductionPolicy::bisimulation());
+    ok = ok && red.has_value();
+    if (red.has_value()) {
+      const ExactDisc<Perception> got =
+          exact_fdist(*red->view, sched, f, depth, &stats);
+      ok = ok && got == want;
+      rows.push_back({"reduced", 0, t.seconds(), stats.frames_pushed,
+                      red->states, red->blocks});
+    }
+  }
+  for (std::size_t workers : {2u, 4u}) {
+    ThreadPool pool(workers);
+    ParallelConeEngine engine(make_sys, [depth]() -> SchedulerPtr {
+      return std::make_shared<UniformScheduler>(depth);
+    }, ReductionPolicy::bisimulation());
+    WarmupPlan plan;
+    plan.episodes = 0;
+    plan.horizon = depth;
+    bench::Timer t;
+    engine.prepare(plan, depth);
+    const ExactDisc<Perception> got = engine.exact_fdist(f, depth, pool);
+    ok = ok && got == want && engine.reduced();
+    const ConeStats& s = engine.last_stats();
+    rows.push_back({"reduced", workers, t.seconds(), s.frames_pushed,
+                    s.quotient_states, s.quotient_blocks});
+  }
+
+  bench::print_row({"mode", "workers", "seconds", "frames", "states",
+                    "blocks", "reduction"},
+                   12);
+  for (const QuotientRow& r : rows) {
+    char sec[32];
+    std::snprintf(sec, sizeof sec, "%.4f", r.seconds);
+    char ratio[32];
+    std::snprintf(ratio, sizeof ratio, "%.1fx",
+                  r.blocks > 0 ? static_cast<double>(r.states) /
+                                     static_cast<double>(r.blocks)
+                               : 1.0);
+    bench::print_row({r.mode, std::to_string(r.workers), sec,
+                      std::to_string(r.frames_pushed),
+                      std::to_string(r.states), std::to_string(r.blocks),
+                      ratio},
+                     12);
+  }
+  // The acceptance claim: the quotient enumerates at least 2x fewer
+  // frames than the raw product, serial row vs serial row.
+  ok = ok && rows.size() >= 2 &&
+       rows[0].frames_pushed >= 2 * rows[1].frames_pushed &&
+       rows[1].blocks > 0 && rows[1].blocks < rows[1].states;
+  out_rows = std::move(rows);
   return bench::verdict(
       ok,
-      "E13b: every engine agrees with the recursive reference; "
-      "BENCH_exact.json written");
+      "E13c: quotient preserves the exact f-dist with >= 2x fewer frames");
+}
+
+int run_all() {
+  const int r1 = run();
+  std::vector<AblationRow> rows;
+  const int r2 = run_e13b(rows);
+  std::vector<QuotientRow> qrows;
+  const int r3 = run_e13c(qrows);
+  if (!rows.empty()) write_bench_exact_json(rows, qrows);
+  std::printf("BENCH_exact.json written\n");
+  if (r1 != 0) return r1;
+  return r2 != 0 ? r2 : r3;
 }
 
 }  // namespace
 }  // namespace cdse
 
-int main() {
-  const int r1 = cdse::run();
-  const int r2 = cdse::run_e13b();
-  return r1 != 0 ? r1 : r2;
-}
+int main() { return cdse::run_all(); }

@@ -45,15 +45,17 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # interning suites (ActionTable shared-lock fast path, map-vs-arena
   # differential, sharded-interner concurrent interning + epoch GC), the
   # session service / soak driver (sharded session table over the pool),
-  # and the exact cone-measure engine (ParallelConeEngine subtree
-  # fan-out, parallel distinguisher search, parallel sweep grids).
+  # the exact cone-measure engine (ParallelConeEngine subtree fan-out,
+  # parallel distinguisher search, parallel sweep grids), and the
+  # quotient reduction (shared minimized snapshots behind per-worker
+  # QuotientPsioa views in all of the above).
   echo "== tsan: ThreadSanitizer build + concurrency suites =="
   cmake -B build-tsan -S . -DCDSE_SANITIZE="thread" >/dev/null
   cmake --build build-tsan -j "$JOBS" \
     --target snapshot_test thread_pool_test intern_test intern_gc_test \
-             service_soak_test exact_engine_test
+             service_soak_test exact_engine_test quotient_test
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'Snapshot|ThreadPool|FrozenChoice|Parallel|Intern|ExactEngine|ShardedInternGc|DynamicPcaGc|MacSessionSvc|SoakLatency|Soak'
+    -R 'Snapshot|ThreadPool|FrozenChoice|Parallel|Intern|ExactEngine|Quotient|ShardedInternGc|DynamicPcaGc|MacSessionSvc|SoakLatency|Soak'
   echo "== tsan pass clean =="
   exit 0
 fi
@@ -72,8 +74,10 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
     --benchmark_min_time=0.05 --benchmark_out=BENCH_engine.json \
     --benchmark_out_format=json)
   test -s build-bench/BENCH_engine.json
-  # E13/E13b self-check the engine-equivalence claim and emit the
-  # exact-engine ablation table (legacy vs iterative vs parallel).
+  # E13/E13b/E13c self-check the engine-equivalence claims (legacy vs
+  # iterative vs parallel, raw vs bisimulation quotient) and emit the
+  # exact-engine ablation tables, including the quotient reduction-ratio
+  # rows.
   (cd build-bench && ./bench/bench_optimal_distinguisher)
   test -s build-bench/BENCH_exact.json
   # E18 at smoke scale: a tiny soak (1k lifecycles across the worker

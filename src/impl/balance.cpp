@@ -14,6 +14,42 @@ Rational exact_balance_epsilon(Psioa& lhs, Scheduler& sigma_lhs, Psioa& rhs,
   return balance_distance(left, right);
 }
 
+namespace {
+
+/// One side of the policy overload: enumerate the quotient when the
+/// reduction succeeded, the original otherwise.
+ExactDisc<Perception> reduced_fdist(Psioa& system, Scheduler& sigma,
+                                    const InsightFunction& f,
+                                    std::size_t max_depth,
+                                    const ReductionPolicy& policy,
+                                    ConeStats& stats) {
+  const std::optional<ReducedSystem> red =
+      reduce_for_enumeration(system, max_depth, policy);
+  if (!red.has_value()) return exact_fdist(system, sigma, f, max_depth, &stats);
+  stats.quotient_states += red->states;
+  stats.quotient_blocks += red->blocks;
+  return exact_fdist(*red->view, sigma, f, max_depth, &stats);
+}
+
+}  // namespace
+
+Rational exact_balance_epsilon(Psioa& lhs, Scheduler& sigma_lhs, Psioa& rhs,
+                               Scheduler& sigma_rhs, const InsightFunction& f,
+                               std::size_t max_depth,
+                               const ReductionPolicy& policy,
+                               ConeStats* stats) {
+  if (!policy.enabled()) {
+    return exact_balance_epsilon(lhs, sigma_lhs, rhs, sigma_rhs, f, max_depth);
+  }
+  ConeStats scratch;
+  ConeStats& cs = stats != nullptr ? *stats : scratch;
+  const ExactDisc<Perception> left =
+      reduced_fdist(lhs, sigma_lhs, f, max_depth, policy, cs);
+  const ExactDisc<Perception> right =
+      reduced_fdist(rhs, sigma_rhs, f, max_depth, policy, cs);
+  return balance_distance(left, right);
+}
+
 bool balanced(Psioa& lhs, Scheduler& sigma_lhs, Psioa& rhs,
               Scheduler& sigma_rhs, const InsightFunction& f,
               std::size_t max_depth, const Rational& eps) {

@@ -9,6 +9,7 @@
 // to already include the environment (E||A and E||B).
 
 #include "sched/cone_measure.hpp"
+#include "sched/exact_engine.hpp"
 #include "sched/sampler.hpp"
 
 namespace cdse {
@@ -17,6 +18,21 @@ namespace cdse {
 Rational exact_balance_epsilon(Psioa& lhs, Scheduler& sigma_lhs, Psioa& rhs,
                                Scheduler& sigma_rhs, const InsightFunction& f,
                                std::size_t max_depth);
+
+/// Exact epsilon through an enabled ReductionPolicy: each side is
+/// frozen, minimized to its bisimulation quotient, and enumerated over
+/// blocks -- the result is Rational-equal to the unreduced overload
+/// (quotienting preserves every signature-driven scheduler and
+/// trace-functional insight exactly; tests/quotient_test.cpp pins the
+/// equality across the whole stack zoo). Sides whose covering warm-up
+/// truncates fall back to the raw enumeration, so the overloads always
+/// agree. `stats` (optional) receives the enumeration counters summed
+/// over both sides, including quotient_states/quotient_blocks.
+Rational exact_balance_epsilon(Psioa& lhs, Scheduler& sigma_lhs, Psioa& rhs,
+                               Scheduler& sigma_rhs, const InsightFunction& f,
+                               std::size_t max_depth,
+                               const ReductionPolicy& policy,
+                               ConeStats* stats = nullptr);
 
 /// True iff sigma_lhs S^{<=eps}_{E,f} sigma_rhs, exactly.
 bool balanced(Psioa& lhs, Scheduler& sigma_lhs, Psioa& rhs,

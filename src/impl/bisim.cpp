@@ -1,13 +1,59 @@
 #include "impl/bisim.hpp"
 
+#include <algorithm>
 #include <map>
 #include <queue>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace cdse {
 
 namespace {
+
+/// A per-action exact distribution over current blocks, kept as a sorted
+/// association vector via the shared canonical merge of measure/disc.hpp
+/// so profiles compare bit-for-bit.
+using BlockDist = std::vector<std::pair<std::size_t, Rational>>;
+using Profile = std::vector<std::pair<ActionId, BlockDist>>;
+
+struct Refinement {
+  std::vector<std::size_t> block;
+  std::size_t blocks = 0;
+  std::size_t iterations = 0;
+};
+
+/// Shared refinement core: splits blocks by (current block, profile)
+/// until the block count stops growing. Refinement only ever splits
+/// (the current block id is part of the key), so an unchanged count
+/// means an unchanged partition. `profile_of(i)` reads the current
+/// partition through `rs.block`; new ids are assigned in first-
+/// encounter order over i, so a canonical input order (sorted handles)
+/// yields canonical block ids.
+template <typename ProfileFn>
+void refine_to_fixpoint(Refinement& rs, std::size_t n, ProfileFn&& profile_of) {
+  for (;;) {
+    ++rs.iterations;
+    std::map<std::pair<std::size_t, Profile>, std::size_t> next_ids;
+    std::vector<std::size_t> next(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto key = std::make_pair(rs.block[i], profile_of(i));
+      next[i] = next_ids.emplace(std::move(key), next_ids.size()).first->second;
+    }
+    const bool fixpoint = next_ids.size() == rs.blocks;
+    rs.blocks = next_ids.size();
+    rs.block = std::move(next);
+    if (fixpoint) break;
+  }
+}
+
+using SigKey = std::pair<ActionSet, std::pair<ActionSet, ActionSet>>;
+
+SigKey sig_key(const Signature& sig) {
+  return std::make_pair(sig.in, std::make_pair(sig.out, sig.internal));
+}
+
+// -- two-automaton checker --------------------------------------------------
 
 /// A state of the disjoint union: (side, local state handle).
 struct UState {
@@ -24,7 +70,8 @@ struct UState {
 struct Explored {
   std::vector<UState> states;
   std::map<UState, std::size_t> index;
-  bool exhaustive = true;
+  bool depth_capped[2] = {false, false};
+  bool state_capped[2] = {false, false};
 };
 
 Explored explore(Psioa& a, Psioa& b, std::size_t depth,
@@ -32,18 +79,21 @@ Explored explore(Psioa& a, Psioa& b, std::size_t depth,
   Explored out;
   Psioa* sides[2] = {&a, &b};
   for (int side = 0; side < 2; ++side) {
+    // The cap is per side: a blown-up B must not cut A's exploration
+    // short (the historical single-return here skipped side 1 entirely,
+    // leaving its start state unindexed).
     std::queue<std::pair<State, std::size_t>> frontier;
     const State q0 = sides[side]->start_state();
     frontier.emplace(q0, 0);
     out.index.emplace(UState{side, q0}, out.states.size());
     out.states.push_back({side, q0});
     std::size_t count = 1;
-    while (!frontier.empty()) {
+    while (!frontier.empty() && !out.state_capped[side]) {
       auto [q, d] = frontier.front();
       frontier.pop();
       if (d >= depth) {
         // Unexpanded leaves make the verdict prefix-only.
-        if (!sides[side]->enabled(q).empty()) out.exhaustive = false;
+        if (!sides[side]->enabled(q).empty()) out.depth_capped[side] = true;
         continue;
       }
       for (ActionId act_id : sides[side]->enabled(q)) {
@@ -52,12 +102,13 @@ Explored explore(Psioa& a, Psioa& b, std::size_t depth,
           if (out.index.emplace(u, out.states.size()).second) {
             out.states.push_back(u);
             if (++count > max_states) {
-              out.exhaustive = false;
-              return out;
+              out.state_capped[side] = true;
+              break;
             }
             frontier.emplace(q2, d + 1);
           }
         }
+        if (out.state_capped[side]) break;
       }
     }
   }
@@ -71,7 +122,12 @@ BisimResult probabilistic_bisimulation(Psioa& a, Psioa& b,
                                        std::size_t max_states) {
   BisimResult res;
   const Explored ex = explore(a, b, depth, max_states);
-  res.exhaustive = ex.exhaustive;
+  res.depth_capped_a = ex.depth_capped[0];
+  res.depth_capped_b = ex.depth_capped[1];
+  res.state_capped_a = ex.state_capped[0];
+  res.state_capped_b = ex.state_capped[1];
+  res.truncated_a = res.depth_capped_a || res.state_capped_a;
+  res.truncated_b = res.depth_capped_b || res.state_capped_b;
   Psioa* sides[2] = {&a, &b};
   const std::size_t n = ex.states.size();
   for (const auto& u : ex.states) {
@@ -79,20 +135,18 @@ BisimResult probabilistic_bisimulation(Psioa& a, Psioa& b,
   }
 
   // Initial partition: by full signature.
-  std::vector<std::size_t> block(n);
+  Refinement rs;
+  rs.block.resize(n);
   {
-    std::map<std::pair<ActionSet, std::pair<ActionSet, ActionSet>>,
-             std::size_t>
-        by_sig;
+    std::map<SigKey, std::size_t> by_sig;
     for (std::size_t i = 0; i < n; ++i) {
       const Signature sig =
           sides[ex.states[i].side]->signature(ex.states[i].q);
-      auto key = std::make_pair(sig.in,
-                                std::make_pair(sig.out, sig.internal));
-      auto [it, inserted] = by_sig.emplace(key, by_sig.size());
-      block[i] = it->second;
+      auto [it, inserted] = by_sig.emplace(sig_key(sig), by_sig.size());
+      (void)inserted;
+      rs.block[i] = it->second;
     }
-    res.blocks = by_sig.size();
+    rs.blocks = by_sig.size();
   }
 
   // Refinement: split blocks by the per-action distribution over blocks.
@@ -100,57 +154,137 @@ BisimResult probabilistic_bisimulation(Psioa& a, Psioa& b,
   // are lumped into a reserved "unknown" block id, which keeps the
   // verdict sound for exhaustive explorations.
   constexpr std::size_t kUnknown = ~std::size_t{0};
-  for (;;) {
-    ++res.iterations;
-    // Signature of each state under the current partition.
-    std::map<std::pair<std::size_t,
-                       std::vector<std::pair<
-                           ActionId,
-                           std::vector<std::pair<std::size_t, Rational>>>>>,
-             std::size_t>
-        next_ids;
-    std::vector<std::size_t> next_block(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      Psioa& automaton = *sides[ex.states[i].side];
-      const State q = ex.states[i].q;
-      std::vector<std::pair<
-          ActionId, std::vector<std::pair<std::size_t, Rational>>>>
-          profile;
-      for (ActionId act_id : automaton.enabled(q)) {
-        std::map<std::size_t, Rational> per_block;
-        // Keep the distribution alive across the loop: entries() returns
-        // a reference into the StateDist, and a temporary would be dead
-        // before the first iteration.
-        const StateDist eta = automaton.transition(q, act_id);
-        for (const auto& [q2, w] : eta.entries()) {
-          auto it = ex.index.find(UState{ex.states[i].side, q2});
-          const std::size_t target_block =
-              it == ex.index.end() ? kUnknown : block[it->second];
-          per_block[target_block] += w;
-        }
-        profile.emplace_back(
-            act_id, std::vector<std::pair<std::size_t, Rational>>(
-                        per_block.begin(), per_block.end()));
+  refine_to_fixpoint(rs, n, [&](std::size_t i) {
+    Psioa& automaton = *sides[ex.states[i].side];
+    const State q = ex.states[i].q;
+    Profile profile;
+    for (ActionId act_id : automaton.enabled(q)) {
+      BlockDist per_block;
+      // Keep the distribution alive across the loop: entries() returns
+      // a reference into the StateDist, and a temporary would be dead
+      // before the first iteration.
+      const StateDist eta = automaton.transition(q, act_id);
+      for (const auto& [q2, w] : eta.entries()) {
+        auto it = ex.index.find(UState{ex.states[i].side, q2});
+        const std::size_t target_block =
+            it == ex.index.end() ? kUnknown : rs.block[it->second];
+        detail::accumulate_sorted(per_block, target_block, w);
       }
-      auto key = std::make_pair(block[i], std::move(profile));
-      auto [it, inserted] = next_ids.emplace(std::move(key),
-                                             next_ids.size());
-      next_block[i] = it->second;
+      profile.emplace_back(act_id, std::move(per_block));
     }
-    if (next_ids.size() == res.blocks) {
-      block = std::move(next_block);
-      break;  // fixpoint
-    }
-    res.blocks = next_ids.size();
-    block = std::move(next_block);
-  }
+    return profile;
+  });
+  res.blocks = rs.blocks;
+  res.iterations = rs.iterations;
 
   const std::size_t start_a =
       ex.index.at(UState{0, sides[0]->start_state()});
   const std::size_t start_b =
       ex.index.at(UState{1, sides[1]->start_state()});
-  res.bisimilar = block[start_a] == block[start_b];
+  res.bisimilar = rs.block[start_a] == rs.block[start_b];
   return res;
+}
+
+// -- frozen-snapshot partitioner --------------------------------------------
+
+SnapshotPartition bisimulation_partition(const CompiledSnapshot& snapshot,
+                                         PartitionStats* stats) {
+  const auto& frozen = snapshot.frozen_states();
+
+  // Canonical state order: sorted handles. Every id assignment below is
+  // first-encounter over this order, so block ids -- and with them the
+  // quotient's handle space and row orders -- are hash-order free.
+  std::vector<State> handles;
+  handles.reserve(frozen.size());
+  for (const auto& [q, fs] : frozen) {
+    (void)fs;
+    handles.push_back(q);
+  }
+  std::sort(handles.begin(), handles.end());
+  const std::size_t n = handles.size();
+  std::unordered_map<State, std::size_t> index;
+  index.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) index.emplace(handles[i], i);
+
+  // A state is complete when its behaviour is fully frozen: signature
+  // present, a row for every signature action, every target interned.
+  // Anything else is a frontier state the warm-up horizon cut, pinned
+  // to a singleton block so partial knowledge never merges.
+  std::vector<char> complete(n, 0);
+  std::size_t frontier_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& fs = frozen.at(handles[i]);
+    bool ok = fs.sig.has_value();
+    if (ok) {
+      for (ActionId a : fs.sig->all()) {
+        auto it = fs.rows.find(a);
+        if (it == fs.rows.end()) {
+          ok = false;
+          break;
+        }
+        for (const auto& [q2, w] : it->second.dist.entries()) {
+          (void)w;
+          if (frozen.find(q2) == frozen.end()) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) break;
+      }
+    }
+    complete[i] = ok ? 1 : 0;
+    if (!ok) ++frontier_count;
+  }
+
+  // Initial partition: complete states by signature, frontier states
+  // one block each (their initial id is already unique, so refinement
+  // keeps them singletons for free).
+  Refinement rs;
+  rs.block.resize(n);
+  {
+    std::map<SigKey, std::size_t> by_sig;
+    std::size_t next_id = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (complete[i]) {
+        auto [it, inserted] =
+            by_sig.emplace(sig_key(*frozen.at(handles[i]).sig), next_id);
+        if (inserted) ++next_id;
+        rs.block[i] = it->second;
+      } else {
+        rs.block[i] = next_id++;
+      }
+    }
+    rs.blocks = next_id;
+  }
+
+  refine_to_fixpoint(rs, n, [&](std::size_t i) {
+    Profile profile;
+    if (!complete[i]) return profile;  // singleton: id alone is the key
+    const auto& fs = frozen.at(handles[i]);
+    for (ActionId a : fs.sig->all()) {
+      BlockDist per_block;
+      const StateDist& eta = fs.rows.at(a).dist;
+      for (const auto& [q2, w] : eta.entries()) {
+        detail::accumulate_sorted(per_block, rs.block[index.at(q2)], w);
+      }
+      profile.emplace_back(a, std::move(per_block));
+    }
+    return profile;
+  });
+
+  SnapshotPartition part;
+  part.blocks = rs.blocks;
+  part.block_of.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    part.block_of.emplace(handles[i], rs.block[i]);
+  }
+  if (stats != nullptr) {
+    stats->states = n;
+    stats->frontier = frontier_count;
+    stats->blocks = rs.blocks;
+    stats->iterations = rs.iterations;
+  }
+  return part;
 }
 
 }  // namespace cdse

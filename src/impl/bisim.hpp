@@ -1,5 +1,6 @@
 #pragma once
-// Probabilistic bisimulation checking (Larsen-Skou style).
+// Probabilistic bisimulation (Larsen-Skou style): checking and
+// partition-refinement minimization.
 //
 // Balance distance certifies *distributional* closeness under one
 // scheduler at a time; probabilistic bisimilarity is the stronger,
@@ -10,34 +11,80 @@
 // certifies results like "the dynamic ledger and its static spec are
 // indistinguishable" once and for all rather than per scheduler.
 //
-// Implementation: explore both reachable fragments (bounded), then run
-// partition refinement on the disjoint union -- initial blocks by
-// signature, refined by the exact (rational) distribution over blocks
-// per action -- and report whether the two start states share a block.
+// The same refinement is also the exact engine's state-space *reducer*:
+// bisimulation_partition runs partition refinement directly over a
+// frozen CompiledSnapshot's exact Rational rows (no re-exploration) and
+// returns the coarsest-bisimulation block partition, which
+// CompiledSnapshot::quotient (psioa/snapshot.hpp) collapses into a
+// minimized snapshot for cone enumeration. Because blocks share a
+// signature and per-action block distributions, every trace-functional
+// insight and every signature-driven scheduler sees the quotient and the
+// original identically -- epsilon on the quotient equals epsilon on the
+// original, exactly (tests/quotient_test.cpp pins this differentially).
+//
+// Implementation: initial blocks by signature, refined by the exact
+// (rational) distribution over blocks per action, to a fixpoint. The
+// two-automaton checker runs it on the bounded-explored disjoint union;
+// the snapshot partitioner runs it on the frozen tables, with
+// incompletely-warmed (frontier) states pinned to singleton blocks so
+// the quotient never merges a state whose rows are only partially known.
 
 #include <cstddef>
 
 #include "psioa/psioa.hpp"
+#include "psioa/snapshot.hpp"
 
 namespace cdse {
 
 struct BisimResult {
   bool bisimilar = false;
-  bool exhaustive = false;   ///< exploration hit no state/depth cap
+  // Per-side truncation diagnostics: the verdict is prefix-only for a
+  // side that hit a cap. (Historically one collapsed `exhaustive` flag;
+  // split so a capped B no longer masks a fully explored A.)
+  bool truncated_a = false;      ///< side A hit a cap (depth or states)
+  bool truncated_b = false;
+  bool depth_capped_a = false;   ///< side A had unexpanded leaves at `depth`
+  bool depth_capped_b = false;
+  bool state_capped_a = false;   ///< side A's exploration hit `max_states`
+  bool state_capped_b = false;
   std::size_t states_a = 0;
   std::size_t states_b = 0;
   std::size_t blocks = 0;
   std::size_t iterations = 0;
+
+  /// Exploration hit no cap on either side (the pre-split flag).
+  bool exhaustive() const { return !truncated_a && !truncated_b; }
 
   explicit operator bool() const { return bisimilar; }
 };
 
 /// Checks bisimilarity of the start states of `a` and `b` over the
 /// reachable fragments (up to `depth` transitions, `max_states` states
-/// per side). When the caps truncate exploration, `exhaustive` is false
-/// and the verdict is only valid for the explored prefix.
+/// per side). When the caps truncate exploration, the truncated side's
+/// flags are set and the verdict is only valid for the explored prefix.
 BisimResult probabilistic_bisimulation(Psioa& a, Psioa& b,
                                        std::size_t depth,
                                        std::size_t max_states = 100000);
+
+/// Diagnostics from partitioning one frozen snapshot.
+struct PartitionStats {
+  std::size_t states = 0;    ///< snapshot states partitioned
+  std::size_t frontier = 0;  ///< incompletely warmed states (singletons)
+  std::size_t blocks = 0;
+  std::size_t iterations = 0;
+};
+
+/// The coarsest probabilistic bisimulation over a frozen snapshot, as a
+/// block partition ready for CompiledSnapshot::quotient. A state is
+/// *complete* when its signature is frozen, every signature action has a
+/// frozen row, and every row target is in the snapshot; complete states
+/// start blocked by signature and refine by exact per-action block
+/// distributions. Frontier (incomplete) states are pinned to singleton
+/// blocks and never merge, which keeps the quotient sound for any
+/// enumeration the warm-up horizon covers. Block ids are assigned in
+/// sorted-handle first-encounter order, so the identity partition comes
+/// out as a monotone rename and the quotient is deterministic.
+SnapshotPartition bisimulation_partition(const CompiledSnapshot& snapshot,
+                                         PartitionStats* stats = nullptr);
 
 }  // namespace cdse

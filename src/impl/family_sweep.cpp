@@ -9,7 +9,7 @@ FamilySweepReport family_epsilon_sweep(
     const SchedulerFamily& sched, const InsightFunction& f,
     const std::vector<std::uint32_t>& ks, std::size_t max_depth,
     std::uint32_t exact_upto, std::size_t trials, std::uint64_t seed,
-    ThreadPool& pool) {
+    ThreadPool& pool, const ReductionPolicy& policy) {
   FamilySweepReport report;
   report.rows.resize(ks.size());
   for (std::size_t i = 0; i < ks.size(); ++i) report.rows[i].k = ks[i];
@@ -31,7 +31,8 @@ FamilySweepReport family_epsilon_sweep(
           PsioaPtr a = lhs.make(row.k);
           PsioaPtr b = rhs.make(row.k);
           SchedulerPtr s = sched.make(row.k);
-          row.exact = exact_balance_epsilon(*a, *s, *b, *s, f, max_depth);
+          row.exact =
+              exact_balance_epsilon(*a, *s, *b, *s, f, max_depth, policy);
           row.sampled = row.exact->to_double();
           row.radius = 0.0;
         }

@@ -32,12 +32,16 @@ struct FamilySweepReport {
 };
 
 /// Sweeps eps(k) = balance distance between E_k||A_k and E_k||B_k under
-/// sigma_k. `exact_upto`: indices <= this use exact enumeration.
+/// sigma_k. `exact_upto`: indices <= this use exact enumeration. With an
+/// enabled `policy` the exact cells enumerate bisimulation quotients
+/// (per-side fallback on warm-up truncation); every exact epsilon is
+/// Rational-equal to the unreduced sweep. Sampled cells ignore the
+/// policy (sampling never freezes).
 FamilySweepReport family_epsilon_sweep(
     const PsioaFamily& lhs, const PsioaFamily& rhs,
     const SchedulerFamily& sched, const InsightFunction& f,
     const std::vector<std::uint32_t>& ks, std::size_t max_depth,
     std::uint32_t exact_upto, std::size_t trials, std::uint64_t seed,
-    ThreadPool& pool);
+    ThreadPool& pool, const ReductionPolicy& policy = {});
 
 }  // namespace cdse

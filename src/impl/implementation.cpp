@@ -28,13 +28,15 @@ ImplementationReport check_implementation_parallel(
     const std::vector<LabeledPsioaFactory>& envs,
     const std::vector<LabeledSchedulerFactory>& schedulers,
     const SchedulerCorrespondence& correspond, const InsightFunction& f,
-    std::size_t max_depth, ThreadPool& pool) {
+    std::size_t max_depth, ThreadPool& pool, const ReductionPolicy& policy) {
   ImplementationReport report;
   const std::size_t cells = envs.size() * schedulers.size();
   report.rows.resize(cells);
   // Env-major cell order, matching the serial checker's row order. Each
   // cell builds its own E||A / E||B pair and scheduler instances, so no
-  // memo table is shared across workers.
+  // memo table is shared across workers. Quotient reduction (when the
+  // policy enables it) is likewise per cell: each worker minimizes its
+  // own composed instances, preserving the one-thread-per-instance rule.
   parallel_for_chunks(
       pool, cells,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
@@ -47,7 +49,7 @@ ImplementationReport check_implementation_parallel(
           const SchedulerPtr sigma = sched.make();
           const SchedulerPtr matched = correspond(sigma);
           const Rational eps = exact_balance_epsilon(
-              *lhs, *sigma, *rhs, *matched, f, max_depth);
+              *lhs, *sigma, *rhs, *matched, f, max_depth, policy);
           report.rows[idx] = {env.label, sched.label, eps};
         }
       });

@@ -82,12 +82,18 @@ struct LabeledSchedulerFactory {
 /// cell epsilons are exact rationals, not estimates). `correspond` runs
 /// on worker threads and must be thread-safe (the identity
 /// same_scheduler() and pure constructor lambdas are).
+///
+/// With an enabled `policy`, every cell's E||A and E||B are minimized to
+/// their bisimulation quotients before enumeration; cell epsilons are
+/// unchanged exactly (the serial check_implementation stays unreduced as
+/// the differential reference).
 ImplementationReport check_implementation_parallel(
     const PsioaFactory& a, const PsioaFactory& b,
     const std::vector<LabeledPsioaFactory>& envs,
     const std::vector<LabeledSchedulerFactory>& schedulers,
     const SchedulerCorrespondence& correspond, const InsightFunction& f,
-    std::size_t max_depth, ThreadPool& pool);
+    std::size_t max_depth, ThreadPool& pool,
+    const ReductionPolicy& policy = {});
 
 /// Transitivity helper (Theorem 4.16 / B.4): epsilon13 <= eps12 + eps23
 /// checked on concrete chains by the caller; this just packages the

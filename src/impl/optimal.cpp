@@ -1,8 +1,10 @@
 #include "impl/optimal.hpp"
 
 #include <deque>
+#include <optional>
 #include <unordered_map>
 
+#include "psioa/snapshot.hpp"
 #include "sched/schedulers.hpp"
 
 namespace cdse {
@@ -158,9 +160,20 @@ BestDistinguisher search_best_word(Psioa& lhs, Psioa& rhs,
                                    const std::vector<ActionId>& alphabet,
                                    std::size_t max_len,
                                    const InsightFunction& f,
-                                   std::size_t depth) {
-  ConeFrontierCache cl(lhs, f, depth);
-  ConeFrontierCache cr(rhs, f, depth);
+                                   std::size_t depth,
+                                   const ReductionPolicy& policy) {
+  // Minimize each side independently; a side whose covering warm-up
+  // truncates stays raw (the frontier extension is exact either way).
+  std::optional<ReducedSystem> red_l;
+  std::optional<ReducedSystem> red_r;
+  if (policy.enabled()) {
+    red_l = reduce_for_enumeration(lhs, depth, policy);
+    red_r = reduce_for_enumeration(rhs, depth, policy);
+  }
+  Psioa& el = red_l.has_value() ? *red_l->view : lhs;
+  Psioa& er = red_r.has_value() ? *red_r->view : rhs;
+  ConeFrontierCache cl(el, f, depth);
+  ConeFrontierCache cr(er, f, depth);
   const LexRank lex(alphabet);
   Candidate cand;
   BestDistinguisher best;
@@ -173,6 +186,14 @@ BestDistinguisher search_best_word(Psioa& lhs, Psioa& rhs,
   }
   best.stats = cl.stats();
   best.stats += cr.stats();
+  if (red_l.has_value()) {
+    best.stats.quotient_states += red_l->states;
+    best.stats.quotient_blocks += red_l->blocks;
+  }
+  if (red_r.has_value()) {
+    best.stats.quotient_states += red_r->states;
+    best.stats.quotient_blocks += red_r->blocks;
+  }
   return best;
 }
 
@@ -180,32 +201,71 @@ BestDistinguisher search_best_word_parallel(
     const PsioaFactory& make_lhs, const PsioaFactory& make_rhs,
     const std::vector<ActionId>& alphabet, std::size_t max_len,
     const InsightFunction& f, std::size_t depth, ThreadPool& pool,
-    std::size_t frontier_target) {
-  // Freeze one warmed instance per side. The full-horizon walk compiles
-  // every (state, action) row the search can touch, so worker views
-  // almost never fall through to the serialized residue.
+    std::size_t frontier_target, const ReductionPolicy& policy) {
+  // With an enabled policy, minimize each side up front: one covering
+  // freeze + quotient, after which every view (phase 1 and per worker)
+  // is a fresh QuotientPsioa over the shared minimized snapshot. A side
+  // whose warm-up truncates keeps the sampler path below.
+  std::optional<ReducedSystem> red_l;
+  std::optional<ReducedSystem> red_r;
+  if (policy.enabled()) {
+    auto li = make_lhs();
+    auto ri = make_rhs();
+    red_l = reduce_for_enumeration(*li, depth, policy);
+    red_r = reduce_for_enumeration(*ri, depth, policy);
+  }
+
+  // Freeze one warmed instance per unreduced side. The full-horizon walk
+  // compiles every (state, action) row the search can touch, so worker
+  // views almost never fall through to the serialized residue.
   WarmupPlan plan;
   plan.episodes = 0;
   plan.horizon = depth;
   auto uniform_factory = [depth]() -> SchedulerPtr {
     return std::make_shared<UniformScheduler>(depth);
   };
-  ParallelSampler left(make_lhs, uniform_factory);
-  ParallelSampler right(make_rhs, uniform_factory);
-  left.prepare(plan, depth);
-  right.prepare(plan, depth);
+  std::optional<ParallelSampler> left;
+  std::optional<ParallelSampler> right;
+  if (!red_l.has_value()) {
+    left.emplace(make_lhs, uniform_factory);
+    left->prepare(plan, depth);
+  }
+  if (!red_r.has_value()) {
+    right.emplace(make_rhs, uniform_factory);
+    right->prepare(plan, depth);
+  }
+  auto left_view = [&]() -> std::shared_ptr<MemoPsioa> {
+    if (red_l.has_value()) {
+      return std::make_shared<QuotientPsioa>(red_l->snapshot);
+    }
+    return left->worker_view();
+  };
+  auto right_view = [&]() -> std::shared_ptr<MemoPsioa> {
+    if (red_r.has_value()) {
+      return std::make_shared<QuotientPsioa>(red_r->snapshot);
+    }
+    return right->worker_view();
+  };
 
   const LexRank lex(alphabet);
   BestDistinguisher best;
   Candidate cand;
   ConeStats stats;
+  if (red_l.has_value()) {
+    stats.quotient_states += red_l->states;
+    stats.quotient_blocks += red_l->blocks;
+  }
+  if (red_r.has_value()) {
+    stats.quotient_states += red_r->states;
+    stats.quotient_blocks += red_r->blocks;
+  }
 
   // Phase 1 (calling thread): breadth-first over the word tree until
   // enough un-expanded subtrees exist to feed the pool. Expansion uses
   // the same prune-then-extend rule as the DFS, so phase-1 words plus
   // the subtree words partition exactly the legacy evaluation set.
-  auto lv = left.worker_view();
-  auto rv = right.worker_view();
+  auto lv = left_view();
+  auto rv = right_view();
   ConeFrontierCache cl(*lv, f, depth);
   ConeFrontierCache cr(*rv, f, depth);
   const std::size_t target =
@@ -247,8 +307,8 @@ BestDistinguisher search_best_word_parallel(
   parallel_for_chunks(
       pool, tasks.size(),
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-        auto lw = left.worker_view();
-        auto rw = right.worker_view();
+        auto lw = left_view();
+        auto rw = right_view();
         ConeFrontierCache wl(*lw, f, depth);
         ConeFrontierCache wr(*rw, f, depth);
         for (std::size_t i = begin; i < end; ++i) {

@@ -44,12 +44,17 @@ struct BestDistinguisher {
 /// Searches all words over `alphabet` of length <= max_len, evaluating
 /// the exact epsilon between lhs and rhs under the same word on both
 /// sides (shared vocabulary). `depth` caps the cone enumeration.
-/// Prefix-sharing serial engine.
+/// Prefix-sharing serial engine. With an enabled `policy` each side is
+/// minimized to its bisimulation quotient before the frontier caches are
+/// built (independently per side, falling back to the raw automaton when
+/// its covering warm-up truncates); word, epsilon and words_evaluated
+/// are unchanged exactly, and stats gains the quotient counters.
 BestDistinguisher search_best_word(Psioa& lhs, Psioa& rhs,
                                    const std::vector<ActionId>& alphabet,
                                    std::size_t max_len,
                                    const InsightFunction& f,
-                                   std::size_t depth);
+                                   std::size_t depth,
+                                   const ReductionPolicy& policy = {});
 
 /// The historical per-word engine: re-enumerates both cones through the
 /// recursive reference enumerator for every word. Kept as the
@@ -66,11 +71,14 @@ BestDistinguisher search_best_word_legacy(
 /// the serial prefix-sharing search over its own thin snapshot views.
 /// Per-task results merge in fixed task order under the deterministic
 /// tie-break, so word, epsilon and words_evaluated are identical to the
-/// serial engines at every worker count.
+/// serial engines at every worker count. With an enabled `policy` a
+/// reduced side skips the ParallelSampler entirely: workers get fresh
+/// QuotientPsioa views over one shared minimized snapshot (per-side
+/// fallback to the sampler path when the covering warm-up truncates).
 BestDistinguisher search_best_word_parallel(
     const PsioaFactory& make_lhs, const PsioaFactory& make_rhs,
     const std::vector<ActionId>& alphabet, std::size_t max_len,
     const InsightFunction& f, std::size_t depth, ThreadPool& pool,
-    std::size_t frontier_target = 0);
+    std::size_t frontier_target = 0, const ReductionPolicy& policy = {});
 
 }  // namespace cdse

@@ -9,6 +9,8 @@ namespace {
   (void)d.total();
   ExactDisc<int> e = ExactDisc<int>::dirac(1);
   (void)balance_distance(e, e);
+  std::vector<std::pair<int, Rational>> raw;
+  detail::accumulate_sorted(raw, 2, Rational(1, 2));
 }
 }  // namespace
 }  // namespace cdse

@@ -28,6 +28,27 @@ inline bool weight_is_zero(double w) { return w == 0.0; }
 inline bool weight_is_zero(const Rational& w) { return w.is_zero(); }
 inline double weight_one(double) { return 1.0; }
 inline Rational weight_one(const Rational&) { return Rational(1); }
+
+/// Accumulates weight w on t in a sorted association vector, preserving
+/// the canonical form (support sorted by T, no zero weights). This is
+/// the one exact-sum merge primitive: Disc::add delegates here, and the
+/// snapshot quotient builder and the bisimulation partition refiner use
+/// it directly on raw entry vectors, so "merge exact rows" means the
+/// same thing everywhere.
+template <typename T, typename W>
+void accumulate_sorted(std::vector<std::pair<T, W>>& entries, const T& t,
+                       const W& w) {
+  if (weight_is_zero(w)) return;
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), t,
+      [](const std::pair<T, W>& e, const T& key) { return e.first < key; });
+  if (it != entries.end() && it->first == t) {
+    it->second += w;
+    if (weight_is_zero(it->second)) entries.erase(it);
+  } else {
+    entries.insert(it, {t, w});
+  }
+}
 }  // namespace detail
 
 template <typename T, typename W = double>
@@ -45,18 +66,7 @@ class Disc {
   }
 
   /// Accumulates weight w on t (merging with any existing mass on t).
-  void add(const T& t, const W& w) {
-    if (detail::weight_is_zero(w)) return;
-    auto it = std::lower_bound(
-        entries_.begin(), entries_.end(), t,
-        [](const Entry& e, const T& key) { return e.first < key; });
-    if (it != entries_.end() && it->first == t) {
-      it->second += w;
-      if (detail::weight_is_zero(it->second)) entries_.erase(it);
-    } else {
-      entries_.insert(it, Entry{t, w});
-    }
-  }
+  void add(const T& t, const W& w) { detail::accumulate_sorted(entries_, t, w); }
 
   const std::vector<Entry>& entries() const { return entries_; }
   bool empty() const { return entries_.empty(); }

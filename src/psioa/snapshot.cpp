@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -29,6 +31,86 @@ const CompiledRow* CompiledSnapshot::find_row(State q, ActionId a) const {
   auto jt = it->second.rows.find(a);
   if (jt == it->second.rows.end()) return nullptr;
   return &jt->second;
+}
+
+QuotientSnapshot CompiledSnapshot::quotient(
+    const SnapshotPartition& partition) const {
+  QuotientSnapshot out;
+  out.original_states = states_.size();
+  out.blocks = partition.blocks;
+
+  // Representative per block: the smallest member handle. Bisimulation
+  // guarantees every complete member yields the same merged row, so the
+  // choice only pins which (identical) row set gets copied; taking the
+  // minimum keeps the construction deterministic regardless of the
+  // states_ hash order.
+  std::vector<State> rep(partition.blocks, State{0});
+  std::vector<char> has_rep(partition.blocks, 0);
+  for (const auto& [q, fs] : states_) {
+    (void)fs;
+    auto it = partition.block_of.find(q);
+    if (it == partition.block_of.end()) {
+      throw std::invalid_argument(
+          "CompiledSnapshot::quotient: partition misses state " +
+          std::to_string(q));
+    }
+    if (it->second >= partition.blocks) {
+      throw std::invalid_argument(
+          "CompiledSnapshot::quotient: block id out of range");
+    }
+    if (!has_rep[it->second] || q < rep[it->second]) {
+      rep[it->second] = q;
+      has_rep[it->second] = 1;
+    }
+    out.block_of.emplace(q, static_cast<State>(it->second));
+  }
+  for (std::size_t b = 0; b < partition.blocks; ++b) {
+    if (!has_rep[b]) {
+      throw std::invalid_argument("CompiledSnapshot::quotient: empty block " +
+                                  std::to_string(b));
+    }
+  }
+
+  std::unordered_map<State, FrozenState> blocks;
+  blocks.reserve(partition.blocks);
+  for (std::size_t b = 0; b < partition.blocks; ++b) {
+    const FrozenState& src = states_.at(rep[b]);
+    FrozenState fs;
+    fs.sig = src.sig;
+    for (const auto& [a, row] : src.rows) {
+      // Remap targets block-wise and merge their exact weights. The
+      // accumulation goes through StateDist::add -- the canonical
+      // sorted-merge of measure/disc.hpp -- so block handles come out
+      // sorted and the recompiled CDF is deterministic.
+      StateDist merged;
+      bool covered = true;
+      for (const auto& [q2, w] : row.dist.entries()) {
+        auto it = out.block_of.find(q2);
+        if (it == out.block_of.end()) {
+          covered = false;
+          break;
+        }
+        merged.add(it->second, w);
+      }
+      if (!covered) {
+        // Only frontier states can reach an un-interned target; their
+        // partial rows are dropped rather than merged wrong.
+        ++out.dropped_rows;
+        continue;
+      }
+      fs.rows.emplace(a, CompiledRow::compile(std::move(merged)));
+    }
+    blocks.emplace(static_cast<State>(b), std::move(fs));
+  }
+
+  auto start_it = out.block_of.find(start_);
+  if (start_it == out.block_of.end()) {
+    throw std::invalid_argument(
+        "CompiledSnapshot::quotient: start state not in the snapshot");
+  }
+  out.reduced = std::make_shared<const CompiledSnapshot>(
+      start_it->second, "quotient(" + source_ + ")", std::move(blocks));
+  return out;
 }
 
 std::shared_ptr<const CompiledSnapshot> MemoPsioa::freeze() {
@@ -157,6 +239,37 @@ Signature SnapshotPsioa::compute_signature(State q) {
 StateDist SnapshotPsioa::compute_transition(State q, ActionId a) {
   std::lock_guard<std::mutex> lock(residue_->mu);
   return residue_->warm->transition(q, a);
+}
+
+// -- quotient views ---------------------------------------------------------
+
+QuotientPsioa::QuotientPsioa(std::shared_ptr<const CompiledSnapshot> reduced)
+    : MemoPsioa(reduced->source()), snap_(std::move(reduced)) {}
+
+const Signature& QuotientPsioa::signature_ref(State q) {
+  if (const Signature* s = snap_->find_signature(q)) return *s;
+  throw std::logic_error("QuotientPsioa: no frozen signature for " +
+                         state_label(q) +
+                         "; the enumeration left the minimized horizon");
+}
+
+const CompiledRow& QuotientPsioa::compiled_row(State q, ActionId a) {
+  if (const CompiledRow* r = snap_->find_row(q, a)) return *r;
+  throw std::logic_error("QuotientPsioa: no frozen row for (" +
+                         state_label(q) + ", " +
+                         ActionTable::instance().name(a) +
+                         "); the enumeration left the minimized horizon");
+}
+
+Signature QuotientPsioa::compute_signature(State q) {
+  throw std::logic_error("QuotientPsioa: cannot compute signature of " +
+                         state_label(q) + "; quotients are frozen-only");
+}
+
+StateDist QuotientPsioa::compute_transition(State q, ActionId a) {
+  (void)a;
+  throw std::logic_error("QuotientPsioa: cannot compute transition of " +
+                         state_label(q) + "; quotients are frozen-only");
 }
 
 }  // namespace cdse

@@ -45,6 +45,20 @@
 
 namespace cdse {
 
+/// A partition of a snapshot's states into blocks. Block ids are dense
+/// in [0, blocks) and double as the State handles of the quotient
+/// snapshot, so the remap IS the handle translation. Producers (the
+/// bisimulation partitioner of impl/bisim.hpp, tests building identity
+/// partitions by hand) assign ids in sorted-original-handle
+/// first-encounter order, which keeps quotient row orders -- and with
+/// them the compiled CDFs -- deterministic.
+struct SnapshotPartition {
+  std::unordered_map<State, std::size_t> block_of;
+  std::size_t blocks = 0;
+};
+
+class QuotientSnapshot;
+
 /// Immutable post-warmup tables of one MemoPsioa instance. Constructed
 /// by MemoPsioa::freeze(); never mutated afterwards, so concurrent reads
 /// need no synchronization.
@@ -70,6 +84,22 @@ class CompiledSnapshot {
   /// Frozen compiled row for (q, a), or nullptr when not warmed.
   const CompiledRow* find_row(State q, ActionId a) const;
 
+  /// The whole frozen table, for offline passes that walk every state
+  /// (the bisimulation partitioner, the quotient builder).
+  const std::unordered_map<State, FrozenState>& frozen_states() const {
+    return states_;
+  }
+
+  /// Collapses this snapshot along `partition`: the quotient's states
+  /// are the blocks, its rows are the representative member's rows with
+  /// targets remapped block-wise and weights merged exactly (Rational
+  /// sums through the canonical sorted-merge of measure/disc.hpp). The
+  /// result is an ordinary immutable snapshot -- shareable across
+  /// workers like any frozen snapshot, just smaller. Throws
+  /// std::invalid_argument when the partition does not cover every
+  /// state, contains an out-of-range id, or has an empty block.
+  QuotientSnapshot quotient(const SnapshotPartition& partition) const;
+
   std::size_t state_count() const { return states_.size(); }
   std::size_t row_count() const { return row_count_; }
 
@@ -78,6 +108,23 @@ class CompiledSnapshot {
   std::string source_;
   std::unordered_map<State, FrozenState> states_;
   std::size_t row_count_ = 0;
+};
+
+/// A minimized snapshot plus the remap that produced it. `reduced` owns
+/// copies of the merged rows, so it stays valid after the source
+/// snapshot (and the warm instance behind it) are gone.
+class QuotientSnapshot {
+ public:
+  std::shared_ptr<const CompiledSnapshot> reduced;
+  /// Original handle -> block handle (the block id, as a State).
+  std::unordered_map<State, State> block_of;
+  std::size_t original_states = 0;
+  std::size_t blocks = 0;
+  /// Rows of frontier (incompletely warmed) states dropped because a
+  /// target was never interned into the snapshot; a covering warm-up
+  /// (horizon >= enumeration depth, no state-cap hit) leaves this 0 for
+  /// every block the enumeration can expand.
+  std::size_t dropped_rows = 0;
 };
 
 /// The mutable residue behind a snapshot: the warm instance (handle
@@ -176,6 +223,47 @@ class SnapshotPsioa final : public MemoPsioa {
   std::unordered_map<State, Signature> over_sigs_;
   std::unordered_map<RowKey, CompiledRow, RowKeyHash> over_rows_;
   SnapshotStats sstats_;
+};
+
+/// Frozen-only view over a quotient snapshot: state handles are block
+/// ids, rows are the exactly-merged block rows. Unlike SnapshotPsioa
+/// there is no residue -- blocks exist only in the quotient's handle
+/// space, so there is no warm instance that could compute a missed row.
+/// A lookup outside the frozen tables therefore throws std::logic_error:
+/// it means the enumeration left the minimized horizon, and silently
+/// recomputing would break the exactness contract. Callers guarantee
+/// coverage by quotienting a snapshot whose warm-up horizon is at least
+/// the enumeration depth (reduce_for_enumeration enforces this).
+///
+/// Views carry no mutable state beyond the base counters, but workers
+/// still get one instance each (one-thread-per-instance, as everywhere).
+class QuotientPsioa final : public MemoPsioa {
+ public:
+  explicit QuotientPsioa(std::shared_ptr<const CompiledSnapshot> reduced);
+
+  State start_state() override { return snap_->start_state(); }
+
+  const Signature& signature_ref(State q) override;
+  const CompiledRow& compiled_row(State q, ActionId a) override;
+
+  /// Blocks are synthetic: the id is the whole structural content.
+  BitString encode_state(State q) override { return BitString::from_uint(q); }
+  std::string state_label(State q) override {
+    return "block" + std::to_string(q);
+  }
+
+  /// Always compiled, like SnapshotPsioa.
+  void set_memoization(bool on) override { (void)on; }
+
+  const CompiledSnapshot& snapshot() const { return *snap_; }
+
+ protected:
+  // No fallback engine exists for a quotient; see the class comment.
+  Signature compute_signature(State q) override;
+  StateDist compute_transition(State q, ActionId a) override;
+
+ private:
+  std::shared_ptr<const CompiledSnapshot> snap_;
 };
 
 }  // namespace cdse

@@ -5,7 +5,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "impl/bisim.hpp"
 #include "psioa/memo.hpp"
+#include "sched/schedulers.hpp"
 
 namespace cdse {
 
@@ -26,6 +28,43 @@ MemoPsioa* memo_engine_of(Psioa& automaton) {
 }
 
 }  // namespace
+
+std::optional<ReducedSystem> reduce_for_enumeration(
+    Psioa& automaton, std::size_t max_depth, const ReductionPolicy& policy) {
+  if (!policy.enabled() || max_depth == 0) return std::nullopt;
+  // Warm through the automaton's own memo when it has one; otherwise a
+  // non-owning MemoView (the caller keeps ownership of `automaton` and
+  // outlives this call, which is all the view needs).
+  auto* memo = dynamic_cast<MemoPsioa*>(&automaton);
+  std::shared_ptr<MemoView> wrapper;
+  MemoPsioa* warm = memo;
+  if (memo == nullptr || !memo->memoization_enabled()) {
+    wrapper = memoize(PsioaPtr(PsioaPtr{}, &automaton));
+    warm = wrapper.get();
+  }
+  // Covering walk: horizon = max_depth freezes full rows at every state
+  // the cone can expand (depth < max_depth) and signatures at the
+  // leaves, so the quotient's frontier singletons are never entered.
+  WarmupPlan plan;
+  plan.episodes = 0;
+  plan.horizon = max_depth;
+  plan.max_states = policy.max_states;
+  UniformScheduler uniform(max_depth);
+  const std::size_t visited = warm_automaton(*warm, uniform, plan, max_depth);
+  if (visited >= plan.max_states) return std::nullopt;  // truncated: fall back
+
+  auto snap = warm->freeze();
+  PartitionStats pstats;
+  const SnapshotPartition partition = bisimulation_partition(*snap, &pstats);
+  QuotientSnapshot quotient = snap->quotient(partition);
+
+  ReducedSystem out;
+  out.snapshot = quotient.reduced;
+  out.view = std::make_shared<QuotientPsioa>(quotient.reduced);
+  out.states = snap->state_count();
+  out.blocks = quotient.blocks;
+  return out;
+}
 
 void enumerate_cone(
     Psioa& automaton, Scheduler& sched, std::size_t max_depth,
@@ -222,12 +261,27 @@ void ConeFrontierCache::evict(const std::vector<ActionId>& word) {
 // -- deterministic parallel exact f-dists ----------------------------------
 
 ParallelConeEngine::ParallelConeEngine(PsioaFactory make_automaton,
-                                       SchedulerFactory make_sched)
-    : sampler_(std::move(make_automaton), std::move(make_sched)) {}
+                                       SchedulerFactory make_sched,
+                                       ReductionPolicy policy)
+    : sampler_(std::move(make_automaton), make_sched),
+      make_sched_(std::move(make_sched)),
+      policy_(policy) {}
 
 void ParallelConeEngine::prepare(const WarmupPlan& plan,
                                  std::size_t max_depth) {
   sampler_.prepare(plan, max_depth);
+  quotient_ = QuotientSnapshot{};
+  if (!policy_.enabled()) return;
+  // Reduce only when the snapshot covers the cone: the walk must reach
+  // the enumeration depth and must not have truncated on the state cap
+  // (state_count counts every memoized state, so hitting either cap
+  // shows up as state_count >= the cap).
+  auto snap = sampler_.snapshot();
+  const std::size_t cap = std::min(plan.max_states, policy_.max_states);
+  if (plan.horizon < max_depth || snap->state_count() >= cap) return;
+  PartitionStats pstats;
+  const SnapshotPartition partition = bisimulation_partition(*snap, &pstats);
+  quotient_ = snap->quotient(partition);
 }
 
 ExactDisc<Perception> ParallelConeEngine::exact_fdist(
@@ -241,12 +295,30 @@ ExactDisc<Perception> ParallelConeEngine::exact_fdist(
           ? frontier_target
           : 4 * std::max<std::size_t>(std::size_t{1}, pool.size());
   ConeStats stats;
+  if (reduced()) {
+    stats.quotient_states = quotient_.original_states;
+    stats.quotient_blocks = quotient_.blocks;
+  }
+
+  // Views and schedulers: thin snapshot views with frozen choice rows on
+  // the raw path; QuotientPsioa views with *fresh* schedulers on the
+  // reduced path (frozen choice rows are keyed by original handles,
+  // which a block handle could alias -- fresh schedulers re-derive their
+  // rows from block signatures, which is exactly the preserved part).
+  auto make_view = [&]() -> std::shared_ptr<MemoPsioa> {
+    if (reduced()) return std::make_shared<QuotientPsioa>(quotient_.reduced);
+    return sampler_.worker_view();
+  };
+  auto make_worker_sched = [&]() -> SchedulerPtr {
+    if (reduced()) return make_sched_();
+    return sampler_.worker_scheduler();
+  };
 
   // Phase 1 (calling thread): breadth-first expansion until the frontier
   // holds enough independent subtrees to keep every worker busy. Halt
   // and leaf mass discovered on the way accumulates into `base`.
-  auto main_view = sampler_.worker_view();
-  SchedulerPtr main_sched = sampler_.worker_scheduler();
+  auto main_view = make_view();
+  SchedulerPtr main_sched = make_worker_sched();
   struct Node {
     ExecFragment frag;
     Rational prob;
@@ -298,8 +370,8 @@ ExactDisc<Perception> ParallelConeEngine::exact_fdist(
   parallel_for_chunks(
       pool, tasks.size(),
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-        auto view = sampler_.worker_view();
-        SchedulerPtr sched = sampler_.worker_scheduler();
+        auto view = make_view();
+        SchedulerPtr sched = make_worker_sched();
         ExactDisc<Perception>& out = partial[chunk];
         for (std::size_t i = begin; i < end; ++i) {
           ExecFragment path = tasks[i].frag;

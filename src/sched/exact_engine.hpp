@@ -26,18 +26,80 @@
 //       by extending its parent's frontier instead of re-enumerating the
 //       cone from the root.
 //
+//   ReductionPolicy    -- opt-in bisimulation minimization: frozen
+//       snapshots collapse to their probabilistic-bisimulation quotient
+//       (impl/bisim.hpp + CompiledSnapshot::quotient) before any cone is
+//       enumerated, so every engine above runs over blocks instead of
+//       raw states -- transparently, with epsilon preserved exactly.
+//
 // Every path is exact (Rational end to end); determinism is an algebraic
 // property of the merge, not a scheduling property of the pool.
 // ConeStats counters make the claimed work reduction observable.
 
 #include <cstddef>
 #include <map>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "sched/cone_measure.hpp"
 #include "sched/sampler.hpp"
 
 namespace cdse {
+
+/// Opt-in snapshot minimization for the exact engines: freeze the
+/// system, collapse it to its probabilistic-bisimulation quotient
+/// (impl/bisim.hpp + CompiledSnapshot::quotient), and enumerate cones
+/// over the blocks instead of the raw states. Blocks share signatures
+/// and exact per-action block distributions, so every signature-driven
+/// scheduler and trace-functional insight sees the quotient identically
+/// -- epsilon is preserved exactly, only the enumerated frame count
+/// shrinks. Off by default: the unreduced path stays the differential
+/// reference, and custom schedulers/insights that read raw state
+/// handles (rather than signatures/traces) void the contract.
+struct ReductionPolicy {
+  enum class Mode {
+    kNone,          ///< enumerate the raw state space (the reference)
+    kBisimulation,  ///< quotient frozen snapshots before enumerating
+  };
+
+  Mode mode = Mode::kNone;
+  /// Warm-up state cap for the reduction's covering walk. When the walk
+  /// truncates, reduction falls back to the unreduced path instead of
+  /// producing a quotient that cannot cover the cone.
+  std::size_t max_states = std::size_t{1} << 20;
+
+  bool enabled() const { return mode == Mode::kBisimulation; }
+
+  static ReductionPolicy none() { return {}; }
+  static ReductionPolicy bisimulation() {
+    ReductionPolicy p;
+    p.mode = Mode::kBisimulation;
+    return p;
+  }
+};
+
+/// One minimized system, ready for any exact engine: `view` is a
+/// QuotientPsioa the caller can hand to enumerate_cone /
+/// ConeFrontierCache exactly like the original automaton, and
+/// `snapshot` backs additional per-worker views for parallel fan-out.
+struct ReducedSystem {
+  std::shared_ptr<const CompiledSnapshot> snapshot;  ///< the quotient
+  std::shared_ptr<MemoPsioa> view;                   ///< QuotientPsioa over it
+  std::size_t states = 0;  ///< snapshot states before reduction
+  std::size_t blocks = 0;  ///< blocks after reduction
+};
+
+/// Warms `automaton` to a covering snapshot (horizon = max_depth, so
+/// every state the cone can expand is completely frozen), partitions it
+/// by probabilistic bisimulation, and quotients. Returns nullopt when
+/// the policy is off or the covering walk hit policy.max_states -- the
+/// caller then enumerates the original, so wiring the policy through a
+/// checker can never turn a working call into a throwing one. The
+/// automaton is warmed through its own memo when it has one (a MemoView
+/// otherwise) and must outlive nothing: the returned view holds copies.
+std::optional<ReducedSystem> reduce_for_enumeration(
+    Psioa& automaton, std::size_t max_depth, const ReductionPolicy& policy);
 
 /// Extends for_each_halted_execution's visit contract with a live
 /// in-place path: enumerates the cone of the subtree rooted at `path`
@@ -127,23 +189,38 @@ class ConeFrontierCache {
 /// enumerator at every worker count.
 class ParallelConeEngine {
  public:
-  ParallelConeEngine(PsioaFactory make_automaton, SchedulerFactory make_sched);
+  /// With an enabled `policy`, prepare() additionally minimizes the
+  /// frozen snapshot (bisimulation quotient) and exact_fdist() runs the
+  /// identical expansion/fan-out over QuotientPsioa views -- same exact
+  /// result, fewer frames. Reduction silently falls back to the raw
+  /// snapshot when the warm-up did not cover the enumeration depth
+  /// (plan.horizon < max_depth) or truncated on plan.max_states.
+  ParallelConeEngine(PsioaFactory make_automaton, SchedulerFactory make_sched,
+                     ReductionPolicy policy = {});
 
   /// Warms and freezes one instance. Use the depth you will enumerate at.
   void prepare(const WarmupPlan& plan, std::size_t max_depth);
   bool prepared() const { return sampler_.prepared(); }
+
+  /// True when prepare() produced (and exact_fdist() will use) a
+  /// minimized snapshot rather than the raw one.
+  bool reduced() const { return quotient_.reduced != nullptr; }
 
   ExactDisc<Perception> exact_fdist(const InsightFunction& f,
                                     std::size_t max_depth, ThreadPool& pool,
                                     std::size_t frontier_target = 0);
 
   /// Counters of the most recent exact_fdist (splits = subtrees fanned
-  /// out; frames/leaves/halts summed over the workers + the expansion).
+  /// out; frames/leaves/halts summed over the workers + the expansion;
+  /// quotient_states/quotient_blocks filled when reduced()).
   const ConeStats& last_stats() const { return stats_; }
 
  private:
   ParallelSampler sampler_;
+  SchedulerFactory make_sched_;
+  ReductionPolicy policy_;
   ConeStats stats_;
+  QuotientSnapshot quotient_;
 };
 
 }  // namespace cdse

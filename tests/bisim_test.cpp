@@ -21,7 +21,9 @@ TEST(Bisim, IdenticalStructureIsBisimilar) {
                           Rational(1, 3));
   const BisimResult r = probabilistic_bisimulation(*a, *b, 10);
   EXPECT_TRUE(r.bisimilar);
-  EXPECT_TRUE(r.exhaustive);
+  EXPECT_TRUE(r.exhaustive());
+  EXPECT_FALSE(r.truncated_a);
+  EXPECT_FALSE(r.truncated_b);
   EXPECT_EQ(r.states_a, 4u);
   EXPECT_EQ(r.states_b, 4u);
 }
@@ -125,7 +127,7 @@ TEST(Bisim, SingleSubchainLedgerBisimilarToStaticSpec) {
   const BisimResult r =
       probabilistic_bisimulation(*sys.dynamic, *sys.static_spec, 12);
   EXPECT_TRUE(r.bisimilar);
-  EXPECT_TRUE(r.exhaustive);
+  EXPECT_TRUE(r.exhaustive());
 }
 
 TEST(Bisim, MultiSubchainLedgerOnlyTraceEquivalent) {
@@ -157,7 +159,32 @@ TEST(Bisim, DepthCapReportsNonExhaustive) {
   const LedgerSystem sys = make_ledger_system(2, "bs_h");
   const BisimResult r =
       probabilistic_bisimulation(*sys.dynamic, *sys.static_spec, 1);
-  EXPECT_FALSE(r.exhaustive);
+  EXPECT_FALSE(r.exhaustive());
+  // Both sides are deeper than one transition, so each reports its own
+  // depth cap -- and the cap is a depth cap, not a state cap.
+  EXPECT_TRUE(r.truncated_a);
+  EXPECT_TRUE(r.truncated_b);
+  EXPECT_TRUE(r.depth_capped_a);
+  EXPECT_TRUE(r.depth_capped_b);
+  EXPECT_FALSE(r.state_capped_a);
+  EXPECT_FALSE(r.state_capped_b);
+}
+
+TEST(Bisim, StateCapIsPerSide) {
+  // A is the 4-state coin; B is the multi-subchain ledger. A state
+  // budget of exactly 4 caps B's exploration but leaves A fully
+  // explored -- the per-side flags must not smear B's truncation onto A
+  // (the collapsed pre-split flag could not tell these apart).
+  auto a = make_coin("bs_i", Rational(1, 2));
+  const LedgerSystem sys = make_ledger_system(2, "bs_i2");
+  const BisimResult r =
+      probabilistic_bisimulation(*a, *sys.dynamic, 12, /*max_states=*/4);
+  EXPECT_FALSE(r.exhaustive());
+  EXPECT_FALSE(r.truncated_a);
+  EXPECT_FALSE(r.state_capped_a);
+  EXPECT_EQ(r.states_a, 4u);
+  EXPECT_TRUE(r.truncated_b);
+  EXPECT_TRUE(r.state_capped_b);
 }
 
 }  // namespace

@@ -65,7 +65,7 @@ TEST(Broadcast, ProtocolBisimilarToSpec) {
   auto spec = make_ideal_broadcast("bc_c");
   const BisimResult r = probabilistic_bisimulation(*protocol, *spec, 12);
   EXPECT_TRUE(r.bisimilar);
-  EXPECT_TRUE(r.exhaustive);
+  EXPECT_TRUE(r.exhaustive());
 }
 
 TEST(Broadcast, SecureEmulationWithZeroEpsilon) {
