@@ -281,6 +281,46 @@ BENCHMARK(BM_SnapshotParallelFdist)
     ->Arg(8)
     ->UseRealTime();
 
+/// The same workload and frozen snapshot as BM_SnapshotParallelFdist,
+/// stepped by the batched lockstep engine (SamplingMode::kBatched):
+/// trajectory-class grouping amortizes row lookups across the chunk and
+/// alias tables make every draw O(1). The counter pair
+/// (action_draws, row_lookups) quantifies the amortization; the E20
+/// table in EXPERIMENTS.md compares this row against the serial one.
+void BM_BatchedAliasFdist(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t trials = 2000;
+  ThreadPool pool(threads);
+  TraceInsight f;
+  ParallelSampler sampler(
+      [] { return make_mac_system("e10_l", true); },
+      [] { return std::make_shared<UniformScheduler>(12, true); });
+  WarmupPlan plan;
+  plan.horizon = 12;
+  sampler.prepare(plan, 12);
+  std::uint64_t seed = 4;
+  for (auto _ : state) {
+    auto dist = sampler.sample_fdist(f, trials, seed++, 12, pool,
+                                     SamplingMode::kBatched);
+    benchmark::DoNotOptimize(dist);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * trials));
+  const BatchStats& bs = sampler.last_batch_stats();
+  state.counters["action_draws"] = static_cast<double>(bs.action_draws);
+  state.counters["row_lookups"] = static_cast<double>(bs.row_lookups);
+  state.counters["choice_lookups"] = static_cast<double>(bs.choice_lookups);
+  state.counters["distinct_execs"] =
+      static_cast<double>(bs.distinct_executions);
+  state.counters["rss_kb"] = rss_kb();
+}
+BENCHMARK(BM_BatchedAliasFdist)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
 /// A state-rich two-component ensemble for the cold warm-up rows. The
 /// MAC stack of E7 tops out around twenty composite states, which would
 /// price only the interner's fixed costs (first arena chunk, reserved

@@ -48,14 +48,16 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # the exact cone-measure engine (ParallelConeEngine subtree fan-out,
   # parallel distinguisher search, parallel sweep grids), and the
   # quotient reduction (shared minimized snapshots behind per-worker
-  # QuotientPsioa views in all of the above).
+  # QuotientPsioa views in all of the above), and the batched alias
+  # sampler (frozen alias tables read lock-free by lockstep workers).
   echo "== tsan: ThreadSanitizer build + concurrency suites =="
   cmake -B build-tsan -S . -DCDSE_SANITIZE="thread" >/dev/null
   cmake --build build-tsan -j "$JOBS" \
     --target snapshot_test thread_pool_test intern_test intern_gc_test \
-             service_soak_test exact_engine_test quotient_test
+             service_soak_test exact_engine_test quotient_test \
+             alias_test batch_sampler_test
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'Snapshot|ThreadPool|FrozenChoice|Parallel|Intern|ExactEngine|Quotient|ShardedInternGc|DynamicPcaGc|MacSessionSvc|SoakLatency|Soak'
+    -R 'Snapshot|ThreadPool|FrozenChoice|Parallel|Intern|ExactEngine|Quotient|ShardedInternGc|DynamicPcaGc|MacSessionSvc|SoakLatency|Soak|AliasFrozen|BatchSampler'
   echo "== tsan pass clean =="
   exit 0
 fi
@@ -74,6 +76,10 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
     --benchmark_min_time=0.05 --benchmark_out=BENCH_engine.json \
     --benchmark_out_format=json)
   test -s build-bench/BENCH_engine.json
+  # The E20 batched-alias rows must land in the artifact next to their
+  # serial counterparts (the before/after pair EXPERIMENTS.md tabulates).
+  grep -q BM_BatchedAliasFdist build-bench/BENCH_engine.json
+  grep -q BM_SnapshotParallelFdist build-bench/BENCH_engine.json
   # E13/E13b/E13c self-check the engine-equivalence claims (legacy vs
   # iterative vs parallel, raw vs bisimulation quotient) and emit the
   # exact-engine ablation tables, including the quotient reduction-ratio

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "psioa/psioa.hpp"
+#include "util/alias.hpp"
 
 namespace cdse {
 
@@ -49,33 +50,51 @@ class CompiledSnapshot;
 /// distribution plus a running double-CDF over its support, built once.
 /// sample() walks the CDF exactly the way the sampler historically
 /// walked to_double() partial sums, so the refactor is draw-for-draw
-/// reproducible at fixed seed.
+/// reproducible at fixed seed. The row also carries a Walker alias
+/// table over the same support, built at the same compile time and
+/// frozen (immutably shared across workers) together with the CDF: the
+/// batched sampling mode draws targets in O(1) through sample_alias,
+/// equivalent to sample() in distribution but not draw-for-draw (the
+/// two consume the RNG differently).
 struct CompiledRow {
   StateDist dist;             ///< exact eta_{(A,q,a)}, canonical form
   std::vector<State> targets; ///< dist support, in entry order
   std::vector<double> cdf;    ///< running sums of dist weights as doubles
+  AliasTable alias;           ///< O(1) draw table over the same support
 
   static CompiledRow compile(StateDist d) {
     CompiledRow row;
     row.targets.reserve(d.entries().size());
     row.cdf.reserve(d.entries().size());
+    std::vector<double> weights;
+    weights.reserve(d.entries().size());
     double acc = 0.0;
     for (const auto& [q2, w] : d.entries()) {
-      acc += w.to_double();
+      const double wd = w.to_double();
+      acc += wd;
       row.targets.push_back(q2);
       row.cdf.push_back(acc);
+      weights.push_back(wd);
     }
+    row.alias = AliasTable::build(weights);
     row.dist = std::move(d);
     return row;
   }
 
   /// Draws a target given u ~ Uniform[0,1); the final target absorbs
-  /// any floating-point round-off shortfall at u ~ 1.
+  /// any floating-point round-off shortfall at u ~ 1 (the CDF of an
+  /// exact probability row can round short of 1.0 -- e.g. repeated 1/10
+  /// weights -- so falling off the scan must clamp, never wrap).
   State sample(double u) const {
     for (std::size_t i = 0; i < cdf.size(); ++i) {
       if (u < cdf[i]) return targets[i];
     }
     return targets.back();
+  }
+
+  /// O(1) draw from (i, u) with i ~ Uniform{0..support-1}, u ~ U[0,1).
+  State sample_alias(std::size_t i, double u) const {
+    return targets[alias.pick(i, u)];
   }
 };
 

@@ -171,12 +171,17 @@ CompiledRow compile_row_by_encoding(StateDist d, Psioa& encoder) {
   CompiledRow row;
   row.targets.reserve(entries.size());
   row.cdf.reserve(entries.size());
+  std::vector<double> weights;
+  weights.reserve(entries.size());
   double acc = 0.0;
   for (std::size_t i : order) {
-    acc += entries[i].second.to_double();
+    const double w = entries[i].second.to_double();
+    acc += w;
     row.targets.push_back(entries[i].first);
     row.cdf.push_back(acc);
+    weights.push_back(w);
   }
+  row.alias = AliasTable::build(weights);
   row.dist = std::move(d);
   return row;
 }

@@ -1,0 +1,117 @@
+#pragma once
+// Batched lockstep execution sampling over compiled alias rows.
+//
+// The serial sampler (sched/sampler.hpp) walks one execution at a time:
+// every step pays a scheduler row lookup, a linear CDF scan, a compiled
+// transition row lookup (two hash probes on the snapshot path), a second
+// CDF scan and a fragment append -- per execution. The paper's
+// epsilon-emulation checks want millions of Monte-Carlo executions per
+// f-dist, and those executions are all walks of the *same* frozen
+// snapshot, so the batched mode steps a whole block of executions in
+// lockstep instead:
+//
+//   - Live executions are kept as a structure-of-arrays block of
+//     *trajectory classes*: executions sharing their entire history so
+//     far collapse to one (state, path-node, count) entry. Grouping by
+//     (state, pending action) is maximal by construction -- a class IS
+//     such a group -- so each scheduler/transition row is fetched once
+//     per class per round instead of once per execution per step.
+//   - Histories live in a shared path tree (parent-pointer arena), so
+//     extending a class by one step appends one node; nothing is copied
+//     until a terminal class is expanded for the insight function, and
+//     the insight function itself runs once per *distinct* execution,
+//     weighted by its class count.
+//   - Draws go through the rows' Walker alias tables (util/alias.hpp):
+//     O(1) per draw regardless of support width.
+//
+// Equivalence contract: batched results equal serial results in
+// *distribution*, not draw-for-draw -- classes consume the RNG in
+// class-sorted order and alias picks spend two uniforms where a CDF scan
+// spends one. The statistical harness (tests/stat_util.hpp) pins the
+// equivalence with chi-square differential tests; the serial path
+// remains the reference (SamplingMode::kSerial, the default).
+//
+// Scheduler contract: rounds query choice rows through synthetic
+// fragments that carry the correct last state and length but dummy
+// interior steps, so batched mode supports every scheduler whose choice
+// is a function of (lstate, |alpha|) -- uniform, priority, bounded,
+// sequence, task. History-reading schedulers (oblivious-fn) would see
+// garbage words and are not supported in batched mode.
+//
+// Determinism: one RNG stream, classes sorted by (state, node id) each
+// round, actions drawn in row order, targets in row order -- the whole
+// schedule is a pure function of (seed, trials, max_depth), so batched
+// runs are reproducible even though they are not draw-for-draw aligned
+// with the serial walk.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "psioa/memo.hpp"
+#include "sched/insight.hpp"
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace cdse {
+
+/// Counters of one batched run, for the E20 bench and the tests: how
+/// much row-lookup amortization the class grouping actually bought.
+struct BatchStats {
+  std::size_t rounds = 0;        ///< lockstep rounds executed
+  std::size_t classes_peak = 0;  ///< live trajectory classes, maximum
+  std::size_t class_steps = 0;   ///< class-rounds (amortized row work)
+  std::size_t choice_lookups = 0;  ///< scheduler rows fetched
+  std::size_t row_lookups = 0;     ///< transition rows fetched
+  std::size_t action_draws = 0;    ///< alias draws for actions
+  std::size_t target_draws = 0;    ///< alias draws for targets
+  std::size_t distinct_executions = 0;  ///< terminal classes (f.apply calls)
+
+  BatchStats& operator+=(const BatchStats& o) {
+    rounds += o.rounds;
+    classes_peak = classes_peak > o.classes_peak ? classes_peak
+                                                 : o.classes_peak;
+    class_steps += o.class_steps;
+    choice_lookups += o.choice_lookups;
+    row_lookups += o.row_lookups;
+    action_draws += o.action_draws;
+    target_draws += o.target_draws;
+    distinct_executions += o.distinct_executions;
+    return *this;
+  }
+};
+
+/// Samples `n` executions in lockstep and returns them materialized
+/// (classes expanded back to one fragment per execution, in a
+/// deterministic class order). The batched twin of calling
+/// sample_execution n times; used by the differential tests.
+std::vector<ExecFragment> sample_executions(Psioa& automaton,
+                                            Scheduler& sched, Xoshiro256& rng,
+                                            std::size_t n,
+                                            std::size_t max_depth,
+                                            BatchStats* stats = nullptr);
+
+/// Batched empirical f-dist from `trials` lockstep executions, as raw
+/// per-perception counts (unnormalized; callers merging chunks divide by
+/// the global trial count). The insight function is applied once per
+/// distinct execution.
+Disc<Perception, double> batched_sample_counts(Psioa& automaton,
+                                               Scheduler& sched,
+                                               const InsightFunction& f,
+                                               std::size_t trials,
+                                               Xoshiro256& rng,
+                                               std::size_t max_depth,
+                                               BatchStats* stats = nullptr);
+
+/// Normalized batched f-dist estimate: the batched counterpart of
+/// sample_fdist (sched/sampler.hpp), distribution-equivalent to it at
+/// the same trial count but not draw-for-draw aligned.
+Disc<Perception, double> sample_fdist_batched(Psioa& automaton,
+                                              Scheduler& sched,
+                                              const InsightFunction& f,
+                                              std::size_t trials,
+                                              std::uint64_t seed,
+                                              std::size_t max_depth,
+                                              BatchStats* stats = nullptr);
+
+}  // namespace cdse

@@ -150,7 +150,7 @@ Disc<Perception, double> guarded_parallel_sample_fdist(
 Disc<Perception, double> parallel_sample_fdist(
     const PsioaFactory& make_automaton, const SchedulerFactory& make_sched,
     const InsightFunction& f, std::size_t trials, std::uint64_t seed,
-    std::size_t max_depth, ThreadPool& pool) {
+    std::size_t max_depth, ThreadPool& pool, SamplingMode mode) {
   const std::size_t chunks = pool.size();
   std::vector<Disc<Perception, double>> partial(chunks);
   parallel_for_chunks(
@@ -160,6 +160,11 @@ Disc<Perception, double> parallel_sample_fdist(
         SchedulerPtr sched = make_sched();
         Xoshiro256 rng = Xoshiro256::for_stream(seed, chunk);
         Disc<Perception, double>& out = partial[chunk];
+        if (mode == SamplingMode::kBatched) {
+          out = batched_sample_counts(*automaton, *sched, f, end - begin,
+                                      rng, max_depth);
+          return;
+        }
         for (std::size_t i = begin; i < end; ++i) {
           const ExecFragment alpha =
               sample_execution(*automaton, *sched, rng, max_depth);
@@ -265,16 +270,19 @@ SchedulerPtr ParallelSampler::worker_scheduler() const {
 
 Disc<Perception, double> ParallelSampler::sample_fdist(
     const InsightFunction& f, std::size_t trials, std::uint64_t seed,
-    std::size_t max_depth, ThreadPool& pool) {
+    std::size_t max_depth, ThreadPool& pool, SamplingMode mode) {
   if (!prepared()) {
     throw std::logic_error("ParallelSampler: prepare() before sample_fdist()");
   }
-  // Mirrors parallel_sample_fdist chunk for chunk and draw for draw:
-  // same static partition, same per-chunk streams, same merge order. The
-  // only difference is what backs the automaton each worker drives.
+  // Mirrors parallel_sample_fdist chunk for chunk and (in kSerial mode)
+  // draw for draw: same static partition, same per-chunk streams, same
+  // merge order. The only difference is what backs the automaton each
+  // worker drives. kBatched chunks run the lockstep trajectory-class
+  // engine over the same frozen snapshot instead.
   const std::size_t chunks = pool.size();
   std::vector<Disc<Perception, double>> partial(chunks);
   std::vector<SnapshotStats> stats(chunks);
+  std::vector<BatchStats> bstats(chunks);
   parallel_for_chunks(
       pool, trials,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
@@ -282,15 +290,22 @@ Disc<Perception, double> ParallelSampler::sample_fdist(
         SchedulerPtr sched = worker_scheduler();
         Xoshiro256 rng = Xoshiro256::for_stream(seed, chunk);
         Disc<Perception, double>& out = partial[chunk];
-        for (std::size_t i = begin; i < end; ++i) {
-          const ExecFragment alpha =
-              sample_execution(*view, *sched, rng, max_depth);
-          out.add(f.apply(*view, alpha), 1.0);
+        if (mode == SamplingMode::kBatched) {
+          out = batched_sample_counts(*view, *sched, f, end - begin, rng,
+                                      max_depth, &bstats[chunk]);
+        } else {
+          for (std::size_t i = begin; i < end; ++i) {
+            const ExecFragment alpha =
+                sample_execution(*view, *sched, rng, max_depth);
+            out.add(f.apply(*view, alpha), 1.0);
+          }
         }
         stats[chunk] = view->snapshot_stats();
       });
   last_stats_ = SnapshotStats{};
   for (const auto& s : stats) last_stats_ += s;
+  last_batch_stats_ = BatchStats{};
+  for (const auto& b : bstats) last_batch_stats_ += b;
   Disc<Perception, double> merged;
   for (const auto& p : partial) {
     for (const auto& [perc, count] : p.entries()) {

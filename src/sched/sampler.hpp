@@ -26,12 +26,26 @@
 #include <string>
 
 #include "psioa/snapshot.hpp"
+#include "sched/batch_sampler.hpp"
 #include "sched/insight.hpp"
 #include "sched/scheduler.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cdse {
+
+/// Which stepping engine the parallel estimators drive per chunk.
+///   kSerial  -- one execution at a time, the historical draw-for-draw
+///               reproducible reference path.
+///   kBatched -- lockstep trajectory-class batches over the rows' alias
+///               tables (sched/batch_sampler.hpp): O(1) draws, row
+///               lookups amortized across the chunk's executions.
+///               Distribution-equivalent to kSerial at the same seed and
+///               trial count, but not draw-for-draw aligned; the
+///               chi-square harness (tests/stat_util.hpp) pins the
+///               equivalence. Requires schedulers whose choice is a
+///               function of (lstate, |alpha|).
+enum class SamplingMode { kSerial, kBatched };
 
 /// Samples one execution under the scheduler, halting when the scheduler
 /// halts or at max_depth.
@@ -51,7 +65,8 @@ Disc<Perception, double> sample_fdist(Psioa& automaton, Scheduler& sched,
 Disc<Perception, double> parallel_sample_fdist(
     const PsioaFactory& make_automaton, const SchedulerFactory& make_sched,
     const InsightFunction& f, std::size_t trials, std::uint64_t seed,
-    std::size_t max_depth, ThreadPool& pool);
+    std::size_t max_depth, ThreadPool& pool,
+    SamplingMode mode = SamplingMode::kSerial);
 
 /// Failure policy for the guarded sampler.
 struct SampleGuard {
@@ -145,7 +160,9 @@ class ParallelSampler {
                                         std::size_t trials,
                                         std::uint64_t seed,
                                         std::size_t max_depth,
-                                        ThreadPool& pool);
+                                        ThreadPool& pool,
+                                        SamplingMode mode =
+                                            SamplingMode::kSerial);
 
   /// A fresh thin worker view / scheduler, as handed to each chunk.
   /// Exposed for the differential tests and for callers integrating the
@@ -160,6 +177,10 @@ class ParallelSampler {
   /// Counters summed over the workers of the most recent sample_fdist.
   const SnapshotStats& last_stats() const { return last_stats_; }
 
+  /// Batch counters summed over the workers of the most recent
+  /// sample_fdist in kBatched mode (zeroed by kSerial runs).
+  const BatchStats& last_batch_stats() const { return last_batch_stats_; }
+
   /// Interning counters of the warm instance (the handle authority all
   /// views share). Zero-valued before prepare(). Read by the E10 bench
   /// to attribute warm-up memory to the handle store.
@@ -173,6 +194,7 @@ class ParallelSampler {
   std::shared_ptr<SnapshotResidue> residue_;
   std::shared_ptr<const FrozenChoiceTable> choice_rows_;
   SnapshotStats last_stats_;
+  BatchStats last_batch_stats_;
 };
 
 }  // namespace cdse

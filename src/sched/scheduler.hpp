@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "psioa/execution.hpp"
+#include "util/alias.hpp"
 
 namespace cdse {
 
@@ -33,9 +34,24 @@ using ActionChoice = ExactDisc<ActionId>;
 /// sample() walks partial sums exactly the way the sampler historically
 /// accumulated to_double() weights, so draws are reproducible across the
 /// exact and compiled representations.
+///
+/// `exhaustive` records whether the *exact* total mass was 1: a full
+/// choice whose double CDF rounds short (e.g. ten 1/10 weights
+/// accumulate to 0.9999999999999999) must clamp a u landing in the
+/// rounding gap to the last action instead of falling through to a halt
+/// the exact semantics assigns probability zero.
+///
+/// The row also carries a Walker alias table, compiled (and frozen into
+/// FrozenChoiceTable, shared immutably across workers) together with the
+/// CDF: slots 0..actions-1 are the actions, and a non-exhaustive row has
+/// one extra halt slot carrying the exact residual mass. The batched
+/// sampling mode draws through sample_alias in O(1) -- equivalent to
+/// sample() in distribution, not draw-for-draw.
 struct ChoiceRow {
   std::vector<ActionId> actions;
   std::vector<double> cdf;
+  AliasTable alias;  ///< slots: actions, then one halt slot if !exhaustive
+  bool exhaustive = false;  ///< exact total mass == 1 (no halt residual)
 
   bool empty() const { return actions.empty(); }
 
@@ -43,22 +59,42 @@ struct ChoiceRow {
     ChoiceRow row;
     row.actions.reserve(c.entries().size());
     row.cdf.reserve(c.entries().size());
+    std::vector<double> weights;
+    weights.reserve(c.entries().size() + 1);
     double acc = 0.0;
     for (const auto& [a, w] : c.entries()) {
       acc += w.to_double();
       row.actions.push_back(a);
       row.cdf.push_back(acc);
+      weights.push_back(w.to_double());
     }
+    if (row.actions.empty()) return row;  // pure halt: no table needed
+    // An overweight row (total > 1, caught elsewhere by the exact
+    // enumerator's validation) degrades to exhaustive rather than
+    // feeding a negative halt weight to the alias builder.
+    const Rational residual = Rational(1) - c.total();
+    row.exhaustive = residual <= Rational(0);
+    if (!row.exhaustive) weights.push_back(residual.to_double());
+    row.alias = AliasTable::build(weights);
     return row;
   }
 
   /// Draws an action given u ~ Uniform[0,1); kInvalidAction = halt on
-  /// the residual mass.
+  /// the residual mass. A u overshooting a rounding-short CDF of an
+  /// exhaustive row clamps to the last action (see `exhaustive`).
   ActionId sample(double u) const {
     for (std::size_t i = 0; i < actions.size(); ++i) {
       if (u < cdf[i]) return actions[i];
     }
+    if (exhaustive && !actions.empty()) return actions.back();
     return kInvalidAction;
+  }
+
+  /// O(1) draw from (i, u) with i ~ Uniform{0..alias.size()-1},
+  /// u ~ U[0,1); the halt slot (when present) maps to kInvalidAction.
+  ActionId sample_alias(std::size_t i, double u) const {
+    const std::size_t slot = alias.pick(i, u);
+    return slot < actions.size() ? actions[slot] : kInvalidAction;
   }
 };
 

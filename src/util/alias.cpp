@@ -1,0 +1,64 @@
+#include "util/alias.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cdse {
+
+AliasTable AliasTable::build(const std::vector<double>& weights) {
+  AliasTable t;
+  const std::size_t n = weights.size();
+  t.accept.assign(n, 1.0);
+  t.alias.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.alias[i] = static_cast<std::uint32_t>(i);
+  }
+  if (n == 0) return t;
+
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      throw std::invalid_argument(
+          "AliasTable::build: weights must be finite and non-negative");
+    }
+    total += w;
+  }
+  if (!(total > 0.0)) {
+    throw std::invalid_argument(
+        "AliasTable::build: total weight must be positive");
+  }
+
+  // Vose's pairing over weights scaled to mean 1. The worklists are
+  // plain index-ordered stacks, so the construction -- and with it every
+  // recompiled copy of the same row -- is deterministic.
+  std::vector<double> scaled(n);
+  const double scale = static_cast<double>(n) / total;
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * scale;
+    if (scaled[i] < 1.0) {
+      small.push_back(static_cast<std::uint32_t>(i));
+    } else {
+      large.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    t.accept[s] = scaled[s] < 0.0 ? 0.0 : scaled[s];
+    t.alias[s] = l;
+    // The donor keeps whatever mass the short slot did not need.
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers on either list are pure rounding residue at scaled ~ 1;
+  // their threshold stays 1.0 (never redirect), which is exact for them.
+  return t;
+}
+
+}  // namespace cdse

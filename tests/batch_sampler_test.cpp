@@ -1,0 +1,259 @@
+// Batched lockstep sampler (sched/batch_sampler.hpp) differential
+// suite: the acceptance gate for SamplingMode::kBatched.
+//
+//   validity      -- sample_executions returns genuine depth-bounded
+//                    executions of the automaton.
+//   determinism   -- batched runs are reproducible at fixed seed and
+//                    pool size; stats confirm the row-lookup
+//                    amortization actually happened.
+//   vs exact      -- batched f-dists pass the chi-square GOF harness
+//                    against the exact enumerator.
+//   vs serial     -- the headline differential: serial and batched
+//                    f-dists over the same stack zoo as the exact-engine
+//                    suite (composed, hidden+renamed, MAC, ledger,
+//                    faulty channel) agree under the two-sample
+//                    chi-square at every worker count in {1, 2, 4, 8}.
+//
+// Suite names all start with "BatchSampler" so scripts/check.sh --tsan
+// can select the concurrency-bearing cases by regex.
+
+#include "sched/batch_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "crypto/pairs.hpp"
+#include "fault/faulty.hpp"
+#include "protocols/channel.hpp"
+#include "protocols/coinflip.hpp"
+#include "protocols/environment.hpp"
+#include "protocols/ledger.hpp"
+#include "psioa/compose.hpp"
+#include "psioa/hide.hpp"
+#include "psioa/random.hpp"
+#include "psioa/rename.hpp"
+#include "sched/cone_measure.hpp"
+#include "sched/sampler.hpp"
+#include "sched/schedulers.hpp"
+#include "secure/adversary.hpp"
+#include "stat_util.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cdse {
+namespace {
+
+constexpr std::size_t kDepth = 6;
+constexpr std::size_t kTrials = 20000;
+const std::size_t kWorkerCounts[] = {1, 2, 4, 8};
+
+// ------------------------------------------------------------- stack zoo
+// Same shapes as the exact-engine differential suite, under fresh "bs_"
+// tags so the suites' action vocabularies stay disjoint.
+
+PsioaFactory composed_factory(int seed, const std::string& tag) {
+  return [seed, tag]() -> PsioaPtr {
+    Xoshiro256 rng(seed * 7919 + 13);
+    RandomPsioaConfig ca;
+    ca.n_states = 3;
+    ca.n_outputs = 2;
+    ca.n_internals = 1;
+    RandomPsioaConfig cb = ca;
+    cb.input_candidates = acts({"iout0_" + tag + "a", "iout1_" + tag + "a"});
+    auto a = make_random_psioa(tag + "_A", tag + "a", ca, rng);
+    auto b = make_random_psioa(tag + "_B", tag + "b", cb, rng);
+    return compose(PsioaPtr(a), PsioaPtr(b));
+  };
+}
+
+PsioaFactory hidden_renamed_factory(int seed, const std::string& tag) {
+  const PsioaFactory inner = composed_factory(seed, tag);
+  return [inner, tag]() -> PsioaPtr {
+    const ActionBijection g =
+        ActionBijection::with_suffix(acts({"iout0_" + tag + "a"}), "#in");
+    const ActionSet hidden = acts({"iout1_" + tag + "a"});
+    return rename_actions(hide_actions(inner(), hidden), g);
+  };
+}
+
+PsioaFactory mac_factory(const std::string& tag) {
+  return [tag]() -> PsioaPtr {
+    const RealIdealPair mac = make_otmac_pair(4, tag);
+    auto env = make_probe_env_matching(
+        "env_" + tag, {act("auth_" + tag)}, acts({"rejected_" + tag}),
+        act("forged_" + tag), act("acc_" + tag));
+    auto adv = make_sink_adversary("adv_" + tag, {}, acts({"forge_" + tag}));
+    return compose(env, compose(mac.real.ptr(), adv));
+  };
+}
+
+PsioaFactory ledger_factory(const std::string& tag) {
+  return [tag]() -> PsioaPtr { return make_ledger_system(2, tag).dynamic; };
+}
+
+PsioaFactory faulty_channel_factory(const std::string& tag) {
+  return [tag]() -> PsioaPtr {
+    FaultPlan plan;
+    plan.drop = Rational(1, 8);
+    plan.duplicate = Rational(1, 8);
+    plan.delay = Rational(1, 4);
+    return make_faulty_channel(tag, plan);
+  };
+}
+
+SchedulerFactory uniform_factory(std::size_t depth) {
+  return [depth]() -> SchedulerPtr {
+    return std::make_shared<UniformScheduler>(depth);
+  };
+}
+
+struct Stack {
+  const char* label;
+  PsioaFactory make;
+};
+
+std::vector<Stack> stack_zoo() {
+  return {
+      {"composed", composed_factory(3, "bs_c")},
+      {"hidden_renamed", hidden_renamed_factory(5, "bs_h")},
+      {"mac", mac_factory("bs_m")},
+      {"ledger", ledger_factory("bs_l")},
+      {"faulty_channel", faulty_channel_factory("bs_f")},
+  };
+}
+
+// --------------------------------------------------------------- validity
+
+TEST(BatchSamplerUnit, SampledExecutionsAreValidAndDepthBounded) {
+  auto coin = make_coin("bs_val", Rational(1, 3));
+  UniformScheduler sched(kDepth);
+  Xoshiro256 rng(7);
+  BatchStats stats;
+  const auto execs =
+      sample_executions(*coin, sched, rng, 500, kDepth, &stats);
+  ASSERT_EQ(execs.size(), 500u);
+  for (const ExecFragment& alpha : execs) {
+    EXPECT_LE(alpha.length(), kDepth);
+    EXPECT_EQ(alpha.fstate(), coin->start_state());
+    EXPECT_TRUE(is_execution(*coin, alpha));
+  }
+  EXPECT_GT(stats.rounds, 0u);
+  EXPECT_EQ(stats.action_draws >= 500u, true);
+}
+
+TEST(BatchSamplerUnit, ZeroTrialsIsEmpty) {
+  auto coin = make_coin("bs_zero", Rational(1, 2));
+  UniformScheduler sched(kDepth);
+  Xoshiro256 rng(7);
+  EXPECT_TRUE(sample_executions(*coin, sched, rng, 0, kDepth).empty());
+}
+
+TEST(BatchSamplerUnit, ClassGroupingAmortizesRowLookups) {
+  // The whole point of the batch: row fetches scale with *classes*, not
+  // with executions. 20000 coin trials over a handful of states must
+  // need orders of magnitude fewer lookups than draws.
+  auto coin = make_coin("bs_amort", Rational(1, 3));
+  UniformScheduler sched(kDepth);
+  Xoshiro256 rng(11);
+  BatchStats stats;
+  (void)sample_executions(*coin, sched, rng, kTrials, kDepth, &stats);
+  EXPECT_GE(stats.action_draws, kTrials);
+  EXPECT_LT(stats.choice_lookups * 100, stats.action_draws);
+  EXPECT_LT(stats.row_lookups * 100, stats.target_draws + 1);
+  EXPECT_GT(stats.distinct_executions, 0u);
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST(BatchSamplerUnit, BatchedFdistIsSeedDeterministic) {
+  auto coin = make_coin("bs_det", Rational(1, 4));
+  UniformScheduler s1(kDepth);
+  UniformScheduler s2(kDepth);
+  TraceInsight f;
+  const auto d1 = sample_fdist_batched(*coin, s1, f, kTrials, 42, kDepth);
+  const auto d2 = sample_fdist_batched(*coin, s2, f, kTrials, 42, kDepth);
+  ASSERT_EQ(d1.entries().size(), d2.entries().size());
+  for (std::size_t i = 0; i < d1.entries().size(); ++i) {
+    EXPECT_EQ(d1.entries()[i].first, d2.entries()[i].first);
+    EXPECT_DOUBLE_EQ(d1.entries()[i].second, d2.entries()[i].second);
+  }
+}
+
+TEST(BatchSampler, ParallelBatchedIsDeterministicAtFixedPoolSize) {
+  ThreadPool pool(4);
+  TraceInsight f;
+  auto make_aut = mac_factory("bs_pdet");
+  auto make_sched = uniform_factory(kDepth);
+  const auto d1 = parallel_sample_fdist(make_aut, make_sched, f, kTrials, 9,
+                                        kDepth, pool, SamplingMode::kBatched);
+  const auto d2 = parallel_sample_fdist(make_aut, make_sched, f, kTrials, 9,
+                                        kDepth, pool, SamplingMode::kBatched);
+  ASSERT_EQ(d1.entries().size(), d2.entries().size());
+  for (std::size_t i = 0; i < d1.entries().size(); ++i) {
+    EXPECT_EQ(d1.entries()[i].first, d2.entries()[i].first);
+    EXPECT_DOUBLE_EQ(d1.entries()[i].second, d2.entries()[i].second);
+  }
+}
+
+// -------------------------------------------------------------- vs exact
+
+TEST(BatchSamplerUnit, BatchedFdistMatchesExactEnumerator) {
+  auto coin = make_coin("bs_gof", Rational(1, 4));
+  UniformScheduler sched(3);
+  TraceInsight f;
+  const auto exact = exact_fdist(*coin, sched, f, 10);
+  UniformScheduler sched2(3);
+  const auto batched =
+      sample_fdist_batched(*coin, sched2, f, 40000, 17, 10);
+  EXPECT_TRUE(testing::fdist_matches_exact(exact, batched, 40000));
+}
+
+// ------------------------------------------------------------- vs serial
+
+TEST(BatchSampler, BatchedMatchesSerialAcrossZooAndWorkerCounts) {
+  TraceInsight f;
+  for (const Stack& stack : stack_zoo()) {
+    auto make_sched = uniform_factory(kDepth);
+    for (std::size_t workers : kWorkerCounts) {
+      ThreadPool pool(workers);
+      const auto serial =
+          parallel_sample_fdist(stack.make, make_sched, f, kTrials, 101,
+                                kDepth, pool, SamplingMode::kSerial);
+      const auto batched =
+          parallel_sample_fdist(stack.make, make_sched, f, kTrials, 202,
+                                kDepth, pool, SamplingMode::kBatched);
+      EXPECT_TRUE(testing::fdists_match(serial, kTrials, batched, kTrials))
+          << stack.label << " at " << workers << " workers";
+    }
+  }
+}
+
+TEST(BatchSampler, SnapshotBatchedMatchesSerialOverFrozenTables) {
+  // The frozen-snapshot path (the one the E20 bench measures): one
+  // prepared sampler serving both modes over the same shared tables.
+  TraceInsight f;
+  for (const Stack& stack : stack_zoo()) {
+    ParallelSampler sampler(stack.make, uniform_factory(kDepth));
+    WarmupPlan plan;
+    plan.horizon = kDepth;
+    sampler.prepare(plan, kDepth);
+    for (std::size_t workers : kWorkerCounts) {
+      ThreadPool pool(workers);
+      const auto serial = sampler.sample_fdist(f, kTrials, 303, kDepth, pool,
+                                               SamplingMode::kSerial);
+      const auto batched = sampler.sample_fdist(f, kTrials, 404, kDepth,
+                                                pool, SamplingMode::kBatched);
+      EXPECT_TRUE(testing::fdists_match(serial, kTrials, batched, kTrials))
+          << stack.label << " at " << workers << " workers";
+      const BatchStats& bs = sampler.last_batch_stats();
+      EXPECT_GE(bs.action_draws, kTrials);
+      EXPECT_GT(bs.distinct_executions, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cdse

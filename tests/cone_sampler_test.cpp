@@ -7,6 +7,7 @@
 #include "sched/cone_measure.hpp"
 #include "sched/sampler.hpp"
 #include "sched/schedulers.hpp"
+#include "stat_util.hpp"
 #include "test_util.hpp"
 
 namespace cdse {
@@ -94,7 +95,7 @@ TEST(Sampler, SerialEstimateConvergesToExact) {
   TraceInsight f;
   const auto exact = exact_fdist(*coin, sched, f, 10);
   const auto sampled = sample_fdist(*coin, sched, f, 40000, 17, 10);
-  EXPECT_LT(balance_distance(to_double(exact), sampled), 0.02);
+  EXPECT_TRUE(testing::fdist_matches_exact(exact, sampled, 40000));
 }
 
 TEST(Sampler, ParallelEstimateMatchesExactAndIsSeedDeterministic) {
@@ -118,7 +119,7 @@ TEST(Sampler, ParallelEstimateMatchesExactAndIsSeedDeterministic) {
   auto coin = make_aut();
   UniformScheduler sched(3);
   const auto exact = exact_fdist(*coin, sched, f, 10);
-  EXPECT_LT(balance_distance(to_double(exact), s1), 0.02);
+  EXPECT_TRUE(testing::fdist_matches_exact(exact, s1, 40000));
 }
 
 TEST(Sampler, BernoulliFrequenciesMatchParameter) {

@@ -1,0 +1,265 @@
+#pragma once
+// Chi-square helpers for the statistical differential tests: sampled
+// f-dist vs exact f-dist (goodness of fit) and sampled vs sampled (two
+// samples of the same unknown distribution, e.g. serial vs batched
+// engines at independent seeds).
+//
+// Ad-hoc sampled comparisons (EXPECT_LT(balance_distance(...), 0.02))
+// conflate two error sources: Monte-Carlo noise and genuine engine bugs.
+// A chi-square test separates them: the statistic's null distribution is
+// known, so the rejection threshold is a *p-value* with a quantified
+// false-positive budget instead of a hand-tuned distance.
+//
+// False-positive budget: every assertion built on these helpers rejects
+// at alpha = 1e-6 by default. The suite currently runs on the order of
+// 10^2 such assertions, so the expected number of spurious failures per
+// full run is ~1e-4 -- one flake per ~10,000 CI runs. All draws are
+// seeded, so a given build either passes always or fails always; the
+// budget covers seed churn, not per-run noise.
+//
+// Numerical recipe: the p-value is the regularized upper incomplete
+// gamma Q(k/2, x/2), computed by the classic series (x < a+1) /
+// continued-fraction (x >= a+1) split; low-expectation cells are pooled
+// (Cochran's rule: expected >= 5) so the chi-square approximation holds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "measure/disc.hpp"
+#include "sched/insight.hpp"
+#include "util/rational.hpp"
+
+namespace cdse::testing {
+
+/// Regularized upper incomplete gamma Q(a, x) = Gamma(a, x) / Gamma(a),
+/// for a > 0, x >= 0. Series/continued-fraction split per Numerical
+/// Recipes; relative error ~1e-10, far below any alpha in use.
+inline double regularized_gamma_q(double a, double x) {
+  if (x <= 0.0) return 1.0;
+  const double lg = std::lgamma(a);
+  if (x < a + 1.0) {
+    // P(a, x) by series: P = x^a e^-x / Gamma(a) * sum x^n / (a)_{n+1}.
+    double term = 1.0 / a;
+    double sum = term;
+    double ap = a;
+    for (int n = 0; n < 500; ++n) {
+      ap += 1.0;
+      term *= x / ap;
+      sum += term;
+      if (std::fabs(term) < std::fabs(sum) * 1e-15) break;
+    }
+    const double p = sum * std::exp(-x + a * std::log(x) - lg);
+    return 1.0 - p;
+  }
+  // Q(a, x) by Lentz's continued fraction.
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int n = 1; n < 500; ++n) {
+    const double an = -static_cast<double>(n) * (static_cast<double>(n) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - lg);
+}
+
+/// Upper-tail p-value of chi-square statistic `stat` at `dof` degrees of
+/// freedom: P[X >= stat] = Q(dof/2, stat/2).
+inline double chi_square_pvalue(double stat, double dof) {
+  if (dof <= 0.0) return 1.0;
+  return regularized_gamma_q(dof / 2.0, stat / 2.0);
+}
+
+/// Outcome of one chi-square computation, carried into the assertion
+/// message so a failure is diagnosable from the log alone.
+struct ChiSquareResult {
+  double stat = 0.0;
+  double dof = 0.0;
+  double pvalue = 1.0;
+  std::size_t cells = 0;         ///< cells entering the statistic
+  std::size_t pooled_cells = 0;  ///< low-expectation cells merged away
+  double impossible_mass = 0.0;  ///< observed mass outside the support
+};
+
+/// Goodness of fit: observed per-category counts against exact category
+/// probabilities. `observed` pairs each category's probability under the
+/// null with its observed count; categories sampled outside the exact
+/// support are accumulated by the caller into `impossible` (they refute
+/// the null outright -- p-value 0 -- since the exact side gives them
+/// probability zero).
+inline ChiSquareResult chi_square_gof_counts(
+    const std::vector<std::pair<double, double>>& prob_and_count,
+    double trials, double impossible) {
+  ChiSquareResult r;
+  r.impossible_mass = impossible;
+  if (impossible > 0.0) {
+    r.pvalue = 0.0;
+    r.stat = std::numeric_limits<double>::infinity();
+    return r;
+  }
+  // Cochran pooling: cells expecting < 5 merge into one remainder cell
+  // so the asymptotic chi-square null holds.
+  constexpr double kMinExpected = 5.0;
+  double stat = 0.0;
+  double pooled_exp = 0.0;
+  double pooled_obs = 0.0;
+  std::size_t cells = 0;
+  for (const auto& [p, count] : prob_and_count) {
+    const double expected = p * trials;
+    if (expected < kMinExpected) {
+      pooled_exp += expected;
+      pooled_obs += count;
+      ++r.pooled_cells;
+      continue;
+    }
+    const double d = count - expected;
+    stat += d * d / expected;
+    ++cells;
+  }
+  if (pooled_exp > 0.0) {
+    const double d = pooled_obs - pooled_exp;
+    stat += d * d / pooled_exp;
+    ++cells;
+  }
+  r.stat = stat;
+  r.cells = cells;
+  r.dof = cells > 1 ? static_cast<double>(cells - 1) : 0.0;
+  r.pvalue = chi_square_pvalue(r.stat, r.dof);
+  return r;
+}
+
+/// Two-sample chi-square over per-category counts c1 (n1 total draws)
+/// and c2 (n2 total draws): tests whether both samples come from one
+/// (unknown) distribution. Statistic per Numerical Recipes:
+///   sum_i (sqrt(n2/n1) c1_i - sqrt(n1/n2) c2_i)^2 / (c1_i + c2_i).
+inline ChiSquareResult chi_square_two_sample_counts(
+    const std::vector<std::pair<double, double>>& counts, double n1,
+    double n2) {
+  ChiSquareResult r;
+  const double k1 = std::sqrt(n2 / n1);
+  const double k2 = std::sqrt(n1 / n2);
+  // Pool sparse categories (combined count < 10) so each cell's normal
+  // approximation holds.
+  constexpr double kMinCombined = 10.0;
+  double stat = 0.0;
+  double pool1 = 0.0;
+  double pool2 = 0.0;
+  std::size_t cells = 0;
+  for (const auto& [c1, c2] : counts) {
+    if (c1 + c2 <= 0.0) continue;
+    if (c1 + c2 < kMinCombined) {
+      pool1 += c1;
+      pool2 += c2;
+      ++r.pooled_cells;
+      continue;
+    }
+    const double d = k1 * c1 - k2 * c2;
+    stat += d * d / (c1 + c2);
+    ++cells;
+  }
+  if (pool1 + pool2 > 0.0) {
+    const double d = k1 * pool1 - k2 * pool2;
+    stat += d * d / (pool1 + pool2);
+    ++cells;
+  }
+  r.stat = stat;
+  r.cells = cells;
+  r.dof = cells > 1 ? static_cast<double>(cells - 1) : 0.0;
+  r.pvalue = chi_square_pvalue(r.stat, r.dof);
+  return r;
+}
+
+/// The per-assertion rejection level the suite budgets for (see the
+/// header comment).
+inline constexpr double kStatAlpha = 1e-6;
+
+/// Asserts a sampled (normalized) f-dist is consistent with the exact
+/// f-dist it estimates, at `trials` draws. GOF chi-square at `alpha`.
+inline ::testing::AssertionResult fdist_matches_exact(
+    const ExactDisc<Perception>& exact, const Disc<Perception, double>& sampled,
+    std::size_t trials, double alpha = kStatAlpha) {
+  const double n = static_cast<double>(trials);
+  std::vector<std::pair<double, double>> cells;
+  cells.reserve(exact.entries().size());
+  double impossible = 0.0;
+  // Union walk: both discs are sorted association vectors.
+  std::size_t j = 0;
+  const auto& se = sampled.entries();
+  for (const auto& [perc, p] : exact.entries()) {
+    double count = 0.0;
+    while (j < se.size() && se[j].first < perc) {
+      impossible += se[j].second * n;  // sampled outside the exact support
+      ++j;
+    }
+    if (j < se.size() && se[j].first == perc) {
+      count = se[j].second * n;
+      ++j;
+    }
+    cells.emplace_back(p.to_double(), count);
+  }
+  for (; j < se.size(); ++j) impossible += se[j].second * n;
+  const ChiSquareResult r = chi_square_gof_counts(cells, n, impossible);
+  if (r.pvalue >= alpha) return ::testing::AssertionSuccess();
+  std::ostringstream msg;
+  msg << "chi-square GOF rejects at alpha=" << alpha << ": stat=" << r.stat
+      << " dof=" << r.dof << " p=" << r.pvalue << " cells=" << r.cells
+      << " pooled=" << r.pooled_cells;
+  if (r.impossible_mass > 0.0) {
+    msg << " impossible_count=" << r.impossible_mass
+        << " (sampled perceptions the exact f-dist gives probability 0)";
+  }
+  return ::testing::AssertionFailure() << msg.str();
+}
+
+/// Asserts two sampled (normalized) f-dists estimate the same underlying
+/// distribution -- the differential check between the serial and batched
+/// engines. Two-sample chi-square at `alpha`.
+inline ::testing::AssertionResult fdists_match(
+    const Disc<Perception, double>& a, std::size_t trials_a,
+    const Disc<Perception, double>& b, std::size_t trials_b,
+    double alpha = kStatAlpha) {
+  const double n1 = static_cast<double>(trials_a);
+  const double n2 = static_cast<double>(trials_b);
+  std::vector<std::pair<double, double>> counts;
+  const auto& ea = a.entries();
+  const auto& eb = b.entries();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < ea.size() || j < eb.size()) {
+    if (j >= eb.size() || (i < ea.size() && ea[i].first < eb[j].first)) {
+      counts.emplace_back(ea[i].second * n1, 0.0);
+      ++i;
+    } else if (i >= ea.size() || eb[j].first < ea[i].first) {
+      counts.emplace_back(0.0, eb[j].second * n2);
+      ++j;
+    } else {
+      counts.emplace_back(ea[i].second * n1, eb[j].second * n2);
+      ++i;
+      ++j;
+    }
+  }
+  const ChiSquareResult r = chi_square_two_sample_counts(counts, n1, n2);
+  if (r.pvalue >= alpha) return ::testing::AssertionSuccess();
+  std::ostringstream msg;
+  msg << "two-sample chi-square rejects at alpha=" << alpha
+      << ": stat=" << r.stat << " dof=" << r.dof << " p=" << r.pvalue
+      << " cells=" << r.cells << " pooled=" << r.pooled_cells;
+  return ::testing::AssertionFailure() << msg.str();
+}
+
+}  // namespace cdse::testing
