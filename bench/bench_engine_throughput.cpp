@@ -281,40 +281,102 @@ BENCHMARK(BM_SnapshotParallelFdist)
     ->Arg(8)
     ->UseRealTime();
 
-/// The same workload and frozen snapshot as BM_SnapshotParallelFdist,
-/// stepped by the batched lockstep engine (SamplingMode::kBatched):
-/// trajectory-class grouping amortizes row lookups across the chunk and
-/// alias tables make every draw O(1). The counter pair
-/// (action_draws, row_lookups) quantifies the amortization; the E20
-/// table in EXPERIMENTS.md compares this row against the serial one.
-void BM_BatchedAliasFdist(benchmark::State& state) {
+/// Shared body of the batched-engine rows (E20/E21): the chosen stack
+/// over one frozen snapshot, stepped by the batched lockstep engine in
+/// the chosen mode. Emits the full BatchStats counter set into the JSON
+/// rows -- the amortization pair (action_draws vs row_lookups) plus the
+/// block-kernel accounting (rng_blocks / block_draws / singleton_skips /
+/// rejection_redraws, all zero in kBatchedPerDraw mode).
+void BM_BatchedFdistStack(benchmark::State& state, const PsioaFactory& make,
+                          std::size_t depth, SamplingMode mode,
+                          bool local_only) {
   const std::size_t threads = static_cast<std::size_t>(state.range(0));
-  const std::size_t trials = 2000;
+  // 10x the serial snapshot row's trial count: the batched rows measure
+  // the draw-kernel regime (the paper's emulation checks want millions
+  // of executions), and at 2000 trials the fixed per-round class
+  // bookkeeping shared by both kernels hides the kernels' difference.
+  const std::size_t trials = 20000;
   ThreadPool pool(threads);
   TraceInsight f;
-  ParallelSampler sampler(
-      [] { return make_mac_system("e10_l", true); },
-      [] { return std::make_shared<UniformScheduler>(12, true); });
+  ParallelSampler sampler(make, [depth, local_only] {
+    return std::make_shared<UniformScheduler>(depth, local_only);
+  });
   WarmupPlan plan;
-  plan.horizon = 12;
-  sampler.prepare(plan, 12);
+  plan.horizon = depth;
+  sampler.prepare(plan, depth);
   std::uint64_t seed = 4;
   for (auto _ : state) {
-    auto dist = sampler.sample_fdist(f, trials, seed++, 12, pool,
-                                     SamplingMode::kBatched);
+    auto dist = sampler.sample_fdist(f, trials, seed++, depth, pool, mode);
     benchmark::DoNotOptimize(dist);
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations() * trials));
   const BatchStats& bs = sampler.last_batch_stats();
   state.counters["action_draws"] = static_cast<double>(bs.action_draws);
+  state.counters["target_draws"] = static_cast<double>(bs.target_draws);
   state.counters["row_lookups"] = static_cast<double>(bs.row_lookups);
   state.counters["choice_lookups"] = static_cast<double>(bs.choice_lookups);
   state.counters["distinct_execs"] =
       static_cast<double>(bs.distinct_executions);
+  state.counters["rng_blocks"] = static_cast<double>(bs.blocks_filled);
+  state.counters["block_draws"] = static_cast<double>(bs.block_draws);
+  state.counters["singleton_skips"] =
+      static_cast<double>(bs.singleton_skips);
+  state.counters["rejection_redraws"] =
+      static_cast<double>(bs.rejection_redraws);
   state.counters["rss_kb"] = rss_kb();
 }
+
+/// The E20 row, pinned to the PR-8 scalar per-draw kernel so it stays
+/// the "before" baseline the E21 block-kernel rows are measured against.
+void BM_BatchedAliasFdist(benchmark::State& state) {
+  BM_BatchedFdistStack(state, [] { return make_mac_system("e10_l", true); },
+                       12, SamplingMode::kBatchedPerDraw, /*local_only=*/true);
+}
 BENCHMARK(BM_BatchedAliasFdist)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+/// E21: the same MAC workload stepped by the block draw kernel -- wide
+/// RNG fills, SoA alias gathers, singleton elision.
+void BM_BlockBatchedFdist(benchmark::State& state) {
+  BM_BatchedFdistStack(state, [] { return make_mac_system("e10_m", true); },
+                       12, SamplingMode::kBatched, /*local_only=*/true);
+}
+BENCHMARK(BM_BlockBatchedFdist)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+/// E21, ledger stack: the dynamic-creation PCA ledger ensemble -- wider
+/// choice rows and genuinely probabilistic transitions, so the block
+/// kernel leans on bulk fills rather than singleton elision here.
+void BM_BatchedAliasLedgerFdist(benchmark::State& state) {
+  // The non-local uniform scheduler keeps a residual halt slot in every
+  // choice row, so the ledger rows exercise genuine bulk fills (the MAC
+  // rows above lean on singleton elision instead).
+  BM_BatchedFdistStack(state,
+                       [] { return make_ledger_system(2, "e10_n").dynamic; },
+                       8, SamplingMode::kBatchedPerDraw, /*local_only=*/false);
+}
+BENCHMARK(BM_BatchedAliasLedgerFdist)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+void BM_BlockBatchedLedgerFdist(benchmark::State& state) {
+  BM_BatchedFdistStack(state,
+                       [] { return make_ledger_system(2, "e10_o").dynamic; },
+                       8, SamplingMode::kBatched, /*local_only=*/false);
+}
+BENCHMARK(BM_BlockBatchedLedgerFdist)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <limits>
 #include <numeric>
 #include <utility>
 
@@ -9,229 +10,270 @@ namespace cdse {
 
 namespace {
 
-/// One step of some execution's history: the parent-pointer path tree
-/// all trajectory classes share. Node 0 is the root (start state, no
-/// incoming action).
-struct PathNode {
-  std::int32_t parent;
-  ActionId a;
-  State q;
-};
-
-/// A finished trajectory class: `count` executions whose whole history
-/// is the root-to-`node` path.
-struct TerminalClass {
-  std::int32_t node;
-  std::uint64_t count;
-};
-
-struct BatchRun {
-  std::vector<PathNode> nodes;
-  std::vector<TerminalClass> terminal;
-};
-
-/// Expands a path-tree node back into the ExecFragment it denotes.
-ExecFragment fragment_of(const std::vector<PathNode>& nodes,
-                         std::int32_t leaf) {
-  std::vector<std::int32_t> chain;
-  for (std::int32_t v = leaf; v >= 0; v = nodes[v].parent) {
-    chain.push_back(v);
-  }
-  ExecFragment alpha = ExecFragment::starting_at(nodes[chain.back()].q);
-  for (std::size_t k = chain.size() - 1; k-- > 0;) {
-    alpha.append(nodes[chain[k]].a, nodes[chain[k]].q);
-  }
-  return alpha;
-}
-
-/// The lockstep core: steps `n` executions as trajectory classes until
-/// every one has halted or reached max_depth. All grouping, draw and
-/// split orders are deterministic functions of (rng stream, n,
-/// max_depth), so two runs at the same seed produce identical trees.
-BatchRun run_batch(Psioa& automaton, Scheduler& sched, Xoshiro256& rng,
-                   std::size_t n, std::size_t max_depth, BatchStats& st) {
-  BatchRun out;
-  if (n == 0) return out;
-  // Compiled-row fast path mirrors sample_execution's hoisted detection.
-  auto* memo = dynamic_cast<MemoPsioa*>(&automaton);
-  if (memo != nullptr && !memo->memoization_enabled()) memo = nullptr;
-
-  const State q0 = automaton.start_state();
-  out.nodes.push_back(PathNode{-1, kInvalidAction, q0});
-
-  // Live classes, structure-of-arrays; every class in the block has
-  // walked exactly `depth` steps (lockstep invariant).
-  std::vector<State> cls_state{q0};
-  std::vector<std::int32_t> cls_node{0};
-  std::vector<std::uint64_t> cls_count{static_cast<std::uint64_t>(n)};
-  std::vector<State> nxt_state;
-  std::vector<std::int32_t> nxt_node;
-  std::vector<std::uint64_t> nxt_count;
-
-  std::vector<std::size_t> order;
-  std::vector<std::uint64_t> act_tally;
-  std::vector<std::uint64_t> tgt_tally;
-
-  for (std::size_t depth = 0; depth < max_depth && !cls_state.empty();
-       ++depth) {
-    ++st.rounds;
-    st.classes_peak = std::max(st.classes_peak, cls_state.size());
-    st.class_steps += cls_state.size();
-
-    // Deterministic grouping: classes sorted by (state, node id). Node
-    // ids are allocated in deterministic order, so the whole permutation
-    // is reproducible; runs of equal state share one row fetch.
-    order.resize(cls_state.size());
-    std::iota(order.begin(), order.end(), std::size_t{0});
-    std::sort(order.begin(), order.end(),
-              [&](std::size_t x, std::size_t y) {
-                if (cls_state[x] != cls_state[y]) {
-                  return cls_state[x] < cls_state[y];
-                }
-                return cls_node[x] < cls_node[y];
-              });
-
-    nxt_state.clear();
-    nxt_node.clear();
-    nxt_count.clear();
-
-    std::size_t i = 0;
-    while (i < order.size()) {
-      const State q = cls_state[order[i]];
-      // One scheduler row per (state, depth) run. The synthetic fragment
-      // carries the true last state and length; interior steps are dummy
-      // padding (see the scheduler contract in the header).
-      ExecFragment synth = ExecFragment::starting_at(q);
-      for (std::size_t k = 0; k < depth; ++k) synth.append(kInvalidAction, q);
-      const ChoiceRow* choice = sched.choice_row(automaton, synth);
-      ++st.choice_lookups;
-
-      std::size_t j = i;
-      if (choice->empty()) {
-        for (; j < order.size() && cls_state[order[j]] == q; ++j) {
-          out.terminal.push_back(
-              {cls_node[order[j]], cls_count[order[j]]});
-        }
-        i = j;
-        continue;
-      }
-
-      const std::size_t n_actions = choice->actions.size();
-      const std::size_t n_slots = choice->alias.size();
-      // Transition rows of this run, resolved on first use. Memo rows
-      // live in node-stable maps; fallback rows (no compiled engine)
-      // are compiled once per run into a deque for address stability.
-      std::vector<const CompiledRow*> rows(n_actions, nullptr);
-      std::deque<CompiledRow> row_store;
-      act_tally.assign(n_slots, 0);
-
-      for (; j < order.size() && cls_state[order[j]] == q; ++j) {
-        const std::size_t c = order[j];
-        std::fill(act_tally.begin(), act_tally.end(), 0);
-        std::uint64_t halted = 0;
-        for (std::uint64_t k = 0; k < cls_count[c]; ++k) {
-          ++st.action_draws;
-          const std::size_t slot =
-              choice->alias.pick(rng.below(n_slots), rng.uniform());
-          if (slot < n_actions) {
-            ++act_tally[slot];
-          } else {
-            ++halted;  // the residual-mass halt slot
-          }
-        }
-        if (halted > 0) out.terminal.push_back({cls_node[c], halted});
-        for (std::size_t s = 0; s < n_actions; ++s) {
-          if (act_tally[s] == 0) continue;
-          const ActionId a = choice->actions[s];
-          if (rows[s] == nullptr) {
-            ++st.row_lookups;
-            if (memo != nullptr) {
-              rows[s] = &memo->compiled_row(q, a);
-            } else {
-              rows[s] = &row_store.emplace_back(
-                  CompiledRow::compile(automaton.transition(q, a)));
-            }
-          }
-          const CompiledRow& row = *rows[s];
-          const std::size_t n_targets = row.targets.size();
-          tgt_tally.assign(n_targets, 0);
-          for (std::uint64_t k = 0; k < act_tally[s]; ++k) {
-            ++st.target_draws;
-            ++tgt_tally[row.alias.pick(rng.below(n_targets), rng.uniform())];
-          }
-          for (std::size_t t = 0; t < n_targets; ++t) {
-            if (tgt_tally[t] == 0) continue;
-            const std::int32_t child =
-                static_cast<std::int32_t>(out.nodes.size());
-            out.nodes.push_back(PathNode{cls_node[c], a, row.targets[t]});
-            nxt_state.push_back(row.targets[t]);
-            nxt_node.push_back(child);
-            nxt_count.push_back(tgt_tally[t]);
-          }
-        }
-      }
-      i = j;
-    }
-    cls_state.swap(nxt_state);
-    cls_node.swap(nxt_node);
-    cls_count.swap(nxt_count);
-  }
-  // Depth exhausted: survivors finish as terminal classes.
-  for (std::size_t c = 0; c < cls_state.size(); ++c) {
-    out.terminal.push_back({cls_node[c], cls_count[c]});
-  }
-  st.distinct_executions += out.terminal.size();
-  return out;
-}
+/// Draws resolved per bulk fill by the block kernel. Large enough to
+/// amortize dispatch and fill overhead, small enough to keep the three
+/// scratch buffers (~64 KiB total) in L2.
+constexpr std::uint64_t kDrawBlock = 4096;
 
 }  // namespace
 
-std::vector<ExecFragment> sample_executions(Psioa& automaton,
-                                            Scheduler& sched, Xoshiro256& rng,
-                                            std::size_t n,
-                                            std::size_t max_depth,
-                                            BatchStats* stats) {
-  BatchStats local;
-  const BatchRun run =
-      run_batch(automaton, sched, rng, n, max_depth, stats ? *stats : local);
+BatchSampler::BatchSampler(Psioa& automaton, Scheduler& sched,
+                           std::size_t trials, const Xoshiro256& rng,
+                           std::size_t max_depth, BatchKernel kernel)
+    : automaton_(automaton),
+      sched_(sched),
+      trials_(trials),
+      max_depth_(max_depth),
+      kernel_(kernel),
+      rng_(rng) {
+  // Compiled-row fast path mirrors sample_execution's hoisted detection.
+  memo_ = dynamic_cast<MemoPsioa*>(&automaton_);
+  if (memo_ != nullptr && !memo_->memoization_enabled()) memo_ = nullptr;
+
+  if (kernel_ == BatchKernel::kBlock) {
+    // Pinned derivation: one draw from the scalar stream seeds the lane
+    // block, so the block schedule is a pure function of the stream.
+    block_.emplace(rng_());
+  }
+
+  const State q0 = automaton_.start_state();
+  nodes_.push_back(PathNode{-1, kInvalidAction, q0});
+  if (trials_ > 0) {
+    cls_state_.push_back(q0);
+    cls_node_.push_back(0);
+    cls_count_.push_back(static_cast<std::uint64_t>(trials_));
+  }
+}
+
+void BatchSampler::push_terminal(std::int32_t node, std::uint64_t count) {
+  terminal_.push_back(TerminalClass{node, count});
+  terminal_trials_ += count;
+  ++stats_.distinct_executions;
+}
+
+void BatchSampler::flush_survivors() {
+  for (std::size_t c = 0; c < cls_state_.size(); ++c) {
+    push_terminal(cls_node_[c], cls_count_[c]);
+  }
+  cls_state_.clear();
+  cls_node_.clear();
+  cls_count_.clear();
+  flushed_ = true;
+}
+
+void BatchSampler::tally_draws(const AliasTable& alias, std::uint64_t count,
+                               std::vector<std::uint64_t>& tally) {
+  const std::size_t n_slots = alias.size();
+  if (kernel_ == BatchKernel::kPerDraw) {
+    // The PR-8 reference loop: two scalar RNG calls per logical draw.
+    for (std::uint64_t k = 0; k < count; ++k) {
+      ++tally[alias.pick(rng_.below(n_slots), rng_.uniform())];
+    }
+    return;
+  }
+  if (n_slots == 1) {
+    // Singleton elision: one slot means the draw is determined; spend no
+    // RNG at all. (Deterministic transitions dominate the stack
+    // workloads, so this skips most of the logical draw volume.)
+    tally[0] += count;
+    stats_.singleton_skips += count;
+    return;
+  }
+  const auto bound = static_cast<std::uint32_t>(n_slots);
+  std::uint64_t left = count;
+  while (left > 0) {
+    const auto m = static_cast<std::size_t>(std::min(left, kDrawBlock));
+    if (idx_buf_.size() < m) {
+      idx_buf_.resize(m);
+      u_buf_.resize(m);
+      out_buf_.resize(m);
+    }
+    stats_.rejection_redraws += block_->fill_below(idx_buf_.data(), m, bound);
+    block_->fill_uniform(u_buf_.data(), m);
+    alias.pick_block(idx_buf_.data(), u_buf_.data(), out_buf_.data(), m);
+    for (std::size_t k = 0; k < m; ++k) ++tally[out_buf_[k]];
+    ++stats_.blocks_filled;
+    stats_.block_draws += 2 * static_cast<std::uint64_t>(m);
+    left -= m;
+  }
+}
+
+void BatchSampler::one_round() {
+  ++stats_.rounds;
+  stats_.classes_peak = std::max(stats_.classes_peak, cls_state_.size());
+  stats_.class_steps += cls_state_.size();
+
+  // Deterministic grouping: classes sorted by (state, node id). Node ids
+  // are allocated in deterministic order, so the whole permutation is
+  // reproducible; runs of equal state share one row fetch.
+  order_.resize(cls_state_.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  std::sort(order_.begin(), order_.end(), [&](std::size_t x, std::size_t y) {
+    if (cls_state_[x] != cls_state_[y]) return cls_state_[x] < cls_state_[y];
+    return cls_node_[x] < cls_node_[y];
+  });
+
+  nxt_state_.clear();
+  nxt_node_.clear();
+  nxt_count_.clear();
+
+  std::size_t i = 0;
+  while (i < order_.size()) {
+    const State q = cls_state_[order_[i]];
+    // One scheduler row per (state, depth) run. The synthetic fragment
+    // carries the true last state and length; interior steps are dummy
+    // padding (see the scheduler contract in the header).
+    ExecFragment synth = ExecFragment::starting_at(q);
+    for (std::size_t k = 0; k < depth_; ++k) synth.append(kInvalidAction, q);
+    const ChoiceRow* choice = sched_.choice_row(automaton_, synth);
+    ++stats_.choice_lookups;
+
+    std::size_t j = i;
+    if (choice->empty()) {
+      for (; j < order_.size() && cls_state_[order_[j]] == q; ++j) {
+        push_terminal(cls_node_[order_[j]], cls_count_[order_[j]]);
+      }
+      i = j;
+      continue;
+    }
+
+    const std::size_t n_actions = choice->actions.size();
+    const std::size_t n_slots = choice->alias.size();
+    // Transition rows of this run, resolved on first use. Memo rows live
+    // in node-stable maps; fallback rows (no compiled engine) are
+    // compiled once per run into a deque for address stability.
+    std::vector<const CompiledRow*> rows(n_actions, nullptr);
+    std::deque<CompiledRow> row_store;
+
+    for (; j < order_.size() && cls_state_[order_[j]] == q; ++j) {
+      const std::size_t c = order_[j];
+      act_tally_.assign(n_slots, 0);
+      stats_.action_draws += cls_count_[c];
+      tally_draws(choice->alias, cls_count_[c], act_tally_);
+      // Slots past the action list are the residual-mass halt slot.
+      std::uint64_t halted = 0;
+      for (std::size_t s = n_actions; s < n_slots; ++s) halted += act_tally_[s];
+      if (halted > 0) push_terminal(cls_node_[c], halted);
+      for (std::size_t s = 0; s < n_actions; ++s) {
+        if (act_tally_[s] == 0) continue;
+        const ActionId a = choice->actions[s];
+        if (rows[s] == nullptr) {
+          ++stats_.row_lookups;
+          if (memo_ != nullptr) {
+            rows[s] = &memo_->compiled_row(q, a);
+          } else {
+            rows[s] = &row_store.emplace_back(
+                CompiledRow::compile(automaton_.transition(q, a)));
+          }
+        }
+        const CompiledRow& row = *rows[s];
+        const std::size_t n_targets = row.targets.size();
+        tgt_tally_.assign(n_targets, 0);
+        stats_.target_draws += act_tally_[s];
+        tally_draws(row.alias, act_tally_[s], tgt_tally_);
+        for (std::size_t t = 0; t < n_targets; ++t) {
+          if (tgt_tally_[t] == 0) continue;
+          const auto child = static_cast<std::int32_t>(nodes_.size());
+          nodes_.push_back(PathNode{cls_node_[c], a, row.targets[t]});
+          nxt_state_.push_back(row.targets[t]);
+          nxt_node_.push_back(child);
+          nxt_count_.push_back(tgt_tally_[t]);
+        }
+      }
+    }
+    i = j;
+  }
+  cls_state_.swap(nxt_state_);
+  cls_node_.swap(nxt_node_);
+  cls_count_.swap(nxt_count_);
+  ++depth_;
+}
+
+std::size_t BatchSampler::run_rounds(std::size_t n) {
+  std::size_t ran = 0;
+  while (ran < n && !flushed_) {
+    if (cls_state_.empty() || depth_ >= max_depth_) {
+      // Halted out, or depth exhausted: survivors finish as terminal.
+      flush_survivors();
+      break;
+    }
+    one_round();
+    ++ran;
+    if (cls_state_.empty() || depth_ >= max_depth_) flush_survivors();
+  }
+  return ran;
+}
+
+void BatchSampler::run_to_completion() {
+  while (!flushed_) {
+    run_rounds(std::numeric_limits<std::size_t>::max());
+  }
+}
+
+const Disc<Perception, double>& BatchSampler::accumulate_counts(
+    const InsightFunction& f) {
+  for (; counted_ < terminal_.size(); ++counted_) {
+    const TerminalClass& tc = terminal_[counted_];
+    counts_.add(f.apply(automaton_, fragment_of(tc.node)),
+                static_cast<double>(tc.count));
+  }
+  return counts_;
+}
+
+std::vector<ExecFragment> BatchSampler::fragments() const {
   std::vector<ExecFragment> out;
-  out.reserve(n);
-  for (const TerminalClass& tc : run.terminal) {
-    ExecFragment alpha = fragment_of(run.nodes, tc.node);
+  out.reserve(trials_);
+  for (const TerminalClass& tc : terminal_) {
+    ExecFragment alpha = fragment_of(tc.node);
     for (std::uint64_t k = 0; k + 1 < tc.count; ++k) out.push_back(alpha);
     out.push_back(std::move(alpha));
   }
   return out;
 }
 
-Disc<Perception, double> batched_sample_counts(Psioa& automaton,
-                                               Scheduler& sched,
-                                               const InsightFunction& f,
-                                               std::size_t trials,
-                                               Xoshiro256& rng,
-                                               std::size_t max_depth,
-                                               BatchStats* stats) {
-  BatchStats local;
-  const BatchRun run = run_batch(automaton, sched, rng, trials, max_depth,
-                                 stats ? *stats : local);
-  Disc<Perception, double> counts;
-  for (const TerminalClass& tc : run.terminal) {
-    counts.add(f.apply(automaton, fragment_of(run.nodes, tc.node)),
-               static_cast<double>(tc.count));
+ExecFragment BatchSampler::fragment_of(std::int32_t leaf) const {
+  std::vector<std::int32_t> chain;
+  for (std::int32_t v = leaf; v >= 0; v = nodes_[v].parent) {
+    chain.push_back(v);
   }
-  return counts;
+  ExecFragment alpha = ExecFragment::starting_at(nodes_[chain.back()].q);
+  for (std::size_t k = chain.size() - 1; k-- > 0;) {
+    alpha.append(nodes_[chain[k]].a, nodes_[chain[k]].q);
+  }
+  return alpha;
 }
 
-Disc<Perception, double> sample_fdist_batched(Psioa& automaton,
-                                              Scheduler& sched,
-                                              const InsightFunction& f,
-                                              std::size_t trials,
-                                              std::uint64_t seed,
-                                              std::size_t max_depth,
-                                              BatchStats* stats) {
+std::vector<ExecFragment> sample_executions(Psioa& automaton,
+                                            Scheduler& sched, Xoshiro256& rng,
+                                            std::size_t n,
+                                            std::size_t max_depth,
+                                            BatchStats* stats,
+                                            BatchKernel kernel) {
+  BatchSampler bs(automaton, sched, n, rng, max_depth, kernel);
+  bs.run_to_completion();
+  rng = bs.scalar_rng();
+  if (stats != nullptr) *stats += bs.stats();
+  return bs.fragments();
+}
+
+Disc<Perception, double> batched_sample_counts(
+    Psioa& automaton, Scheduler& sched, const InsightFunction& f,
+    std::size_t trials, Xoshiro256& rng, std::size_t max_depth,
+    BatchStats* stats, BatchKernel kernel) {
+  BatchSampler bs(automaton, sched, trials, rng, max_depth, kernel);
+  bs.run_to_completion();
+  rng = bs.scalar_rng();
+  if (stats != nullptr) *stats += bs.stats();
+  return bs.accumulate_counts(f);
+}
+
+Disc<Perception, double> sample_fdist_batched(
+    Psioa& automaton, Scheduler& sched, const InsightFunction& f,
+    std::size_t trials, std::uint64_t seed, std::size_t max_depth,
+    BatchStats* stats, BatchKernel kernel) {
   Xoshiro256 rng(seed);
   const Disc<Perception, double> counts = batched_sample_counts(
-      automaton, sched, f, trials, rng, max_depth, stats);
+      automaton, sched, f, trials, rng, max_depth, stats, kernel);
   Disc<Perception, double> dist;
   for (const auto& [perc, count] : counts.entries()) {
     dist.add(perc, count / static_cast<double>(trials));

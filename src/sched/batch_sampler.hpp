@@ -1,5 +1,6 @@
 #pragma once
-// Batched lockstep execution sampling over compiled alias rows.
+// Batched lockstep execution sampling over compiled alias rows, with a
+// vectorized block draw kernel and an incremental-rounds API.
 //
 // The serial sampler (sched/sampler.hpp) walks one execution at a time:
 // every step pays a scheduler row lookup, a linear CDF scan, a compiled
@@ -24,11 +25,26 @@
 //   - Draws go through the rows' Walker alias tables (util/alias.hpp):
 //     O(1) per draw regardless of support width.
 //
+// Draw kernels (BatchKernel): the per-draw kernel is the PR-8 scalar
+// reference -- one rng.below + one rng.uniform + one alias pick per
+// logical draw, preserved unchanged as the differential baseline. The
+// block kernel (the default behind SamplingMode::kBatched) instead
+// derives a XoshiroBlock from the chunk's scalar stream and resolves a
+// class's draws in bulk: one fill_below for the slot indices, one
+// fill_uniform for the thresholds, one AliasTable::pick_block gather,
+// then a scalar tally -- with singleton rows (one slot, one target)
+// resolved algebraically without touching the RNG at all. The block
+// fills and the gather dispatch between a portable scalar loop and an
+// AVX2 body at runtime (util/rng.hpp); both produce bit-identical
+// tallies, which tests/batch_sampler_test.cpp pins end to end at every
+// worker count.
+//
 // Equivalence contract: batched results equal serial results in
 // *distribution*, not draw-for-draw -- classes consume the RNG in
 // class-sorted order and alias picks spend two uniforms where a CDF scan
-// spends one. The statistical harness (tests/stat_util.hpp) pins the
-// equivalence with chi-square differential tests; the serial path
+// spends one (and the two batched kernels consume the RNG differently
+// from each other). The statistical harness (tests/stat_util.hpp) pins
+// every pairing with chi-square differential tests; the serial path
 // remains the reference (SamplingMode::kSerial, the default).
 //
 // Scheduler contract: rounds query choice rows through synthetic
@@ -38,14 +54,19 @@
 // sequence, task. History-reading schedulers (oblivious-fn) would see
 // garbage words and are not supported in batched mode.
 //
-// Determinism: one RNG stream, classes sorted by (state, node id) each
-// round, actions drawn in row order, targets in row order -- the whole
-// schedule is a pure function of (seed, trials, max_depth), so batched
-// runs are reproducible even though they are not draw-for-draw aligned
-// with the serial walk.
+// Determinism: one RNG stream (the block kernel's lane block is derived
+// from it by one scalar draw, a pinned pure function), classes sorted by
+// (state, node id) each round, actions drawn in row order, targets in
+// row order -- the whole schedule is a pure function of (seed, trials,
+// max_depth) for each kernel, so batched runs are reproducible even
+// though they are not draw-for-draw aligned with the serial walk. The
+// incremental API below preserves this: pausing and resuming at any
+// round boundary replays the identical schedule
+// (run_rounds(a); run_rounds(b) == run_rounds(a + b), bit-identically).
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "psioa/memo.hpp"
@@ -55,17 +76,31 @@
 
 namespace cdse {
 
-/// Counters of one batched run, for the E20 bench and the tests: how
-/// much row-lookup amortization the class grouping actually bought.
+/// Which draw kernel a batched run steps with.
+///   kBlock   -- bulk XoshiroBlock fills + AliasTable::pick_block
+///               gathers + singleton elision (the fast default).
+///   kPerDraw -- the PR-8 scalar loop, two scalar RNG calls per logical
+///               draw; kept bit-compatible as the differential
+///               reference for the block kernel.
+enum class BatchKernel { kBlock, kPerDraw };
+
+/// Counters of one batched run, for the E20/E21 benches and the tests:
+/// how much row-lookup amortization the class grouping bought, and how
+/// the block kernel spent (or elided) its RNG traffic.
 struct BatchStats {
   std::size_t rounds = 0;        ///< lockstep rounds executed
   std::size_t classes_peak = 0;  ///< live trajectory classes, maximum
   std::size_t class_steps = 0;   ///< class-rounds (amortized row work)
   std::size_t choice_lookups = 0;  ///< scheduler rows fetched
   std::size_t row_lookups = 0;     ///< transition rows fetched
-  std::size_t action_draws = 0;    ///< alias draws for actions
-  std::size_t target_draws = 0;    ///< alias draws for targets
+  std::size_t action_draws = 0;    ///< logical action draws (incl. elided)
+  std::size_t target_draws = 0;    ///< logical target draws (incl. elided)
   std::size_t distinct_executions = 0;  ///< terminal classes (f.apply calls)
+  // Block-kernel accounting (zero under kPerDraw):
+  std::size_t blocks_filled = 0;   ///< bulk fill operations issued
+  std::size_t block_draws = 0;     ///< RNG values produced by bulk fills
+  std::size_t singleton_skips = 0; ///< logical draws elided (1-slot rows)
+  std::size_t rejection_redraws = 0;  ///< fill_below debias re-draws
 
   BatchStats& operator+=(const BatchStats& o) {
     rounds += o.rounds;
@@ -77,41 +112,146 @@ struct BatchStats {
     action_draws += o.action_draws;
     target_draws += o.target_draws;
     distinct_executions += o.distinct_executions;
+    blocks_filled += o.blocks_filled;
+    block_draws += o.block_draws;
+    singleton_skips += o.singleton_skips;
+    rejection_redraws += o.rejection_redraws;
     return *this;
   }
+};
+
+/// Stateful lockstep engine: one chunk's worth of executions advanced
+/// round by round. The one-shot helpers below wrap it; the sequential
+/// early-stopping estimator consumes it directly through run_rounds +
+/// accumulate_counts (partial tallies after every wave of rounds).
+///
+/// Lifetime: holds references to the automaton and scheduler; both must
+/// outlive the sampler. One sampler per thread (no internal locking).
+class BatchSampler {
+ public:
+  /// Prepares `trials` executions of `automaton` under `sched`, stepping
+  /// with `kernel`. The RNG is copied in; under kBlock one scalar draw
+  /// seeds the lane block (the pinned derivation), under kPerDraw the
+  /// scalar stream is consumed exactly as in PR 8.
+  BatchSampler(Psioa& automaton, Scheduler& sched, std::size_t trials,
+               const Xoshiro256& rng, std::size_t max_depth,
+               BatchKernel kernel = BatchKernel::kBlock);
+
+  /// Executes up to `n` more lockstep rounds; returns how many actually
+  /// ran (0 once done()). When the run completes -- every class halted
+  /// or max_depth reached -- surviving classes are flushed to terminal.
+  std::size_t run_rounds(std::size_t n);
+
+  /// Runs to completion (the one-shot path).
+  void run_to_completion();
+
+  bool done() const { return flushed_; }
+  std::size_t rounds_done() const { return stats_.rounds; }
+  /// Executions finished so far (sum of terminal class counts).
+  std::uint64_t trials_terminal() const { return terminal_trials_; }
+  std::size_t trials_requested() const { return trials_; }
+
+  /// Folds terminal classes discovered since the last call into the
+  /// running per-perception count tally and returns it (unnormalized).
+  /// Counts are monotone non-decreasing across calls by construction;
+  /// calling after every run_rounds wave yields the partial tallies the
+  /// sequential estimator consumes.
+  const Disc<Perception, double>& accumulate_counts(const InsightFunction& f);
+
+  /// Expands every terminal class back to one fragment per execution,
+  /// in deterministic class order. Requires done().
+  std::vector<ExecFragment> fragments() const;
+
+  const BatchStats& stats() const { return stats_; }
+
+  /// The scalar RNG state after construction and all rounds so far (the
+  /// one-shot wrappers hand it back to their caller's stream).
+  const Xoshiro256& scalar_rng() const { return rng_; }
+
+ private:
+  struct PathNode {
+    std::int32_t parent;
+    ActionId a;
+    State q;
+  };
+  struct TerminalClass {
+    std::int32_t node;
+    std::uint64_t count;
+  };
+
+  void one_round();
+  void flush_survivors();
+  void push_terminal(std::int32_t node, std::uint64_t count);
+  /// Tallies `count` draws from `alias` into tally[0..alias.size())
+  /// using the active kernel.
+  void tally_draws(const AliasTable& alias, std::uint64_t count,
+                   std::vector<std::uint64_t>& tally);
+  ExecFragment fragment_of(std::int32_t leaf) const;
+
+  Psioa& automaton_;
+  Scheduler& sched_;
+  MemoPsioa* memo_ = nullptr;
+  std::size_t trials_ = 0;
+  std::size_t max_depth_ = 0;
+  BatchKernel kernel_ = BatchKernel::kBlock;
+  Xoshiro256 rng_;
+  std::optional<XoshiroBlock> block_;
+
+  std::vector<PathNode> nodes_;
+  std::vector<TerminalClass> terminal_;
+  std::uint64_t terminal_trials_ = 0;
+  std::size_t depth_ = 0;
+  bool flushed_ = false;
+
+  // Live classes, structure-of-arrays (lockstep invariant: every class
+  // has walked exactly depth_ steps).
+  std::vector<State> cls_state_;
+  std::vector<std::int32_t> cls_node_;
+  std::vector<std::uint64_t> cls_count_;
+  std::vector<State> nxt_state_;
+  std::vector<std::int32_t> nxt_node_;
+  std::vector<std::uint64_t> nxt_count_;
+  std::vector<std::size_t> order_;
+  std::vector<std::uint64_t> act_tally_;
+  std::vector<std::uint64_t> tgt_tally_;
+  // Block-kernel scratch.
+  std::vector<std::uint32_t> idx_buf_;
+  std::vector<double> u_buf_;
+  std::vector<std::uint32_t> out_buf_;
+
+  // Partial-tally accumulation state.
+  Disc<Perception, double> counts_;
+  std::size_t counted_ = 0;  // terminal_ prefix already folded in
+
+  BatchStats stats_;
 };
 
 /// Samples `n` executions in lockstep and returns them materialized
 /// (classes expanded back to one fragment per execution, in a
 /// deterministic class order). The batched twin of calling
-/// sample_execution n times; used by the differential tests.
-std::vector<ExecFragment> sample_executions(Psioa& automaton,
-                                            Scheduler& sched, Xoshiro256& rng,
-                                            std::size_t n,
-                                            std::size_t max_depth,
-                                            BatchStats* stats = nullptr);
+/// sample_execution n times; used by the differential tests. The
+/// caller's rng is advanced by however much the run consumed from the
+/// scalar stream (one derivation draw under kBlock).
+std::vector<ExecFragment> sample_executions(
+    Psioa& automaton, Scheduler& sched, Xoshiro256& rng, std::size_t n,
+    std::size_t max_depth, BatchStats* stats = nullptr,
+    BatchKernel kernel = BatchKernel::kBlock);
 
 /// Batched empirical f-dist from `trials` lockstep executions, as raw
 /// per-perception counts (unnormalized; callers merging chunks divide by
 /// the global trial count). The insight function is applied once per
 /// distinct execution.
-Disc<Perception, double> batched_sample_counts(Psioa& automaton,
-                                               Scheduler& sched,
-                                               const InsightFunction& f,
-                                               std::size_t trials,
-                                               Xoshiro256& rng,
-                                               std::size_t max_depth,
-                                               BatchStats* stats = nullptr);
+Disc<Perception, double> batched_sample_counts(
+    Psioa& automaton, Scheduler& sched, const InsightFunction& f,
+    std::size_t trials, Xoshiro256& rng, std::size_t max_depth,
+    BatchStats* stats = nullptr, BatchKernel kernel = BatchKernel::kBlock);
 
 /// Normalized batched f-dist estimate: the batched counterpart of
 /// sample_fdist (sched/sampler.hpp), distribution-equivalent to it at
 /// the same trial count but not draw-for-draw aligned.
-Disc<Perception, double> sample_fdist_batched(Psioa& automaton,
-                                              Scheduler& sched,
-                                              const InsightFunction& f,
-                                              std::size_t trials,
-                                              std::uint64_t seed,
-                                              std::size_t max_depth,
-                                              BatchStats* stats = nullptr);
+Disc<Perception, double> sample_fdist_batched(
+    Psioa& automaton, Scheduler& sched, const InsightFunction& f,
+    std::size_t trials, std::uint64_t seed, std::size_t max_depth,
+    BatchStats* stats = nullptr, BatchKernel kernel = BatchKernel::kBlock);
 
 }  // namespace cdse

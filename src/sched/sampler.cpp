@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <optional>
 #include <stdexcept>
 #include <unordered_set>
 #include <utility>
@@ -68,6 +69,11 @@ namespace {
 // chunk stream of a previous attempt.
 std::uint64_t rotate_seed(std::uint64_t seed, std::size_t attempt) {
   return seed + static_cast<std::uint64_t>(attempt) * 0x9e3779b97f4a7c15ULL;
+}
+
+BatchKernel kernel_of(SamplingMode mode) {
+  return mode == SamplingMode::kBatchedPerDraw ? BatchKernel::kPerDraw
+                                               : BatchKernel::kBlock;
 }
 
 }  // namespace
@@ -160,9 +166,10 @@ Disc<Perception, double> parallel_sample_fdist(
         SchedulerPtr sched = make_sched();
         Xoshiro256 rng = Xoshiro256::for_stream(seed, chunk);
         Disc<Perception, double>& out = partial[chunk];
-        if (mode == SamplingMode::kBatched) {
+        if (mode != SamplingMode::kSerial) {
           out = batched_sample_counts(*automaton, *sched, f, end - begin,
-                                      rng, max_depth);
+                                      rng, max_depth, nullptr,
+                                      kernel_of(mode));
           return;
         }
         for (std::size_t i = begin; i < end; ++i) {
@@ -290,9 +297,10 @@ Disc<Perception, double> ParallelSampler::sample_fdist(
         SchedulerPtr sched = worker_scheduler();
         Xoshiro256 rng = Xoshiro256::for_stream(seed, chunk);
         Disc<Perception, double>& out = partial[chunk];
-        if (mode == SamplingMode::kBatched) {
+        if (mode != SamplingMode::kSerial) {
           out = batched_sample_counts(*view, *sched, f, end - begin, rng,
-                                      max_depth, &bstats[chunk]);
+                                      max_depth, &bstats[chunk],
+                                      kernel_of(mode));
         } else {
           for (std::size_t i = begin; i < end; ++i) {
             const ExecFragment alpha =
@@ -313,6 +321,103 @@ Disc<Perception, double> ParallelSampler::sample_fdist(
     }
   }
   return merged;
+}
+
+Disc<Perception, double> ParallelSampler::sample_fdist_incremental(
+    const InsightFunction& f, std::size_t trials, std::uint64_t seed,
+    std::size_t max_depth, ThreadPool& pool, std::size_t rounds_per_wave,
+    const WaveCallback& on_wave, SamplingMode mode) {
+  if (!prepared()) {
+    throw std::logic_error(
+        "ParallelSampler: prepare() before sample_fdist_incremental()");
+  }
+  if (mode == SamplingMode::kSerial) {
+    throw std::invalid_argument(
+        "ParallelSampler::sample_fdist_incremental: kSerial has no round "
+        "structure; use a batched mode");
+  }
+  if (rounds_per_wave == 0) rounds_per_wave = 1;
+  const BatchKernel kernel =
+      mode == SamplingMode::kBatchedPerDraw ? BatchKernel::kPerDraw
+                                            : BatchKernel::kBlock;
+
+  // Chunk partition and streams mirror parallel_for_chunks / the one-shot
+  // sample_fdist exactly: min(pool, trials) chunks (at least one), chunk c
+  // sized trials/chunks plus one of the trials%chunks remainders, stream c
+  // of `seed`. That makes a run driven to completion merge the exact same
+  // per-chunk count tallies in the exact same order as the one-shot call,
+  // hence a bit-identical result.
+  std::size_t chunks = std::min(pool.size(), trials);
+  if (chunks == 0) chunks = 1;
+  const std::size_t per = trials / chunks;
+  const std::size_t rem = trials % chunks;
+
+  struct Chunk {
+    std::shared_ptr<SnapshotPsioa> view;
+    SchedulerPtr sched;
+    std::optional<BatchSampler> bs;
+  };
+  std::vector<Chunk> cs(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    cs[c].view = std::make_shared<SnapshotPsioa>(snapshot_, residue_);
+    cs[c].sched = worker_scheduler();
+    const std::size_t len = per + (c < rem ? 1 : 0);
+    cs[c].bs.emplace(*cs[c].view, *cs[c].sched, len,
+                     Xoshiro256::for_stream(seed, c), max_depth, kernel);
+  }
+
+  const auto merged_partial = [&](std::uint64_t done_trials) {
+    Disc<Perception, double> out;
+    if (done_trials == 0) return out;
+    for (Chunk& c : cs) {
+      // accumulate_counts already ran on the worker; this re-read is a
+      // no-op fold returning the chunk's running tally.
+      for (const auto& [perc, count] : c.bs->accumulate_counts(f).entries()) {
+        out.add(perc, count / static_cast<double>(done_trials));
+      }
+    }
+    return out;
+  };
+
+  std::size_t wave = 0;
+  for (;;) {
+    bool all_done = true;
+    for (const Chunk& c : cs) all_done = all_done && c.bs->done();
+    if (all_done) break;
+    ++wave;
+    for (Chunk& c : cs) {
+      pool.submit([&c, &f, rounds_per_wave] {
+        c.bs->run_rounds(rounds_per_wave);
+        c.bs->accumulate_counts(f);
+      });
+    }
+    pool.wait_idle();
+    if (on_wave != nullptr) {
+      std::uint64_t done_trials = 0;
+      bool now_done = true;
+      for (const Chunk& c : cs) {
+        done_trials += c.bs->trials_terminal();
+        now_done = now_done && c.bs->done();
+      }
+      WaveReport rep;
+      rep.wave = wave;
+      rep.rounds_per_wave = rounds_per_wave;
+      rep.trials_done = static_cast<std::size_t>(done_trials);
+      rep.trials_requested = trials;
+      rep.done = now_done;
+      if (!on_wave(rep, merged_partial(done_trials))) break;  // early stop
+    }
+  }
+
+  last_stats_ = SnapshotStats{};
+  last_batch_stats_ = BatchStats{};
+  std::uint64_t done_trials = 0;
+  for (Chunk& c : cs) {
+    last_stats_ += c.view->snapshot_stats();
+    last_batch_stats_ += c.bs->stats();
+    done_trials += c.bs->trials_terminal();
+  }
+  return merged_partial(done_trials);
 }
 
 }  // namespace cdse

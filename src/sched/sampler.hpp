@@ -23,6 +23,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "psioa/snapshot.hpp"
@@ -35,17 +36,23 @@
 namespace cdse {
 
 /// Which stepping engine the parallel estimators drive per chunk.
-///   kSerial  -- one execution at a time, the historical draw-for-draw
-///               reproducible reference path.
-///   kBatched -- lockstep trajectory-class batches over the rows' alias
-///               tables (sched/batch_sampler.hpp): O(1) draws, row
-///               lookups amortized across the chunk's executions.
-///               Distribution-equivalent to kSerial at the same seed and
-///               trial count, but not draw-for-draw aligned; the
-///               chi-square harness (tests/stat_util.hpp) pins the
-///               equivalence. Requires schedulers whose choice is a
-///               function of (lstate, |alpha|).
-enum class SamplingMode { kSerial, kBatched };
+///   kSerial        -- one execution at a time, the historical
+///                     draw-for-draw reproducible reference path.
+///   kBatched       -- lockstep trajectory-class batches over the rows'
+///                     alias tables (sched/batch_sampler.hpp), stepping
+///                     with the vectorized block draw kernel
+///                     (BatchKernel::kBlock): bulk RNG fills, SoA alias
+///                     gathers, singleton elision. Distribution-
+///                     equivalent to kSerial at the same seed and trial
+///                     count, but not draw-for-draw aligned; the
+///                     chi-square harness (tests/stat_util.hpp) pins the
+///                     equivalence. Requires schedulers whose choice is
+///                     a function of (lstate, |alpha|).
+///   kBatchedPerDraw -- the same lockstep engine stepping with the PR-8
+///                     scalar per-draw kernel (BatchKernel::kPerDraw);
+///                     the differential reference and the "before" row
+///                     of the E21 bench.
+enum class SamplingMode { kSerial, kBatched, kBatchedPerDraw };
 
 /// Samples one execution under the scheduler, halting when the scheduler
 /// halts or at max_depth.
@@ -163,6 +170,38 @@ class ParallelSampler {
                                         ThreadPool& pool,
                                         SamplingMode mode =
                                             SamplingMode::kSerial);
+
+  /// Progress of one incremental wave, as handed to the wave callback.
+  struct WaveReport {
+    std::size_t wave = 0;            ///< 1-based wave index
+    std::size_t rounds_per_wave = 0; ///< lockstep rounds each chunk stepped
+    std::size_t trials_done = 0;     ///< executions terminal so far
+    std::size_t trials_requested = 0;
+    bool done = false;               ///< every chunk finished
+  };
+
+  /// Called after every wave with the progress report and the partial
+  /// estimate (terminal executions so far, normalized over trials_done).
+  /// Return false to stop early: remaining waves are skipped and the
+  /// partial estimate becomes the result.
+  using WaveCallback =
+      std::function<bool(const WaveReport&, const Disc<Perception, double>&)>;
+
+  /// Incremental-rounds twin of sample_fdist for the batched modes: each
+  /// chunk keeps a persistent BatchSampler and advances it
+  /// `rounds_per_wave` lockstep rounds per wave, surfacing the merged
+  /// partial tally after every wave -- the hook the sequential
+  /// early-stopping estimator consumes. Chunk partition, RNG streams and
+  /// merge order mirror sample_fdist exactly, so a run driven to
+  /// completion returns a bit-identical distribution to the one-shot
+  /// call in the same mode (tests/batch_sampler_test.cpp pins this).
+  /// `on_wave` may be null (run to completion silently). kSerial mode
+  /// has no round structure and is rejected (std::invalid_argument).
+  Disc<Perception, double> sample_fdist_incremental(
+      const InsightFunction& f, std::size_t trials, std::uint64_t seed,
+      std::size_t max_depth, ThreadPool& pool, std::size_t rounds_per_wave,
+      const WaveCallback& on_wave = nullptr,
+      SamplingMode mode = SamplingMode::kBatched);
 
   /// A fresh thin worker view / scheduler, as handed to each chunk.
   /// Exposed for the differential tests and for callers integrating the

@@ -3,7 +3,64 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/rng.hpp"
+
 namespace cdse {
+
+namespace {
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CDSE_X86_DISPATCH 1
+#else
+#define CDSE_X86_DISPATCH 0
+#endif
+
+#if defined(__GNUC__) && !defined(__clang__)
+#define CDSE_FORCE_INLINE inline __attribute__((always_inline))
+#else
+#define CDSE_FORCE_INLINE inline
+#endif
+
+// Shared loop body: gather accept/alias rows by slot index, compare
+// against the uniform, select. Exact double compare + integer select,
+// so the portable and AVX2 instantiations agree bitwise.
+CDSE_FORCE_INLINE void pick_block_body(const double* accept,
+                                       const std::uint32_t* alias,
+                                       const std::uint32_t* idx,
+                                       const double* u, std::uint32_t* out,
+                                       std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint32_t i = idx[k];
+    out[k] = u[k] < accept[i] ? i : alias[i];
+  }
+}
+
+void pick_block_portable(const double* accept, const std::uint32_t* alias,
+                         const std::uint32_t* idx, const double* u,
+                         std::uint32_t* out, std::size_t n) {
+  pick_block_body(accept, alias, idx, u, out, n);
+}
+
+#if CDSE_X86_DISPATCH
+__attribute__((target("avx2"))) void pick_block_avx2(
+    const double* accept, const std::uint32_t* alias, const std::uint32_t* idx,
+    const double* u, std::uint32_t* out, std::size_t n) {
+  pick_block_body(accept, alias, idx, u, out, n);
+}
+#endif
+
+}  // namespace
+
+void AliasTable::pick_block(const std::uint32_t* idx, const double* u,
+                            std::uint32_t* out, std::size_t n) const {
+#if CDSE_X86_DISPATCH
+  if (resolved_block_isa() == BlockIsa::kAvx2) {
+    pick_block_avx2(accept.data(), alias.data(), idx, u, out, n);
+    return;
+  }
+#endif
+  pick_block_portable(accept.data(), alias.data(), idx, u, out, n);
+}
 
 AliasTable AliasTable::build(const std::vector<double>& weights) {
   AliasTable t;

@@ -19,6 +19,15 @@
 // processes) yields bit-identical tables. tests/alias_test.cpp pins this
 // together with the slot-probability invariant
 //   sum over slots of P[pick = i] == weights[i] / total.
+//
+// Layout is structure-of-arrays on purpose: accept[] and alias[] are
+// separate contiguous rows, so the batched sampler's block kernel
+// resolves a whole buffer of draws with pick_block -- gather accept
+// thresholds by slot index, compare against the uniform buffer, select
+// slot or alias -- instead of per-draw pointer-chasing. pick_block
+// shares the portable/AVX2 runtime dispatch of util/rng.hpp's block
+// fills, and both paths are bit-identical (pure gather + exact double
+// compare + select).
 
 #include <cstddef>
 #include <cstdint>
@@ -46,6 +55,13 @@ struct AliasTable {
   std::size_t pick(std::size_t i, double u) const {
     return u < accept[i] ? i : static_cast<std::size_t>(alias[i]);
   }
+
+  /// Block pick: out[k] = pick(idx[k], u[k]) for k in [0, n). The SoA
+  /// gather kernel behind the batched sampler's tally loops; dispatches
+  /// to an AVX2 body where resolved_block_isa() allows, with bitwise
+  /// identical results on every path. idx values must be < size().
+  void pick_block(const std::uint32_t* idx, const double* u,
+                  std::uint32_t* out, std::size_t n) const;
 
   friend bool operator==(const AliasTable& a, const AliasTable& b) {
     return a.accept == b.accept && a.alias == b.alias;

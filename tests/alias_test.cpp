@@ -150,6 +150,49 @@ TEST(AliasDraws, ChiSquareMatchesWeights) {
       << "stat=" << r.stat << " dof=" << r.dof;
 }
 
+TEST(AliasDraws, PickBlockMatchesPick) {
+  // The SoA gather kernel is definitionally pick() applied elementwise;
+  // exercise ragged sizes and a block-generated input stream.
+  const AliasTable t = AliasTable::build({0.5, 2.5, 1.0, 3.0, 0.25, 0.75});
+  XoshiroBlock blk(0xa11a5);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{7},
+                              std::size_t{64}, std::size_t{1000}}) {
+    std::vector<std::uint32_t> idx(n);
+    std::vector<double> u(n);
+    std::vector<std::uint32_t> out(n);
+    blk.fill_below(idx.data(), n, static_cast<std::uint32_t>(t.size()));
+    blk.fill_uniform(u.data(), n);
+    t.pick_block(idx.data(), u.data(), out.data(), n);
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_EQ(out[k], t.pick(idx[k], u[k])) << "position " << k;
+    }
+  }
+}
+
+TEST(AliasDraws, PickBlockIsaPathsAreBitIdentical) {
+  set_block_isa(BlockIsa::kAvx2);
+  const bool have_avx2 = resolved_block_isa() == BlockIsa::kAvx2;
+  set_block_isa(BlockIsa::kAuto);
+  if (!have_avx2) GTEST_SKIP() << "CPU lacks AVX2; single-path build";
+
+  const AliasTable t = AliasTable::build({1.0, 2.0, 3.0, 4.0, 0.5});
+  constexpr std::size_t kN = 2048;
+  std::vector<std::uint32_t> idx(kN);
+  std::vector<double> u(kN);
+  XoshiroBlock blk(99);
+  blk.fill_below(idx.data(), kN, static_cast<std::uint32_t>(t.size()));
+  blk.fill_uniform(u.data(), kN);
+
+  std::vector<std::uint32_t> out_s(kN);
+  std::vector<std::uint32_t> out_v(kN);
+  set_block_isa(BlockIsa::kScalar);
+  t.pick_block(idx.data(), u.data(), out_s.data(), kN);
+  set_block_isa(BlockIsa::kAvx2);
+  t.pick_block(idx.data(), u.data(), out_v.data(), kN);
+  set_block_isa(BlockIsa::kAuto);
+  EXPECT_EQ(out_s, out_v);
+}
+
 // ----------------------------------------------------- frozen-row identity
 
 TEST(AliasFrozen, RebuildAcrossFreezesIsBitIdentical) {

@@ -22,6 +22,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -253,6 +254,284 @@ TEST(BatchSampler, SnapshotBatchedMatchesSerialOverFrozenTables) {
       EXPECT_GT(bs.distinct_executions, 0u);
     }
   }
+}
+
+// ----------------------------------------------------------- draw kernels
+
+/// Exact (bitwise) equality of two estimates -- the bar for "same
+/// schedule", much stronger than the chi-square harness.
+void expect_bit_identical(const Disc<Perception, double>& a,
+                          const Disc<Perception, double>& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.entries().size(), b.entries().size()) << what;
+  for (std::size_t i = 0; i < a.entries().size(); ++i) {
+    EXPECT_EQ(a.entries()[i].first, b.entries()[i].first) << what;
+    EXPECT_EQ(a.entries()[i].second, b.entries()[i].second) << what;
+  }
+}
+
+TEST(BatchSampler, PerDrawKernelMatchesSerialAcrossZoo) {
+  // The PR-8 reference kernel stays gated against the serial path.
+  TraceInsight f;
+  for (const Stack& stack : stack_zoo()) {
+    auto make_sched = uniform_factory(kDepth);
+    ThreadPool pool(4);
+    const auto serial =
+        parallel_sample_fdist(stack.make, make_sched, f, kTrials, 111,
+                              kDepth, pool, SamplingMode::kSerial);
+    const auto perdraw =
+        parallel_sample_fdist(stack.make, make_sched, f, kTrials, 222,
+                              kDepth, pool, SamplingMode::kBatchedPerDraw);
+    EXPECT_TRUE(testing::fdists_match(serial, kTrials, perdraw, kTrials))
+        << stack.label;
+  }
+}
+
+TEST(BatchSampler, BlockKernelMatchesPerDrawKernelStatistically) {
+  // The two kernels consume the RNG differently, so the bar here is
+  // distributional; the bitwise bar below is between ISA paths of the
+  // *same* kernel.
+  TraceInsight f;
+  ParallelSampler sampler(mac_factory("bs_kern"), uniform_factory(kDepth));
+  WarmupPlan plan;
+  plan.horizon = kDepth;
+  sampler.prepare(plan, kDepth);
+  ThreadPool pool(4);
+  const auto block = sampler.sample_fdist(f, kTrials, 505, kDepth, pool,
+                                          SamplingMode::kBatched);
+  const auto perdraw = sampler.sample_fdist(f, kTrials, 606, kDepth, pool,
+                                            SamplingMode::kBatchedPerDraw);
+  EXPECT_TRUE(testing::fdists_match(block, kTrials, perdraw, kTrials));
+}
+
+TEST(BatchSampler, BlockKernelIsaPathsProduceBitIdenticalTallies) {
+  // The acceptance gate for the runtime dispatch: forcing the scalar and
+  // the AVX2 block bodies must yield the same estimate to the last bit,
+  // at every worker count.
+  set_block_isa(BlockIsa::kAvx2);
+  const bool have_avx2 = resolved_block_isa() == BlockIsa::kAvx2;
+  set_block_isa(BlockIsa::kAuto);
+  if (!have_avx2) GTEST_SKIP() << "CPU lacks AVX2; single-path build";
+
+  TraceInsight f;
+  for (const Stack& stack : stack_zoo()) {
+    ParallelSampler sampler(stack.make, uniform_factory(kDepth));
+    WarmupPlan plan;
+    plan.horizon = kDepth;
+    sampler.prepare(plan, kDepth);
+    for (std::size_t workers : kWorkerCounts) {
+      ThreadPool pool(workers);
+      set_block_isa(BlockIsa::kScalar);
+      const auto scalar = sampler.sample_fdist(f, kTrials, 707, kDepth, pool,
+                                               SamplingMode::kBatched);
+      const BatchStats scalar_stats = sampler.last_batch_stats();
+      set_block_isa(BlockIsa::kAvx2);
+      const auto vector = sampler.sample_fdist(f, kTrials, 707, kDepth, pool,
+                                               SamplingMode::kBatched);
+      const BatchStats vector_stats = sampler.last_batch_stats();
+      set_block_isa(BlockIsa::kAuto);
+      expect_bit_identical(scalar, vector,
+                           std::string(stack.label) + " at " +
+                               std::to_string(workers) + " workers");
+      EXPECT_EQ(scalar_stats.block_draws, vector_stats.block_draws);
+      EXPECT_EQ(scalar_stats.rejection_redraws,
+                vector_stats.rejection_redraws);
+      EXPECT_EQ(scalar_stats.singleton_skips, vector_stats.singleton_skips);
+    }
+  }
+}
+
+TEST(BatchSampler, BlockCountersAccountForRngTraffic) {
+  TraceInsight f;
+  ParallelSampler sampler(mac_factory("bs_ctr"), uniform_factory(kDepth));
+  WarmupPlan plan;
+  plan.horizon = kDepth;
+  sampler.prepare(plan, kDepth);
+  ThreadPool pool(2);
+  (void)sampler.sample_fdist(f, kTrials, 808, kDepth, pool,
+                             SamplingMode::kBatched);
+  const BatchStats block = sampler.last_batch_stats();
+  // Logical draw counting is kernel-independent...
+  EXPECT_GE(block.action_draws, kTrials);
+  // ...but the block kernel must have elided singleton rows (the MAC
+  // stack's transitions are mostly deterministic) and bulk-filled the
+  // rest.
+  EXPECT_GT(block.singleton_skips, 0u);
+  EXPECT_GT(block.blocks_filled, 0u);
+  EXPECT_GT(block.block_draws, 0u);
+  EXPECT_LT(block.block_draws,
+            2 * (block.action_draws + block.target_draws));
+  (void)sampler.sample_fdist(f, kTrials, 808, kDepth, pool,
+                             SamplingMode::kBatchedPerDraw);
+  const BatchStats perdraw = sampler.last_batch_stats();
+  EXPECT_EQ(perdraw.blocks_filled, 0u);
+  EXPECT_EQ(perdraw.block_draws, 0u);
+  EXPECT_EQ(perdraw.singleton_skips, 0u);
+  EXPECT_EQ(perdraw.rejection_redraws, 0u);
+}
+
+// ------------------------------------------------------ incremental rounds
+
+TEST(BatchSamplerUnit, RunRoundsResumeIsBitIdentical) {
+  // run_rounds(a); run_rounds(b) must replay the exact schedule of
+  // run_rounds(a + b): same fragments, same stats, same RNG state.
+  auto coin = make_coin("bs_inc", Rational(1, 3));
+  UniformScheduler s1(kDepth);
+  UniformScheduler s2(kDepth);
+  const Xoshiro256 rng(55);
+  for (const BatchKernel kernel :
+       {BatchKernel::kBlock, BatchKernel::kPerDraw}) {
+    BatchSampler split(*coin, s1, 5000, rng, kDepth, kernel);
+    BatchSampler whole(*coin, s2, 5000, rng, kDepth, kernel);
+    std::size_t ran = 0;
+    while (!split.done()) ran += split.run_rounds(2);
+    whole.run_to_completion();
+    EXPECT_EQ(ran, whole.rounds_done());
+    EXPECT_EQ(split.trials_terminal(), whole.trials_terminal());
+    EXPECT_EQ(split.trials_terminal(), 5000u);
+    EXPECT_EQ(split.fragments(), whole.fragments());
+    EXPECT_EQ(split.stats().action_draws, whole.stats().action_draws);
+    EXPECT_EQ(split.stats().target_draws, whole.stats().target_draws);
+    EXPECT_EQ(split.stats().distinct_executions,
+              whole.stats().distinct_executions);
+  }
+}
+
+TEST(BatchSamplerUnit, AccumulateCountsIsMonotoneAcrossWaves) {
+  auto coin = make_coin("bs_mono", Rational(1, 3));
+  UniformScheduler sched(kDepth);
+  TraceInsight f;
+  BatchSampler bs(*coin, sched, 5000, Xoshiro256(66), kDepth);
+  std::vector<std::pair<Perception, double>> prev;
+  while (!bs.done()) {
+    bs.run_rounds(1);
+    const auto& counts = bs.accumulate_counts(f);
+    // Every previously seen perception keeps at least its old mass.
+    for (const auto& [perc, count] : prev) {
+      double now = 0.0;
+      for (const auto& [p2, c2] : counts.entries()) {
+        if (p2 == perc) now = c2;
+      }
+      EXPECT_GE(now, count);
+    }
+    prev.assign(counts.entries().begin(), counts.entries().end());
+  }
+  double total = 0.0;
+  for (const auto& [perc, count] : prev) total += count;
+  EXPECT_DOUBLE_EQ(total, 5000.0);
+}
+
+TEST(BatchSampler, IncrementalRunToCompletionEqualsOneShot) {
+  // The headline incremental contract: driven to completion, the waved
+  // path merges the exact same chunk tallies in the exact same order as
+  // the one-shot call -- bit-identical, per mode, per worker count.
+  TraceInsight f;
+  ParallelSampler sampler(mac_factory("bs_iosh"), uniform_factory(kDepth));
+  WarmupPlan plan;
+  plan.horizon = kDepth;
+  sampler.prepare(plan, kDepth);
+  for (const SamplingMode mode :
+       {SamplingMode::kBatched, SamplingMode::kBatchedPerDraw}) {
+    for (std::size_t workers : kWorkerCounts) {
+      ThreadPool pool(workers);
+      const auto oneshot =
+          sampler.sample_fdist(f, kTrials, 909, kDepth, pool, mode);
+      const auto waved = sampler.sample_fdist_incremental(
+          f, kTrials, 909, kDepth, pool, /*rounds_per_wave=*/1, nullptr,
+          mode);
+      expect_bit_identical(oneshot, waved,
+                           std::to_string(workers) + " workers");
+    }
+  }
+}
+
+TEST(BatchSampler, IncrementalWavesReportProgressAndPartialTallies) {
+  TraceInsight f;
+  ParallelSampler sampler(mac_factory("bs_wave"), uniform_factory(kDepth));
+  WarmupPlan plan;
+  plan.horizon = kDepth;
+  sampler.prepare(plan, kDepth);
+  ThreadPool pool(4);
+  std::vector<ParallelSampler::WaveReport> reports;
+  const auto dist = sampler.sample_fdist_incremental(
+      f, kTrials, 1001, kDepth, pool, /*rounds_per_wave=*/1,
+      [&](const ParallelSampler::WaveReport& rep,
+          const Disc<Perception, double>& partial) {
+        reports.push_back(rep);
+        if (rep.trials_done > 0) {
+          double total = 0.0;
+          for (const auto& [perc, w] : partial.entries()) total += w;
+          EXPECT_NEAR(total, 1.0, 1e-9);  // normalized over trials_done
+        }
+        return true;
+      });
+  ASSERT_GT(reports.size(), 1u);  // depth 6 cannot finish in one round
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    EXPECT_EQ(reports[i].wave, i + 1);
+    EXPECT_EQ(reports[i].trials_requested, kTrials);
+    if (i > 0) {
+      EXPECT_GE(reports[i].trials_done, reports[i - 1].trials_done);
+    }
+  }
+  EXPECT_TRUE(reports.back().done);
+  EXPECT_EQ(reports.back().trials_done, kTrials);
+  EXPECT_GE(sampler.last_batch_stats().action_draws, kTrials);
+  double total = 0.0;
+  for (const auto& [perc, w] : dist.entries()) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(BatchSampler, IncrementalEarlyStopReturnsNormalizedPartial) {
+  TraceInsight f;
+  ParallelSampler sampler(ledger_factory("bs_stop"), uniform_factory(kDepth));
+  WarmupPlan plan;
+  plan.horizon = kDepth;
+  sampler.prepare(plan, kDepth);
+  ThreadPool pool(2);
+  std::size_t waves_seen = 0;
+  const auto dist = sampler.sample_fdist_incremental(
+      f, kTrials, 2002, kDepth, pool, /*rounds_per_wave=*/1,
+      [&](const ParallelSampler::WaveReport&,
+          const Disc<Perception, double>&) {
+        ++waves_seen;
+        return false;  // stop after the first wave
+      });
+  EXPECT_EQ(waves_seen, 1u);
+  double total = 0.0;
+  for (const auto& [perc, w] : dist.entries()) total += w;
+  if (!dist.entries().empty()) {
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(BatchSampler, IncrementalMatchesSerialStatistically) {
+  // The chi-square gate through the incremental path: waved block-kernel
+  // estimates remain statistically indistinguishable from the serial
+  // reference.
+  TraceInsight f;
+  ParallelSampler sampler(mac_factory("bs_ichi"), uniform_factory(kDepth));
+  WarmupPlan plan;
+  plan.horizon = kDepth;
+  sampler.prepare(plan, kDepth);
+  ThreadPool pool(4);
+  const auto serial = sampler.sample_fdist(f, kTrials, 3003, kDepth, pool,
+                                           SamplingMode::kSerial);
+  const auto waved = sampler.sample_fdist_incremental(
+      f, kTrials, 4004, kDepth, pool, /*rounds_per_wave=*/2);
+  EXPECT_TRUE(testing::fdists_match(serial, kTrials, waved, kTrials));
+}
+
+TEST(BatchSampler, IncrementalRejectsSerialMode) {
+  TraceInsight f;
+  ParallelSampler sampler(mac_factory("bs_irej"), uniform_factory(kDepth));
+  WarmupPlan plan;
+  plan.horizon = kDepth;
+  sampler.prepare(plan, kDepth);
+  ThreadPool pool(1);
+  EXPECT_THROW(sampler.sample_fdist_incremental(f, 100, 1, kDepth, pool, 1,
+                                                nullptr,
+                                                SamplingMode::kSerial),
+               std::invalid_argument);
 }
 
 }  // namespace
