@@ -17,11 +17,15 @@
 #include <cstdlib>
 #include <fstream>
 #include <new>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "crypto/pairs.hpp"
 #include "fault/faulty.hpp"
+#include "impl/balance.hpp"
+#include "impl/implementation.hpp"
 #include "pca/check.hpp"
 #include "protocols/coinflip.hpp"
 #include "protocols/environment.hpp"
@@ -558,7 +562,152 @@ void BM_PcaConstraintCheck(benchmark::State& state) {
 }
 BENCHMARK(BM_PcaConstraintCheck);
 
+// -- E22: sequential vs fixed-trial draw accounting --------------------------
+// Not a timed microbenchmark: the deliverable is the logical draw count
+// of the anytime-valid sequential estimator against the fixed-trial
+// reference at equal verdict, on the one-time-MAC implementation check
+// (k = 4, exact eps = 1/16 under the forgery word). The rows land as a
+// top-level "e22_rows" array in the benchmark JSON so check.sh
+// --bench-smoke can gate on the draw-reduction floor.
+
+struct E22Row {
+  std::string name;
+  double threshold = 0.0;
+  std::uint64_t fixed_draws = 0;
+  std::uint64_t seq_draws = 0;
+  double reduction = 0.0;
+  bool verdict_agree = false;
+  double estimate = 0.0;
+};
+
+std::vector<E22Row> run_e22() {
+  const std::string tag = "e22m";
+  TraceInsight f;
+  ThreadPool pool(8);
+  const std::size_t depth = 12;
+  const std::size_t budget = std::size_t{1} << 16;
+  const RealIdealPair mac = make_otmac_pair(4, tag);
+  const PsioaFactory a = [mac] { return mac.real.ptr(); };
+  const PsioaFactory b = [mac] { return mac.ideal.ptr(); };
+  const std::vector<LabeledPsioaFactory> envs = {
+      {"probe", [tag]() -> PsioaPtr {
+         auto env = make_probe_env_matching(
+             "env_" + tag, {act("auth_" + tag)}, acts({"rejected_" + tag}),
+             act("forged_" + tag), act("acc_" + tag));
+         auto adv =
+             make_sink_adversary("adv_" + tag, {}, acts({"forge_" + tag}));
+         return compose(env, adv);
+       }}};
+  const std::vector<LabeledSchedulerFactory> schedulers = {
+      {"word", [tag]() -> SchedulerPtr {
+         return std::make_shared<SequenceScheduler>(
+             std::vector<ActionId>{act("auth_" + tag), act("forge_" + tag),
+                                   act("forged_" + tag), act("acc_" + tag)},
+             /*local_only=*/true);
+       }}};
+
+  std::vector<E22Row> rows;
+  const std::pair<const char*, double> grid_cases[] = {
+      {"mac_impl_above", 0.03}, {"mac_impl_below", 0.2}};
+  for (const auto& [name, thr] : grid_cases) {
+    const SampledImplementationReport seq = check_implementation_sampled(
+        a, b, envs, schedulers, same_scheduler(), f, depth, pool,
+        SequentialPolicy::deciding(thr, budget, 1e-3), 97);
+    SequentialPolicy fp = SequentialPolicy::fixed(budget);
+    fp.threshold = thr;
+    const SampledImplementationReport fixed = check_implementation_sampled(
+        a, b, envs, schedulers, same_scheduler(), f, depth, pool, fp, 97);
+    E22Row row;
+    row.name = name;
+    row.threshold = thr;
+    row.fixed_draws = fixed.total_draws;
+    row.seq_draws = seq.total_draws;
+    row.reduction = seq.total_draws > 0
+                        ? static_cast<double>(fixed.total_draws) /
+                              static_cast<double>(seq.total_draws)
+                        : 0.0;
+    row.verdict_agree = seq.rows[0].verdict != SeqVerdict::kUndecided &&
+                        seq.rows[0].verdict == fixed.rows[0].verdict;
+    row.estimate = seq.rows[0].eps;
+    rows.push_back(row);
+  }
+
+  // Importance splitting: exact prefix strata at depth 2 + conditioned
+  // cursors, against the same fixed-trial plain reference.
+  const PsioaFactory side_real = [tag] {
+    const RealIdealPair pair = make_otmac_pair(4, tag + "s");
+    auto env = make_probe_env_matching(
+        "env_" + tag + "s", {act("auth_" + tag + "s")},
+        acts({"rejected_" + tag + "s"}), act("forged_" + tag + "s"),
+        act("acc_" + tag + "s"));
+    auto adv = make_sink_adversary("adv_" + tag + "s", {},
+                                   acts({"forge_" + tag + "s"}));
+    return compose(env, compose(pair.real.ptr(), adv));
+  };
+  const PsioaFactory side_ideal = [tag] {
+    const RealIdealPair pair = make_otmac_pair(4, tag + "s");
+    auto env = make_probe_env_matching(
+        "env_" + tag + "s", {act("auth_" + tag + "s")},
+        acts({"rejected_" + tag + "s"}), act("forged_" + tag + "s"),
+        act("acc_" + tag + "s"));
+    auto adv = make_sink_adversary("adv_" + tag + "s", {},
+                                   acts({"forge_" + tag + "s"}));
+    return compose(env, compose(pair.ideal.ptr(), adv));
+  };
+  const SchedulerFactory word = [tag]() -> SchedulerPtr {
+    return std::make_shared<SequenceScheduler>(
+        std::vector<ActionId>{
+            act("auth_" + tag + "s"), act("forge_" + tag + "s"),
+            act("forged_" + tag + "s"), act("acc_" + tag + "s")},
+        /*local_only=*/true);
+  };
+  {
+    SequentialPolicy sp = SequentialPolicy::deciding(0.03, budget, 1e-3);
+    sp.split_depth = 2;
+    const SequentialEpsilon split = sequential_balance_epsilon(
+        side_real, word, side_ideal, word, f, sp, 101, depth, pool);
+    SequentialPolicy fp = SequentialPolicy::fixed(budget);
+    fp.threshold = 0.03;
+    const SequentialEpsilon fixed = sequential_balance_epsilon(
+        side_real, word, side_ideal, word, f, fp, 101, depth, pool);
+    E22Row row;
+    row.name = "mac_split_above";
+    row.threshold = 0.03;
+    row.fixed_draws = fixed.draws;
+    row.seq_draws = split.draws;
+    row.reduction = split.draws > 0 ? static_cast<double>(fixed.draws) /
+                                          static_cast<double>(split.draws)
+                                    : 0.0;
+    row.verdict_agree = split.verdict != SeqVerdict::kUndecided &&
+                        split.verdict == fixed.verdict;
+    row.estimate = split.estimate;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
 }  // namespace
+
+/// Runs the E22 comparison and renders the rows as a JSON array, for
+/// injection into the benchmark output file (see main).
+std::string e22_rows_json() {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const E22Row& row : run_e22()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    {\"name\": \"" << row.name << "\", \"threshold\": "
+       << row.threshold << ", \"fixed_draws\": " << row.fixed_draws
+       << ", \"seq_draws\": " << row.seq_draws
+       << ", \"reduction\": " << row.reduction << ", \"verdict_agree\": "
+       << (row.verdict_agree ? "true" : "false")
+       << ", \"estimate\": " << row.estimate << "}";
+  }
+  os << "\n  ]";
+  return os.str();
+}
+
 }  // namespace cdse
 
 int main(int argc, char** argv) {
@@ -566,10 +715,16 @@ int main(int argc, char** argv) {
   // Default machine-readable output unless the caller chose their own.
   std::string out_flag = "--benchmark_out=BENCH_engine.json";
   std::string fmt_flag = "--benchmark_out_format=json";
+  std::string out_path = "BENCH_engine.json";
   bool caller_out = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) {
+    const std::string arg(argv[i]);
+    if (arg.rfind("--benchmark_out", 0) == 0) {
       caller_out = true;
+      const auto eq = arg.find('=');
+      if (arg.rfind("--benchmark_out=", 0) == 0 && eq != std::string::npos) {
+        out_path = arg.substr(eq + 1);
+      }
     }
   }
   if (!caller_out) {
@@ -581,5 +736,23 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // E22 post-pass: run the sequential-vs-fixed comparison and splice the
+  // rows into the JSON report as a top-level "e22_rows" key.
+  {
+    const std::string rows = cdse::e22_rows_json();
+    std::ifstream in(out_path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      std::string text = buf.str();
+      in.close();
+      const auto pos = text.rfind('}');
+      if (pos != std::string::npos) {
+        text.insert(pos, ",\n  \"e22_rows\": " + rows + "\n");
+        std::ofstream out(out_path, std::ios::trunc);
+        out << text;
+      }
+    }
+  }
   return 0;
 }

@@ -14,7 +14,9 @@
 #                               # bench, tiny-parameter run, checks that
 #                               # BENCH_engine.json is produced (incl.
 #                               # the E21 block-kernel rows and the
-#                               # block-vs-per-draw speedup floor); also
+#                               # block-vs-per-draw speedup floor, plus
+#                               # the E22 sequential-estimator rows and
+#                               # their 2x draw-reduction floor); also
 #                               # runs the E18 service soak at <=1k
 #                               # sessions and checks BENCH_service.json
 #                               # (the CI bench-smoke job runs exactly
@@ -59,16 +61,18 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # the exact cone-measure engine (ParallelConeEngine subtree fan-out,
   # parallel distinguisher search, parallel sweep grids), and the
   # quotient reduction (shared minimized snapshots behind per-worker
-  # QuotientPsioa views in all of the above), and the batched alias
-  # sampler (frozen alias tables read lock-free by lockstep workers).
+  # QuotientPsioa views in all of the above), the batched alias
+  # sampler (frozen alias tables read lock-free by lockstep workers),
+  # and the sequential estimator (incremental waves + stratified
+  # per-stratum cursors fanned out over the pool).
   echo "== tsan: ThreadSanitizer build + concurrency suites =="
   cmake -B build-tsan -S . -DCDSE_SANITIZE="thread" >/dev/null
   cmake --build build-tsan -j "$JOBS" \
     --target snapshot_test thread_pool_test intern_test intern_gc_test \
              service_soak_test exact_engine_test quotient_test \
-             alias_test batch_sampler_test
+             alias_test batch_sampler_test seq_estimator_test
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'Snapshot|ThreadPool|FrozenChoice|Parallel|Intern|ExactEngine|Quotient|ShardedInternGc|DynamicPcaGc|MacSessionSvc|SoakLatency|Soak|AliasFrozen|BatchSampler'
+    -R 'Snapshot|ThreadPool|FrozenChoice|Parallel|Intern|ExactEngine|Quotient|ShardedInternGc|DynamicPcaGc|MacSessionSvc|SoakLatency|Soak|AliasFrozen|BatchSampler|SeqEst'
   echo "== tsan pass clean =="
   exit 0
 fi
@@ -129,6 +133,24 @@ ratio = per_draw / block
 print(f"E21 speedup floor: per-draw {per_draw:.0f}ns / block {block:.0f}ns "
       f"= {ratio:.2f}x (floor 1.2x)")
 assert ratio >= 1.2, f"block kernel only {ratio:.2f}x over per-draw (< 1.2x)"
+PY
+  # E22: the sequential-estimator rows must land in the artifact, every
+  # row's verdict must agree with the fixed-trial reference, and the MAC
+  # implementation-check rows must clear a 2x draw-reduction floor
+  # (measured ~9x above / ~21x below; draw counts are deterministic at a
+  # fixed seed, so the floor is stable on shared runners).
+  python3 - <<'PY'
+import json
+with open("build-bench/BENCH_engine.json") as f:
+    rows = {r["name"]: r for r in json.load(f)["e22_rows"]}
+assert rows, "e22_rows missing or empty"
+for name, r in rows.items():
+    assert r["verdict_agree"], f"{name}: sequential verdict disagrees"
+for name in ("mac_impl_above", "mac_impl_below"):
+    red = rows[name]["reduction"]
+    print(f"E22 {name}: {rows[name]['fixed_draws']} -> "
+          f"{rows[name]['seq_draws']} draws ({red:.1f}x)")
+    assert red >= 2.0, f"{name}: draw reduction {red:.2f}x below 2x floor"
 PY
   # E13/E13b/E13c self-check the engine-equivalence claims (legacy vs
   # iterative vs parallel, raw vs bisimulation quotient) and emit the

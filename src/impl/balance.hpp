@@ -11,6 +11,7 @@
 #include "sched/cone_measure.hpp"
 #include "sched/exact_engine.hpp"
 #include "sched/sampler.hpp"
+#include "sched/seq_estimator.hpp"
 
 namespace cdse {
 
@@ -51,5 +52,71 @@ SampledEpsilon sampled_balance_epsilon(
     const PsioaFactory& make_rhs, const SchedulerFactory& make_sigma_rhs,
     const InsightFunction& f, std::size_t trials, std::uint64_t seed,
     std::size_t max_depth, ThreadPool& pool, double delta = 1e-6);
+
+// -- sequential (answer-cost) epsilon --------------------------------------
+
+/// Result of one sequential epsilon decision. With policy.sequential()
+/// the verdict is anytime-valid at confidence 1 - delta and `trials` /
+/// `draws` record what the early stop actually cost; with a fixed
+/// policy (delta == 0) the whole budget runs and the verdict is the
+/// point comparison estimate vs threshold -- the reference row of the
+/// E22 draw-count tables.
+struct SequentialEpsilon {
+  double estimate = 0.0;
+  double radius = 1.0;
+  SeqVerdict verdict = SeqVerdict::kUndecided;
+  std::size_t trials = 0;   ///< per-side trials committed
+  std::uint64_t draws = 0;  ///< logical action+target draws, both sides
+  std::size_t looks = 0;    ///< estimator looks spent
+  std::size_t stages = 0;   ///< geometric trial stages run
+  std::size_t strata = 0;   ///< live strata, both sides (0 = plain mode)
+};
+
+/// Sequential epsilon between E||A (make_lhs under make_sigma_lhs) and
+/// E||B: prepares one frozen snapshot per side (WarmupPlan with
+/// horizon = max_depth), then commits trials in geometric stages
+/// (policy.initial_trials, x policy.growth, capped at
+/// policy.max_trials), driving both sides' IncrementalFdistRun wave by
+/// wave and handing the paired partial tallies to a SeqEstimator after
+/// every wave -- stopping the moment the confidence sequence clears
+/// policy.threshold. policy.split_depth > 0 switches to the
+/// importance-splitting estimator: the exact cone of each side is
+/// expanded to split_depth (expand_prefix_strata), per-prefix
+/// BatchSampler cursors sample the conditional continuations, and the
+/// stratified tally reweights by exact cone mass, with sample budget
+/// steered toward strata whose action words show the largest cross-side
+/// cone-mass gap (policy.split_boost). The plain path stays available
+/// (split_depth == 0) as the differential reference. kSerial mode is
+/// rejected; policy.active() is required.
+SequentialEpsilon sequential_balance_epsilon(
+    const PsioaFactory& make_lhs, const SchedulerFactory& make_sigma_lhs,
+    const PsioaFactory& make_rhs, const SchedulerFactory& make_sigma_rhs,
+    const InsightFunction& f, const SequentialPolicy& policy,
+    std::uint64_t seed, std::size_t max_depth, ThreadPool& pool,
+    SamplingMode mode = SamplingMode::kBatched);
+
+/// Per-stratum conditional tallies (importance splitting), exposed for
+/// the chi-square unbiasedness gates: for each live stratum i of
+/// `strata`, samples alloc[i] continuations conditioned on the stratum
+/// prefix (one prefix-conditioned BatchSampler on its own worker view,
+/// stream i of `seed`) and returns the unnormalized per-perception
+/// tallies, in stratum order. Strata fan out over the pool but each
+/// carries its own RNG stream keyed by its (deterministic, enumeration-
+/// order) index, so the tallies are identical at every worker count.
+std::vector<Disc<Perception, double>> stratified_sample_counts(
+    const ParallelSampler& sampler, const InsightFunction& f,
+    const PrefixStrata& strata, const std::vector<std::size_t>& alloc,
+    std::uint64_t seed, std::size_t max_depth, ThreadPool& pool,
+    SamplingMode mode = SamplingMode::kBatched, BatchStats* stats = nullptr);
+
+/// Rao-style reweighted estimate: settled (exact, to double) plus
+/// sum_i cone_mass_i * counts_i / n_i over live strata -- unbiased for
+/// the full-depth f-dist for any allocation with n_i >= 1 everywhere.
+/// Strata with n_i == 0 are skipped (their mass goes missing; the
+/// sequential driver never allocates zero).
+Disc<Perception, double> stratified_fdist(
+    const PrefixStrata& strata,
+    const std::vector<Disc<Perception, double>>& counts,
+    const std::vector<std::uint64_t>& n);
 
 }  // namespace cdse

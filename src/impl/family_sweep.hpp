@@ -23,12 +23,18 @@ struct FamilySweepRow {
   /// Sampled epsilon (always filled when trials > 0).
   double sampled = 0.0;
   double radius = 1.0;
+  /// Sequential mode bookkeeping (kUndecided / zero on exact cells and
+  /// fixed-trial sampled cells).
+  SeqVerdict verdict = SeqVerdict::kUndecided;
+  std::size_t trials_used = 0;  ///< per-side trials the cell committed
+  std::uint64_t draws = 0;      ///< logical draws the cell spent
 };
 
 struct FamilySweepReport {
   std::vector<FamilySweepRow> rows;
   bool negligible_looking = false;  // util::looks_negligible on exact/sampled
   double fitted_exponent = 0.0;     // eps(k) ~ 2^{-c k}: the fitted c
+  std::uint64_t total_draws = 0;    // sampled-cell draws (E22 cost headline)
 };
 
 /// Sweeps eps(k) = balance distance between E_k||A_k and E_k||B_k under
@@ -37,11 +43,20 @@ struct FamilySweepReport {
 /// (per-side fallback on warm-up truncation); every exact epsilon is
 /// Rational-equal to the unreduced sweep. Sampled cells ignore the
 /// policy (sampling never freezes).
+///
+/// With an active `seq` policy the sampled cells switch to
+/// sequential_balance_epsilon: each cell stops as soon as its confidence
+/// sequence decides seq.threshold, recording verdict/trials_used/draws.
+/// The per-cell confidence budget is seq.delta split evenly over the
+/// sampled cells (union bound: the sweep's sampled verdicts are jointly
+/// wrong with probability at most seq.delta). `trials` is ignored for
+/// cell sizing when seq is active (seq.max_trials caps the cell).
 FamilySweepReport family_epsilon_sweep(
     const PsioaFamily& lhs, const PsioaFamily& rhs,
     const SchedulerFamily& sched, const InsightFunction& f,
     const std::vector<std::uint32_t>& ks, std::size_t max_depth,
     std::uint32_t exact_upto, std::size_t trials, std::uint64_t seed,
-    ThreadPool& pool, const ReductionPolicy& policy = {});
+    ThreadPool& pool, const ReductionPolicy& policy = {},
+    const SequentialPolicy& seq = {});
 
 }  // namespace cdse

@@ -1,5 +1,7 @@
 #include "impl/implementation.hpp"
 
+#include <algorithm>
+
 namespace cdse {
 
 ImplementationReport check_implementation(
@@ -57,6 +59,45 @@ ImplementationReport check_implementation_parallel(
   // order-insensitive anyway, so the report is worker-count independent.
   for (const auto& row : report.rows) {
     if (row.eps > report.max_eps) report.max_eps = row.eps;
+  }
+  return report;
+}
+
+SampledImplementationReport check_implementation_sampled(
+    const PsioaFactory& a, const PsioaFactory& b,
+    const std::vector<LabeledPsioaFactory>& envs,
+    const std::vector<LabeledSchedulerFactory>& schedulers,
+    const SchedulerCorrespondence& correspond, const InsightFunction& f,
+    std::size_t max_depth, ThreadPool& pool, const SequentialPolicy& policy,
+    std::uint64_t seed, SamplingMode mode) {
+  SampledImplementationReport report;
+  const std::size_t cells = envs.size() * schedulers.size();
+  report.all_below = cells > 0;
+  if (cells == 0) return report;
+  // Union bound: the whole grid's error budget is policy.delta, split
+  // evenly so each cell's anytime-valid verdict spends delta / cells.
+  SequentialPolicy cell_policy = policy;
+  if (policy.sequential()) {
+    cell_policy.delta = policy.delta / static_cast<double>(cells);
+  }
+  for (std::size_t idx = 0; idx < cells; ++idx) {
+    const auto& env = envs[idx / schedulers.size()];
+    const auto& sched = schedulers[idx % schedulers.size()];
+    const PsioaFactory make_lhs = [&] { return compose(env.make(), a()); };
+    const PsioaFactory make_rhs = [&] { return compose(env.make(), b()); };
+    const SchedulerFactory make_sigma = sched.make;
+    const SchedulerFactory make_matched = [&] {
+      return correspond(sched.make());
+    };
+    const SequentialEpsilon cell = sequential_balance_epsilon(
+        make_lhs, make_sigma, make_rhs, make_matched, f, cell_policy,
+        seed + static_cast<std::uint64_t>(idx) * 0x9e3779b97f4a7c15ULL,
+        max_depth, pool, mode);
+    report.rows.push_back({env.label, sched.label, cell.estimate, cell.radius,
+                           cell.verdict, cell.trials, cell.draws});
+    report.max_eps = std::max(report.max_eps, cell.estimate);
+    report.total_draws += cell.draws;
+    if (cell.verdict != SeqVerdict::kBelowThreshold) report.all_below = false;
   }
   return report;
 }

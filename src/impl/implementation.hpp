@@ -95,6 +95,42 @@ ImplementationReport check_implementation_parallel(
     std::size_t max_depth, ThreadPool& pool,
     const ReductionPolicy& policy = {});
 
+/// Sampled implementation grid, for systems whose cells are too large
+/// to enumerate: every (environment, scheduler) cell decides
+/// "epsilon above/below policy.threshold" with sequential_balance_epsilon
+/// instead of computing the exact rational. The per-cell confidence
+/// budget is policy.delta split evenly over the grid (delta / cells per
+/// cell, union bound), so the WHOLE report is wrong with probability at
+/// most policy.delta. Cells run serially on the calling thread -- the
+/// sequential estimator already fans its sampling waves over `pool`,
+/// and nesting parallel_for_chunks inside pool tasks would deadlock on
+/// wait_idle.
+struct SampledImplementationReport {
+  struct Row {
+    std::string env;
+    std::string sched;
+    double eps = 0.0;        ///< terminal-normalized point estimate
+    double radius = 1.0;     ///< confidence radius at the stop
+    SeqVerdict verdict = SeqVerdict::kUndecided;
+    std::size_t trials = 0;  ///< per-side trials the cell committed
+    std::uint64_t draws = 0; ///< logical draws the cell spent
+  };
+  std::vector<Row> rows;
+  double max_eps = 0.0;
+  std::uint64_t total_draws = 0;  ///< the E22 cost headline
+  /// Every cell decided kBelowThreshold (the sampled analogue of
+  /// holds_with: A <= B at the policy threshold, confidence 1 - delta).
+  bool all_below = false;
+};
+
+SampledImplementationReport check_implementation_sampled(
+    const PsioaFactory& a, const PsioaFactory& b,
+    const std::vector<LabeledPsioaFactory>& envs,
+    const std::vector<LabeledSchedulerFactory>& schedulers,
+    const SchedulerCorrespondence& correspond, const InsightFunction& f,
+    std::size_t max_depth, ThreadPool& pool, const SequentialPolicy& policy,
+    std::uint64_t seed, SamplingMode mode = SamplingMode::kBatched);
+
 /// Transitivity helper (Theorem 4.16 / B.4): epsilon13 <= eps12 + eps23
 /// checked on concrete chains by the caller; this just packages the
 /// triangle inequality evaluation for one environment/scheduler case.

@@ -45,6 +45,35 @@ BatchSampler::BatchSampler(Psioa& automaton, Scheduler& sched,
   }
 }
 
+BatchSampler::BatchSampler(Psioa& automaton, Scheduler& sched,
+                           std::size_t trials, const Xoshiro256& rng,
+                           std::size_t max_depth, const ExecFragment& prefix,
+                           BatchKernel kernel)
+    : automaton_(automaton),
+      sched_(sched),
+      trials_(trials),
+      max_depth_(max_depth),
+      kernel_(kernel),
+      rng_(rng),
+      prefix_(prefix) {
+  memo_ = dynamic_cast<MemoPsioa*>(&automaton_);
+  if (memo_ != nullptr && !memo_->memoization_enabled()) memo_ = nullptr;
+  if (kernel_ == BatchKernel::kBlock) block_.emplace(rng_());
+
+  // All trials start as one class at the prefix's last state; depth_
+  // counts absolute execution length, so scheduler rows and the
+  // max_depth cap behave exactly as in an unconditioned run that
+  // happened to walk this prefix.
+  depth_ = prefix.length();
+  const State q0 = prefix.lstate();
+  nodes_.push_back(PathNode{-1, kInvalidAction, q0});
+  if (trials_ > 0) {
+    cls_state_.push_back(q0);
+    cls_node_.push_back(0);
+    cls_count_.push_back(static_cast<std::uint64_t>(trials_));
+  }
+}
+
 void BatchSampler::push_terminal(std::int32_t node, std::uint64_t count) {
   terminal_.push_back(TerminalClass{node, count});
   terminal_trials_ += count;
@@ -214,10 +243,18 @@ const Disc<Perception, double>& BatchSampler::accumulate_counts(
     const InsightFunction& f) {
   for (; counted_ < terminal_.size(); ++counted_) {
     const TerminalClass& tc = terminal_[counted_];
-    counts_.add(f.apply(automaton_, fragment_of(tc.node)),
-                static_cast<double>(tc.count));
+    const Perception perc = f.apply(automaton_, fragment_of(tc.node));
+    const double count = static_cast<double>(tc.count);
+    counts_.add(perc, count);
+    if (track_deltas_) delta_.add(perc, count);
   }
   return counts_;
+}
+
+Disc<Perception, double> BatchSampler::drain_count_delta() {
+  Disc<Perception, double> out = std::move(delta_);
+  delta_ = Disc<Perception, double>{};
+  return out;
 }
 
 std::vector<ExecFragment> BatchSampler::fragments() const {
@@ -236,7 +273,12 @@ ExecFragment BatchSampler::fragment_of(std::int32_t leaf) const {
   for (std::int32_t v = leaf; v >= 0; v = nodes_[v].parent) {
     chain.push_back(v);
   }
-  ExecFragment alpha = ExecFragment::starting_at(nodes_[chain.back()].q);
+  // Conditioned runs graft the sampled suffix onto a copy of the prefix
+  // (the root node stands in for prefix.lstate(), so the chain skips it
+  // either way).
+  ExecFragment alpha = prefix_.has_value()
+                           ? *prefix_
+                           : ExecFragment::starting_at(nodes_[chain.back()].q);
   for (std::size_t k = chain.size() - 1; k-- > 0;) {
     alpha.append(nodes_[chain[k]].a, nodes_[chain[k]].q);
   }

@@ -137,6 +137,21 @@ class BatchSampler {
                const Xoshiro256& rng, std::size_t max_depth,
                BatchKernel kernel = BatchKernel::kBlock);
 
+  /// Prefix-conditioned variant for the importance-splitting estimator:
+  /// all `trials` executions start from `prefix` (depth counts from
+  /// prefix.length(), so the scheduler sees absolute execution lengths
+  /// and `max_depth` keeps its absolute meaning) and sample the
+  /// CONDITIONAL continuation law given the prefix. Terminal fragments
+  /// are the full executions (prefix + sampled suffix), so the insight
+  /// function sees exactly what an unconditioned run would feed it.
+  /// Correct conditioning relies on the batched scheduler contract
+  /// (choice a function of (lstate, |alpha|)): under it the conditional
+  /// law given a depth-d prefix depends only on (prefix.lstate(), d).
+  BatchSampler(Psioa& automaton, Scheduler& sched, std::size_t trials,
+               const Xoshiro256& rng, std::size_t max_depth,
+               const ExecFragment& prefix,
+               BatchKernel kernel = BatchKernel::kBlock);
+
   /// Executes up to `n` more lockstep rounds; returns how many actually
   /// ran (0 once done()). When the run completes -- every class halted
   /// or max_depth reached -- surviving classes are flushed to terminal.
@@ -157,6 +172,16 @@ class BatchSampler {
   /// calling after every run_rounds wave yields the partial tallies the
   /// sequential estimator consumes.
   const Disc<Perception, double>& accumulate_counts(const InsightFunction& f);
+
+  /// Enables per-wave delta tallies: while on, accumulate_counts also
+  /// folds freshly terminal classes into a drainable delta tally, so an
+  /// incremental driver can merge only what changed since its last wave
+  /// (O(new terminal classes) per wave instead of a full re-merge).
+  void track_deltas(bool on) { track_deltas_ = on; }
+  /// Returns and clears the per-perception counts added by
+  /// accumulate_counts since the previous drain (empty when nothing new
+  /// went terminal, or when track_deltas was never enabled).
+  Disc<Perception, double> drain_count_delta();
 
   /// Expands every terminal class back to one fragment per execution,
   /// in deterministic class order. Requires done().
@@ -197,6 +222,10 @@ class BatchSampler {
   Xoshiro256 rng_;
   std::optional<XoshiroBlock> block_;
 
+  /// Conditioning prefix (importance splitting); node 0 stands in for
+  /// its last state, and fragment_of grafts expansions onto a copy.
+  std::optional<ExecFragment> prefix_;
+
   std::vector<PathNode> nodes_;
   std::vector<TerminalClass> terminal_;
   std::uint64_t terminal_trials_ = 0;
@@ -222,6 +251,8 @@ class BatchSampler {
   // Partial-tally accumulation state.
   Disc<Perception, double> counts_;
   std::size_t counted_ = 0;  // terminal_ prefix already folded in
+  bool track_deltas_ = false;
+  Disc<Perception, double> delta_;  // fresh counts since the last drain
 
   BatchStats stats_;
 };

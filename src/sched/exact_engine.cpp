@@ -144,6 +144,48 @@ void enumerate_cone(
   path.truncate(base_len);
 }
 
+// -- exact prefix strata (importance splitting) -----------------------------
+
+PrefixStrata expand_prefix_strata(Psioa& automaton, Scheduler& sched,
+                                  const InsightFunction& f,
+                                  std::size_t split_depth, ConeStats* stats) {
+  PrefixStrata out;
+  ExecFragment root = ExecFragment::starting_at(automaton.start_state());
+  if (split_depth == 0) {
+    out.live.push_back({std::move(root), Rational(1)});
+    out.live_mass = Rational(1);
+    return out;
+  }
+  // enumerate_cone capped at split_depth visits each event exactly once:
+  // interior halts (length < cap) with their halt mass -- genuinely
+  // terminal, hence settled -- and depth-capped fragments (length ==
+  // cap) with their FULL remaining cone mass, which is exactly the
+  // stratum weight conditioning needs.
+  enumerate_cone(
+      automaton, sched, split_depth, root, Rational(1),
+      [&](const ExecFragment& alpha, const Rational& p) {
+        if (alpha.length() >= split_depth) {
+          out.live.push_back({alpha, p});  // copy: alpha aliases the path
+          out.live_mass = out.live_mass + p;
+        } else {
+          out.settled.add(f.apply(automaton, alpha), p);
+        }
+      },
+      stats);
+  return out;
+}
+
+PrefixStrata strata_from_frontier(const ConeFrontier& frontier) {
+  PrefixStrata out;
+  out.settled = frontier.settled;
+  out.live.reserve(frontier.live.size());
+  for (const auto& e : frontier.live) {
+    out.live.push_back({e.frag, e.prob});
+    out.live_mass = out.live_mass + e.prob;
+  }
+  return out;
+}
+
 // -- prefix-sharing frontiers ----------------------------------------------
 
 ConeFrontierCache::ConeFrontierCache(Psioa& automaton,

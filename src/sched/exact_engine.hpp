@@ -178,6 +178,47 @@ class ConeFrontierCache {
   ConeStats stats_;
 };
 
+// -- exact prefix strata (importance splitting) -----------------------------
+
+/// One live stratum of a depth-capped exact expansion: a prefix the
+/// cone can still extend, carrying its exact cone probability. The
+/// importance-splitting estimator conditions a BatchSampler on `frag`
+/// and reweights the conditional tallies by `prob` (Rao-Blackwell over
+/// the prefix partition: the stratified estimate is unbiased for ANY
+/// per-stratum sample allocation that touches every stratum).
+struct PrefixStratum {
+  ExecFragment frag;
+  Rational prob;
+};
+
+/// A depth-d exact decomposition of a scheduled cone: everything that
+/// terminates before depth d is settled exactly (it contributes to the
+/// full-depth f-dist verbatim); everything still running at depth d
+/// becomes a live stratum. settled_mass + live_mass == 1 exactly.
+struct PrefixStrata {
+  ExactDisc<Perception> settled;
+  std::vector<PrefixStratum> live;
+  Rational live_mass;
+};
+
+/// Expands the cone of `automaton` under `sched` exactly to
+/// `split_depth` (enumerate_cone, deterministic pre-order -- so stratum
+/// indices are stable across runs and worker counts): scheduler halts
+/// below the cap settle into the f-dist, depth-capped fragments become
+/// live strata with their full remaining cone mass. split_depth == 0
+/// yields one live stratum (the start fragment) with mass 1.
+PrefixStrata expand_prefix_strata(Psioa& automaton, Scheduler& sched,
+                                  const InsightFunction& f,
+                                  std::size_t split_depth,
+                                  ConeStats* stats = nullptr);
+
+/// The same decomposition read off a cached word frontier (offline word
+/// schedulers): settled contributions carry over verbatim and every
+/// live frontier fragment becomes a stratum. Lets the splitting
+/// estimator reuse ConeFrontierCache partial cone masses instead of
+/// re-enumerating the prefix cone per word.
+PrefixStrata strata_from_frontier(const ConeFrontier& frontier);
+
 /// Deterministic parallel exact f-dists over one frozen snapshot.
 /// prepare() warms one instance (WarmupPlan, as ParallelSampler does) and
 /// freezes its compiled tables; exact_fdist() expands the cone

@@ -327,97 +327,168 @@ Disc<Perception, double> ParallelSampler::sample_fdist_incremental(
     const InsightFunction& f, std::size_t trials, std::uint64_t seed,
     std::size_t max_depth, ThreadPool& pool, std::size_t rounds_per_wave,
     const WaveCallback& on_wave, SamplingMode mode) {
-  if (!prepared()) {
+  IncrementalFdistRun run(*this, f, trials, seed, max_depth, pool,
+                          rounds_per_wave, mode);
+  while (!run.done()) {
+    const WaveReport& rep = run.step_wave();
+    if (on_wave != nullptr && !on_wave(rep, run.partial_fdist())) {
+      break;  // early stop: remaining waves are skipped
+    }
+  }
+  last_stats_ = run.snapshot_stats();
+  last_batch_stats_ = run.batch_stats();
+  // A completed run re-merges chunk-major (bit-identical to the one-shot
+  // path); an early-stopped run returns the normalized running tally.
+  return run.done() ? run.final_fdist() : run.partial_fdist();
+}
+
+// -- incremental runs -------------------------------------------------------
+
+struct IncrementalFdistRun::Chunk {
+  std::shared_ptr<SnapshotPsioa> view;
+  SchedulerPtr sched;
+  std::optional<BatchSampler> bs;
+};
+
+IncrementalFdistRun::IncrementalFdistRun(const ParallelSampler& sampler,
+                                         const InsightFunction& f,
+                                         std::size_t trials,
+                                         std::uint64_t seed,
+                                         std::size_t max_depth,
+                                         ThreadPool& pool,
+                                         std::size_t rounds_per_wave,
+                                         SamplingMode mode)
+    : f_(f), trials_(trials), pool_(pool) {
+  if (!sampler.prepared()) {
     throw std::logic_error(
-        "ParallelSampler: prepare() before sample_fdist_incremental()");
+        "IncrementalFdistRun: prepare() the sampler before running");
   }
   if (mode == SamplingMode::kSerial) {
     throw std::invalid_argument(
-        "ParallelSampler::sample_fdist_incremental: kSerial has no round "
-        "structure; use a batched mode");
+        "IncrementalFdistRun: kSerial has no round structure; use a "
+        "batched mode");
   }
-  if (rounds_per_wave == 0) rounds_per_wave = 1;
-  const BatchKernel kernel =
-      mode == SamplingMode::kBatchedPerDraw ? BatchKernel::kPerDraw
-                                            : BatchKernel::kBlock;
+  const BatchKernel kernel = kernel_of(mode);
 
-  // Chunk partition and streams mirror parallel_for_chunks / the one-shot
-  // sample_fdist exactly: min(pool, trials) chunks (at least one), chunk c
-  // sized trials/chunks plus one of the trials%chunks remainders, stream c
-  // of `seed`. That makes a run driven to completion merge the exact same
-  // per-chunk count tallies in the exact same order as the one-shot call,
-  // hence a bit-identical result.
+  // Chunk partition and streams mirror parallel_for_chunks / the
+  // one-shot sample_fdist exactly: min(pool, trials) chunks (at least
+  // one), chunk c sized trials/chunks plus one of the trials%chunks
+  // remainders, stream c of `seed`. That makes a run driven to
+  // completion merge the exact same per-chunk count tallies in the
+  // exact same order as the one-shot call, hence a bit-identical
+  // result.
   std::size_t chunks = std::min(pool.size(), trials);
   if (chunks == 0) chunks = 1;
   const std::size_t per = trials / chunks;
   const std::size_t rem = trials % chunks;
 
-  struct Chunk {
-    std::shared_ptr<SnapshotPsioa> view;
-    SchedulerPtr sched;
-    std::optional<BatchSampler> bs;
-  };
-  std::vector<Chunk> cs(chunks);
+  if (rounds_per_wave == 0) {
+    // Auto-tune (see the header contract): target ~4096 logical draws
+    // per wave per chunk at ~2 draws per live trial per round.
+    const std::size_t per_chunk = std::max<std::size_t>(1, per + (rem ? 1 : 0));
+    rounds_per_wave = std::max<std::size_t>(1, 2048 / per_chunk);
+  }
+  rounds_per_wave_ = rounds_per_wave;
+
+  chunks_.resize(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
-    cs[c].view = std::make_shared<SnapshotPsioa>(snapshot_, residue_);
-    cs[c].sched = worker_scheduler();
+    chunks_[c].view = sampler.worker_view();
+    chunks_[c].sched = sampler.worker_scheduler();
     const std::size_t len = per + (c < rem ? 1 : 0);
-    cs[c].bs.emplace(*cs[c].view, *cs[c].sched, len,
-                     Xoshiro256::for_stream(seed, c), max_depth, kernel);
+    chunks_[c].bs.emplace(*chunks_[c].view, *chunks_[c].sched, len,
+                          Xoshiro256::for_stream(seed, c), max_depth, kernel);
+    chunks_[c].bs->track_deltas(true);
   }
+  report_.rounds_per_wave = rounds_per_wave_;
+  report_.trials_requested = trials_;
+}
 
-  const auto merged_partial = [&](std::uint64_t done_trials) {
-    Disc<Perception, double> out;
-    if (done_trials == 0) return out;
-    for (Chunk& c : cs) {
-      // accumulate_counts already ran on the worker; this re-read is a
-      // no-op fold returning the chunk's running tally.
-      for (const auto& [perc, count] : c.bs->accumulate_counts(f).entries()) {
-        out.add(perc, count / static_cast<double>(done_trials));
-      }
-    }
-    return out;
-  };
+IncrementalFdistRun::~IncrementalFdistRun() = default;
 
-  std::size_t wave = 0;
-  for (;;) {
-    bool all_done = true;
-    for (const Chunk& c : cs) all_done = all_done && c.bs->done();
-    if (all_done) break;
-    ++wave;
-    for (Chunk& c : cs) {
-      pool.submit([&c, &f, rounds_per_wave] {
-        c.bs->run_rounds(rounds_per_wave);
-        c.bs->accumulate_counts(f);
-      });
-    }
-    pool.wait_idle();
-    if (on_wave != nullptr) {
-      std::uint64_t done_trials = 0;
-      bool now_done = true;
-      for (const Chunk& c : cs) {
-        done_trials += c.bs->trials_terminal();
-        now_done = now_done && c.bs->done();
-      }
-      WaveReport rep;
-      rep.wave = wave;
-      rep.rounds_per_wave = rounds_per_wave;
-      rep.trials_done = static_cast<std::size_t>(done_trials);
-      rep.trials_requested = trials;
-      rep.done = now_done;
-      if (!on_wave(rep, merged_partial(done_trials))) break;  // early stop
-    }
+const ParallelSampler::WaveReport& IncrementalFdistRun::step_wave() {
+  if (done_) return report_;
+  ++wave_;
+  const std::size_t rounds = rounds_per_wave_;
+  const InsightFunction& f = f_;
+  for (Chunk& c : chunks_) {
+    if (c.bs->done()) continue;
+    pool_.submit([&c, &f, rounds] {
+      c.bs->run_rounds(rounds);
+      c.bs->accumulate_counts(f);
+    });
   }
+  pool_.wait_idle();
+  // Delta-merge on the driving thread: each chunk surrenders only the
+  // tallies of classes that went terminal this wave, so merge work is
+  // O(fresh entries). The merged counts are integer-valued, and integer
+  // sums are exact in doubles, so the running tally is independent of
+  // where the wave boundaries fall.
+  std::size_t entries = 0;
+  std::uint64_t terminal = 0;
+  bool all_done = true;
+  for (Chunk& c : chunks_) {
+    const Disc<Perception, double> delta = c.bs->drain_count_delta();
+    for (const auto& [perc, count] : delta.entries()) {
+      merged_.add(perc, count);
+      ++entries;
+    }
+    terminal += c.bs->trials_terminal();
+    all_done = all_done && c.bs->done();
+  }
+  done_ = all_done;
+  report_.wave = wave_;
+  report_.rounds_per_wave = rounds_per_wave_;
+  report_.trials_done = static_cast<std::size_t>(terminal);
+  report_.trials_requested = trials_;
+  report_.done = all_done;
+  report_.merge_entries = entries;
+  return report_;
+}
 
-  last_stats_ = SnapshotStats{};
-  last_batch_stats_ = BatchStats{};
+std::uint64_t IncrementalFdistRun::trials_terminal() const {
+  std::uint64_t terminal = 0;
+  for (const Chunk& c : chunks_) terminal += c.bs->trials_terminal();
+  return terminal;
+}
+
+Disc<Perception, double> IncrementalFdistRun::partial_fdist() const {
+  Disc<Perception, double> out;
+  const std::uint64_t done_trials = trials_terminal();
+  if (done_trials == 0) return out;
+  for (const auto& [perc, count] : merged_.entries()) {
+    out.add(perc, count / static_cast<double>(done_trials));
+  }
+  return out;
+}
+
+Disc<Perception, double> IncrementalFdistRun::final_fdist() {
+  while (!done_) step_wave();
   std::uint64_t done_trials = 0;
-  for (Chunk& c : cs) {
-    last_stats_ += c.view->snapshot_stats();
-    last_batch_stats_ += c.bs->stats();
-    done_trials += c.bs->trials_terminal();
+  for (const Chunk& c : chunks_) done_trials += c.bs->trials_terminal();
+  Disc<Perception, double> out;
+  if (done_trials == 0) return out;
+  for (Chunk& c : chunks_) {
+    // accumulate_counts already ran on the workers; this re-read is a
+    // no-op fold returning the chunk's full tally. Merging chunk-major
+    // (count / N per entry, chunk order) reproduces the one-shot
+    // sample_fdist merge bit for bit.
+    for (const auto& [perc, count] : c.bs->accumulate_counts(f_).entries()) {
+      out.add(perc, count / static_cast<double>(done_trials));
+    }
   }
-  return merged_partial(done_trials);
+  return out;
+}
+
+BatchStats IncrementalFdistRun::batch_stats() const {
+  BatchStats out;
+  for (const Chunk& c : chunks_) out += c.bs->stats();
+  return out;
+}
+
+SnapshotStats IncrementalFdistRun::snapshot_stats() const {
+  SnapshotStats out;
+  for (const Chunk& c : chunks_) out += c.view->snapshot_stats();
+  return out;
 }
 
 }  // namespace cdse

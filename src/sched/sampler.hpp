@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "psioa/snapshot.hpp"
 #include "sched/batch_sampler.hpp"
@@ -178,6 +179,13 @@ class ParallelSampler {
     std::size_t trials_done = 0;     ///< executions terminal so far
     std::size_t trials_requested = 0;
     bool done = false;               ///< every chunk finished
+    /// Tally entries folded into the running merge THIS wave: terminal
+    /// classes newly discovered across the chunks. The per-wave merge is
+    /// a delta-merge (each chunk drains only its fresh tallies), so the
+    /// merge work per wave is O(merge_entries), not O(support size x
+    /// chunks) -- and sum(merge_entries) over a whole run is bounded by
+    /// the run's distinct_executions (BatchStats).
+    std::size_t merge_entries = 0;
   };
 
   /// Called after every wave with the progress report and the partial
@@ -197,6 +205,15 @@ class ParallelSampler {
   /// call in the same mode (tests/batch_sampler_test.cpp pins this).
   /// `on_wave` may be null (run to completion silently). kSerial mode
   /// has no round structure and is rejected (std::invalid_argument).
+  ///
+  /// rounds_per_wave contract: 0 auto-tunes the wave size to target
+  /// ~4096 logical draws per wave per chunk -- each round resolves about
+  /// two logical draws (action + target) per live trial, so the chosen
+  /// value is max(1, 2048 / per_chunk_trials): chunks carrying >= 2048
+  /// trials report after every round, small chunks batch enough rounds
+  /// that wave overhead (submit + merge + callback) stays amortized.
+  /// The auto-tuned value is surfaced in WaveReport::rounds_per_wave.
+  /// Any nonzero value is used as given.
   Disc<Perception, double> sample_fdist_incremental(
       const InsightFunction& f, std::size_t trials, std::uint64_t seed,
       std::size_t max_depth, ThreadPool& pool, std::size_t rounds_per_wave,
@@ -234,6 +251,73 @@ class ParallelSampler {
   std::shared_ptr<const FrozenChoiceTable> choice_rows_;
   SnapshotStats last_stats_;
   BatchStats last_batch_stats_;
+};
+
+/// One incremental batched run, exposed as an object so several runs can
+/// be interleaved wave by wave -- the paired-consumption shape the
+/// sequential epsilon estimator needs (one look compares the LEFT and
+/// RIGHT partial tallies at matching trial counts, so neither side may
+/// run ahead inside its own callback). sample_fdist_incremental is a
+/// thin loop over this class.
+///
+/// Chunking, RNG streams and merge order mirror the one-shot
+/// ParallelSampler::sample_fdist, so final_fdist() of a completed run is
+/// bit-identical to the one-shot call in the same mode. The running
+/// tally (counts()) is delta-merged: after each wave every chunk drains
+/// only the terminal classes it discovered during that wave, so per-wave
+/// merge work is O(new entries) -- WaveReport::merge_entries proves it.
+/// Integer class counts sum exactly in doubles, so counts() is
+/// independent of wave boundaries (and partial_fdist() of the final wave
+/// equals the completed tally up to one normalization).
+class IncrementalFdistRun {
+ public:
+  /// Requires sampler.prepared(); holds references to `sampler`, `f` and
+  /// `pool` for its lifetime. rounds_per_wave == 0 auto-tunes (see
+  /// sample_fdist_incremental). kSerial mode is rejected.
+  IncrementalFdistRun(const ParallelSampler& sampler,
+                      const InsightFunction& f, std::size_t trials,
+                      std::uint64_t seed, std::size_t max_depth,
+                      ThreadPool& pool, std::size_t rounds_per_wave = 0,
+                      SamplingMode mode = SamplingMode::kBatched);
+  ~IncrementalFdistRun();
+  IncrementalFdistRun(const IncrementalFdistRun&) = delete;
+  IncrementalFdistRun& operator=(const IncrementalFdistRun&) = delete;
+
+  bool done() const { return done_; }
+  /// Advances every unfinished chunk by one wave of rounds (fanned over
+  /// the pool), delta-merges the fresh tallies, and returns the report.
+  /// No-op once done().
+  const ParallelSampler::WaveReport& step_wave();
+  const ParallelSampler::WaveReport& report() const { return report_; }
+  /// The wave size in effect (auto-tuned when 0 was requested).
+  std::size_t rounds_per_wave() const { return rounds_per_wave_; }
+
+  std::size_t trials_requested() const { return trials_; }
+  std::uint64_t trials_terminal() const;
+  /// Running unnormalized per-perception tally (integer-valued counts).
+  const Disc<Perception, double>& counts() const { return merged_; }
+  /// counts() normalized over the terminal trials (empty when none).
+  Disc<Perception, double> partial_fdist() const;
+  /// Drives any remaining waves, then merges chunk-major exactly as the
+  /// one-shot path does -- bit-identical to sample_fdist in this mode.
+  Disc<Perception, double> final_fdist();
+
+  /// Counters summed over the chunks (valid between waves).
+  BatchStats batch_stats() const;
+  SnapshotStats snapshot_stats() const;
+
+ private:
+  struct Chunk;
+
+  const InsightFunction& f_;
+  std::size_t trials_;
+  ThreadPool& pool_;
+  std::size_t rounds_per_wave_ = 1;
+  std::vector<Chunk> chunks_;
+  Disc<Perception, double> merged_;
+  ParallelSampler::WaveReport report_;
+  std::size_t wave_ = 0;
+  bool done_ = false;
 };
 
 }  // namespace cdse
